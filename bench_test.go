@@ -1,0 +1,95 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each runs
+// the corresponding experiment driver once per iteration and reports the
+// rendered artifact through -v output on the first iteration:
+//
+//	go test -bench=BenchmarkTable4 -benchmem
+//	go test -bench=. -benchmem           # everything (several minutes)
+//
+// Absolute numbers reflect the simulated substrate (see EXPERIMENTS.md);
+// the comparisons' shape — who wins and by roughly what factor — is the
+// reproduction target.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := e.Run()
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig01DailyVolume regenerates Fig. 1 (daily trace volume).
+func BenchmarkFig01DailyVolume(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig02ServiceOverhead regenerates Fig. 2 (per-service storage and
+// bandwidth overhead of tracing).
+func BenchmarkFig02ServiceOverhead(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig03MissRate regenerates Fig. 3 (query miss rate under head+tail
+// sampling over 30 days, two regions).
+func BenchmarkFig03MissRate(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkTable1Commonality regenerates Table 1 (occurrence/proportion of
+// inter-trace and inter-span commonality).
+func BenchmarkTable1Commonality(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkFig11OverheadSweep regenerates Fig. 11 (network and storage
+// overhead vs request throughput, six frameworks, two benchmarks).
+func BenchmarkFig11OverheadSweep(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12QueryHits regenerates Fig. 12 (query hit numbers over 14
+// days; Mint-Partial answers every query).
+func BenchmarkFig12QueryHits(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkTable3RCA regenerates Table 3 (RCA top-1 accuracy per framework,
+// 56 injected faults of the Table 2 classes).
+func BenchmarkTable3RCA(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkFig13Datasets regenerates Fig. 13 (dataset descriptions).
+func BenchmarkFig13Datasets(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkTable4Compression regenerates Table 4 (compression ratios:
+// LogZip/LogReducer/CLP baselines, Mint and its two ablations, datasets A–F).
+func BenchmarkTable4Compression(b *testing.B) { runExperiment(b, "tab4") }
+
+// BenchmarkFig14LoadTests regenerates Fig. 14 (tracing overhead during the
+// 14 load tests T1–T14).
+func BenchmarkFig14LoadTests(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Latency regenerates Fig. 15 (request-path overhead and
+// query latency).
+func BenchmarkFig15Latency(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkTable5PatternCounts regenerates Table 5 (span/trace pattern
+// extraction counts on five sub-services).
+func BenchmarkTable5PatternCounts(b *testing.B) { runExperiment(b, "tab5") }
+
+// BenchmarkFig16Sensitivity regenerates Fig. 16 (similarity-threshold
+// sensitivity of pattern+parameter storage).
+func BenchmarkFig16Sensitivity(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkAblationBloomBuffer sweeps the Bloom buffer size design knob.
+func BenchmarkAblationBloomBuffer(b *testing.B) { runExperiment(b, "abl-bloom") }
+
+// BenchmarkAblationParamsBuffer sweeps the Params Buffer capacity and the
+// eviction-induced exact→partial degradation.
+func BenchmarkAblationParamsBuffer(b *testing.B) { runExperiment(b, "abl-params") }
+
+// BenchmarkAblationParallelHAP verifies parallel HAP parity.
+func BenchmarkAblationParallelHAP(b *testing.B) { runExperiment(b, "abl-hap") }

@@ -1,0 +1,66 @@
+// Command mintbench regenerates every table and figure of the Mint paper's
+// evaluation from the reproduction's simulators and frameworks.
+//
+// Usage:
+//
+//	mintbench                 # run every experiment
+//	mintbench -run fig11      # run one experiment by ID
+//	mintbench -list           # list experiment IDs
+//	mintbench -light          # skip the heavy (multi-second) experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by ID (e.g. fig11, tab4)")
+	list := flag.Bool("list", false, "list available experiment IDs")
+	light := flag.Bool("light", false, "skip heavy experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			kind := "table"
+			if e.Figure {
+				kind = "figure"
+			}
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%-7s %-6s %s%s\n", e.ID, kind, e.Title, heavy)
+		}
+		return
+	}
+
+	if *runID != "" {
+		e, ok := experiments.Lookup(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mintbench: unknown experiment %q; use -list\n", *runID)
+			os.Exit(1)
+		}
+		runOne(e)
+		return
+	}
+
+	for _, e := range experiments.All() {
+		if *light && e.Heavy {
+			fmt.Printf("-- skipping %s (heavy; run with -run %s)\n\n", e.ID, e.ID)
+			continue
+		}
+		runOne(e)
+	}
+}
+
+func runOne(e experiments.Entry) {
+	start := time.Now()
+	res := e.Run()
+	fmt.Print(res.Render())
+	fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Mint: Cost-Efficient
+// Tracing with All Requests Collection via Commonality and Variability
+// Analysis" (ASPLOS 2025).
+//
+// The public API lives in the mint subpackage; the substrates (span/trace
+// parsing, Bloom filters, samplers, microservice simulators, baseline
+// tracing frameworks, RCA methods and the experiment drivers) live under
+// internal/. See README.md for the layout, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,85 @@
+// E-commerce scenario: run the OnlineBoutique workload (the paper's first
+// benchmark) through Mint next to an OpenTelemetry full-collection baseline,
+// inject a payment outage, and compare costs and query power.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func main() {
+	sys := sim.OnlineBoutique(2024)
+	cluster := mint.NewCluster(sys.Nodes, mint.Defaults())
+	full := baseline.NewOTFull()
+
+	warm := sim.GenTraces(sys, 300)
+	cluster.Warmup(warm)
+
+	fmt.Println("== phase 1: steady traffic ==")
+	for _, t := range sim.GenTraces(sys, 3000) {
+		cluster.Capture(t)
+		full.Capture(t)
+	}
+	cluster.Flush()
+
+	fmt.Println("== phase 2: payment service outage ==")
+	fault := &sim.Fault{Type: sim.FaultException, Service: "payment", Magnitude: 150}
+	var incident []string
+	for i := 0; i < 400; i++ {
+		opt := sim.GenOptions{}
+		if i%20 == 19 { // 5% of requests hit the failing path
+			opt.Fault = fault
+		}
+		t := sys.GenTrace(sys.PickAPI(), opt)
+		if opt.Fault != nil {
+			incident = append(incident, t.TraceID)
+		}
+		cluster.Capture(t)
+		full.Capture(t)
+	}
+	cluster.Flush()
+
+	fmt.Printf("\ncost comparison (%d traces):\n", 3400)
+	fmt.Printf("  %-22s network %8.2f MB   storage %8.2f MB\n",
+		"OpenTelemetry (full):",
+		float64(full.NetworkBytes())/1e6, float64(full.StorageBytes())/1e6)
+	fmt.Printf("  %-22s network %8.2f MB   storage %8.2f MB\n",
+		"Mint:",
+		float64(cluster.NetworkBytes())/1e6, float64(cluster.StorageBytes())/1e6)
+	fmt.Printf("  reduction: network to %.1f%%, storage to %.1f%%\n",
+		100*float64(cluster.NetworkBytes())/float64(full.NetworkBytes()),
+		100*float64(cluster.StorageBytes())/float64(full.StorageBytes()))
+
+	fmt.Printf("\nincident forensics — querying the %d failed checkouts:\n", len(incident))
+	exact := 0
+	for _, id := range incident {
+		if cluster.Query(id).Kind == mint.ExactHit {
+			exact++
+		}
+	}
+	fmt.Printf("  %d/%d returned exactly (Symptom Sampler caught the errors)\n", exact, len(incident))
+
+	res := cluster.Query(incident[0])
+	fmt.Printf("\nfirst failed trace (%s, %s hit):\n", incident[0], res.Kind)
+	for _, s := range res.Trace.Spans {
+		marker := " "
+		if s.Status >= 400 {
+			marker = "!"
+		}
+		fmt.Printf("  %s %-30s %-18s %6.1fms", marker, s.Service+"/"+s.Operation, s.Kind, float64(s.Duration)/1e3)
+		if exc := s.Attributes["exception"].Str; exc != "" {
+			fmt.Printf("  %s", exc)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\npattern economy:")
+	fmt.Printf("  %d span patterns and %d topology patterns describe all %d traces\n",
+		cluster.SpanPatternCount(), cluster.TopoPatternCount(), 3400)
+}

@@ -1,0 +1,96 @@
+// Quickstart: build spans by hand, capture them through a two-node Mint
+// cluster, and query them back — the smallest end-to-end use of the public
+// API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/mint"
+)
+
+func main() {
+	// A Mint deployment: one agent per application node plus a backend.
+	cluster := mint.NewCluster([]string{"node-a", "node-b"}, mint.Defaults())
+
+	// Build traces for a toy two-service system: "web" on node-a calls
+	// "db" on node-b. Real deployments generate these spans from
+	// instrumentation; the shape is ordinary OpenTelemetry.
+	var traces []*mint.Trace
+	for i := 0; i < 500; i++ {
+		traces = append(traces, makeTrace(i, false))
+	}
+	// One request fails with an error the Symptom Sampler will catch.
+	bad := makeTrace(500, true)
+	traces = append(traces, bad)
+
+	// Warm the span parsers offline (the paper's cold-start mitigation),
+	// then capture the live traffic.
+	cluster.Warmup(traces[:100])
+	var rawBytes int
+	for _, t := range traces[100:] {
+		rawBytes += t.Size()
+		cluster.Capture(t)
+	}
+	cluster.Flush() // periodic pattern/Bloom upload
+
+	fmt.Printf("captured %d traces (%.1f KB raw)\n", len(traces)-100, float64(rawBytes)/1e3)
+	fmt.Printf("storage:  %.1f KB (%.1f%% of raw)\n",
+		float64(cluster.StorageBytes())/1e3,
+		100*float64(cluster.StorageBytes())/float64(rawBytes))
+	fmt.Printf("network:  %.1f KB (%.1f%% of raw)\n",
+		float64(cluster.NetworkBytes())/1e3,
+		100*float64(cluster.NetworkBytes())/float64(rawBytes))
+
+	// Every trace is queryable. Unsampled traces return approximate
+	// traces (patterns with masked parameters); the failed trace was
+	// sampled, so it returns exactly.
+	normal := cluster.Query(traces[200].TraceID)
+	fmt.Printf("\nnormal trace  -> %s hit, %d spans\n", normal.Kind, len(normal.Trace.Spans))
+	for _, s := range normal.Trace.Spans {
+		fmt.Printf("  [%s] %s/%s sql=%q\n", s.Node, s.Service, s.Operation, s.Attributes["sql.query"].Str)
+	}
+
+	failed := cluster.Query(bad.TraceID)
+	fmt.Printf("\nfailed trace  -> %s hit, %d spans\n", failed.Kind, len(failed.Trace.Spans))
+	for _, s := range failed.Trace.Spans {
+		fmt.Printf("  [%s] %s/%s status=%d sql=%q\n", s.Node, s.Service, s.Operation, s.Status, s.Attributes["sql.query"].Str)
+	}
+}
+
+// makeTrace builds one web->db request trace.
+func makeTrace(i int, fail bool) *mint.Trace {
+	traceID := fmt.Sprintf("demo-%06d", i)
+	status := mint.StatusOK
+	if fail {
+		status = mint.StatusError
+	}
+	root := &mint.Span{
+		TraceID: traceID, SpanID: traceID + "-web", Service: "web", Node: "node-a",
+		Operation: "GET /checkout", Kind: mint.KindServer,
+		StartUnix: int64(i) * 1000, Duration: 4200 + int64(i%700), Status: status,
+		Attributes: map[string]mint.AttrValue{
+			"http.url": mint.Str(fmt.Sprintf("/checkout?order=%d", 10000+i)),
+		},
+	}
+	call := &mint.Span{
+		TraceID: traceID, SpanID: traceID + "-call", ParentID: root.SpanID,
+		Service: "web", Node: "node-a", Operation: "call db/Query", Kind: mint.KindClient,
+		StartUnix: root.StartUnix + 500, Duration: 2500, Status: status,
+		Attributes: map[string]mint.AttrValue{"peer.service": mint.Str("db")},
+	}
+	db := &mint.Span{
+		TraceID: traceID, SpanID: traceID + "-db", ParentID: call.SpanID,
+		Service: "db", Node: "node-b", Operation: "Query", Kind: mint.KindServer,
+		StartUnix: root.StartUnix + 700, Duration: 2100, Status: status,
+		Attributes: map[string]mint.AttrValue{
+			"sql.query": mint.Str(fmt.Sprintf("SELECT * FROM orders WHERE id=%d", 10000+i)),
+		},
+	}
+	if fail {
+		db.Attributes["exception"] = mint.Str("db: deadlock detected, transaction aborted")
+	}
+	return &mint.Trace{TraceID: traceID, Spans: []*mint.Span{root, call, db}}
+}

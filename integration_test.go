@@ -1,0 +1,268 @@
+package repro
+
+// Cross-module integration tests: full capture→flush→query journeys that
+// exercise agent, collector, backend, samplers and the simulator together,
+// including the head/tail compatibility adapters of §3.4 and the OTLP
+// ingestion path of §4.1.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/otlp"
+	"repro/internal/rca"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/mint"
+)
+
+func TestEndToEndAllRequestsJourney(t *testing.T) {
+	sys := sim.TrainTicket(1001)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512})
+	cluster.Warmup(sim.GenTraces(sys, 300))
+
+	services := sys.TrafficServices()
+	var all, abnormal []string
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 400; i++ {
+			opt := sim.GenOptions{}
+			if i%40 == 39 {
+				opt.Fault = sim.RandomFault(sys.RNG(), services)
+			}
+			tr := sys.GenTrace(sys.PickAPI(), opt)
+			cluster.Capture(tr)
+			all = append(all, tr.TraceID)
+			if opt.Fault != nil {
+				abnormal = append(abnormal, tr.TraceID)
+			}
+		}
+		cluster.Flush() // one periodic upload per simulated day
+	}
+
+	// Claim 1: no captured trace ever misses.
+	miss := 0
+	for _, id := range all {
+		if cluster.Query(id).Kind == mint.Miss {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("%d misses of %d captured traces", miss, len(all))
+	}
+
+	// Claim 2: batch analysis covers all requests.
+	stats, misses := cluster.BatchAnalyze(all)
+	if misses != 0 || stats.Traces != len(all) {
+		t.Fatalf("batch covered %d/%d (misses %d)", stats.Traces, len(all), misses)
+	}
+
+	// Claim 3: storage and network both land far below raw.
+	var raw int64
+	for _, id := range all {
+		_ = id
+	}
+	// Regenerate raw estimate from a same-seed system to avoid retaining
+	// the corpus: use measured average instead.
+	avg := int64(0)
+	sys2 := sim.TrainTicket(1001)
+	for _, tr := range sim.GenTraces(sys2, 100) {
+		avg += int64(tr.Size())
+	}
+	avg /= 100
+	raw = avg * int64(len(all))
+	if cluster.StorageBytes() > raw/4 {
+		t.Fatalf("storage %d not far below raw %d", cluster.StorageBytes(), raw)
+	}
+	if cluster.NetworkBytes() > raw/4 {
+		t.Fatalf("network %d not far below raw %d", cluster.NetworkBytes(), raw)
+	}
+	_ = abnormal
+}
+
+func TestHeadSamplingAdapterParity(t *testing.T) {
+	// §3.4: "Users can adopt head sampling by randomly marking some traces
+	// as sampled when requests are generated." Mint with HeadSampleRate
+	// must make head-sampled traces exact and everything else partial.
+	sys := sim.OnlineBoutique(1002)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{
+		BloomBufferBytes: 512,
+		HeadSampleRate:   0.2,
+		DisableSamplers:  true,
+	})
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	traces := sim.GenTraces(sys, 500)
+	for _, tr := range traces {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+	exact, partial := 0, 0
+	for _, tr := range traces {
+		switch cluster.Query(tr.TraceID).Kind {
+		case mint.ExactHit:
+			exact++
+		case mint.PartialHit:
+			partial++
+		default:
+			t.Fatalf("miss for %s", tr.TraceID)
+		}
+	}
+	rate := float64(exact) / float64(len(traces))
+	if rate < 0.12 || rate > 0.28 {
+		t.Fatalf("exact rate %f, want ≈0.2 (head rate)", rate)
+	}
+	if partial == 0 {
+		t.Fatal("unsampled traces must answer partially")
+	}
+}
+
+func TestTailSamplingAdapter(t *testing.T) {
+	// §3.4's other adapter: mark traces as sampled from the backend after
+	// the fact (retroactive marking via MarkSampled). Params must still be
+	// in the agents' buffers when the notice arrives.
+	sys := sim.OnlineBoutique(1003)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512, DisableSamplers: true})
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	traces := sim.GenTraces(sys, 200)
+	for _, tr := range traces {
+		cluster.Capture(tr)
+	}
+	// Backend-side tail decision: keep every 10th trace.
+	var chosen []string
+	for i := 9; i < len(traces); i += 10 {
+		cluster.MarkSampled(traces[i].TraceID, "tail")
+		chosen = append(chosen, traces[i].TraceID)
+	}
+	cluster.Flush()
+	for _, id := range chosen {
+		if got := cluster.Query(id).Kind; got != mint.ExactHit {
+			t.Fatalf("tail-marked trace %s returned %v", id, got)
+		}
+	}
+}
+
+func TestOTLPIngestionPath(t *testing.T) {
+	sys := sim.OnlineBoutique(1004)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512})
+	cluster.Warmup(sim.GenTraces(sys, 200))
+
+	// Export each node's sub-trace as OTLP/JSON and ingest through the
+	// protocol adapter instead of Capture.
+	traces := sim.GenTraces(sys, 100)
+	for _, tr := range traces {
+		for node, spans := range tr.ByNode() {
+			payload, err := otlp.Encode(spans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.CaptureOTLP(node, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cluster.Flush()
+	for _, tr := range traces[:20] {
+		if cluster.Query(tr.TraceID).Kind == mint.Miss {
+			t.Fatalf("OTLP-ingested trace %s missed", tr.TraceID)
+		}
+	}
+	if err := cluster.CaptureOTLP("no-such-node", []byte(`{}`)); err == nil {
+		t.Fatal("unknown node must error")
+	}
+	if err := cluster.CaptureOTLP(sys.Nodes[0], []byte(`{bad`)); err == nil {
+		t.Fatal("malformed payload must error")
+	}
+}
+
+func TestRCAPipelineEndToEnd(t *testing.T) {
+	// The Table 3 journey distilled: Mint's retained corpus lets MicroRank
+	// find an injected fault that head sampling misses.
+	sys := sim.OnlineBoutique(1005)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512})
+	head := baseline.NewOTHead(0.05)
+	cluster.Warmup(sim.GenTraces(sys, 200))
+
+	fault := &sim.Fault{Type: sim.FaultErrorReturn, Service: "shipping", Magnitude: 50}
+	var ids []string
+	capture := func(tr *trace.Trace) {
+		cluster.Capture(tr)
+		head.Capture(tr)
+		ids = append(ids, tr.TraceID)
+	}
+	for i := 0; i < 800; i++ {
+		capture(sys.GenTrace(sys.PickAPI(), sim.GenOptions{}))
+	}
+	hit := 0
+	for i := 0; hit < 15 && i < 200; i++ {
+		tr := sys.GenTrace(sys.PickAPI(), sim.GenOptions{Fault: fault})
+		for _, s := range tr.Spans {
+			if s.Service == fault.Service {
+				hit++
+				break
+			}
+		}
+		capture(tr)
+	}
+	cluster.Flush()
+
+	var mintCorpus []*trace.Trace
+	for _, id := range ids {
+		if r := cluster.Query(id); r.Kind != mint.Miss {
+			mintCorpus = append(mintCorpus, r.Trace)
+		}
+	}
+	localize := func(corpus []*trace.Trace) string {
+		p99 := rca.RootDurationP99(corpus)
+		normal, abnormal := rca.Partition(corpus, p99)
+		d := rca.Dataset{Normal: normal, Abnormal: abnormal, Services: sys.TrafficServices()}
+		ranking := rca.MicroRank{}.Localize(d)
+		if len(ranking) == 0 {
+			return ""
+		}
+		return ranking[0]
+	}
+	if got := localize(mintCorpus); got != fault.Service {
+		t.Fatalf("Mint corpus localized %q, want %q", got, fault.Service)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() (int64, int64, int) {
+		sys := sim.OnlineBoutique(777)
+		cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512})
+		cluster.Warmup(sim.GenTraces(sys, 200))
+		for _, tr := range sim.GenTraces(sys, 400) {
+			cluster.Capture(tr)
+		}
+		cluster.Flush()
+		return cluster.NetworkBytes(), cluster.StorageBytes(), cluster.SpanPatternCount()
+	}
+	n1, s1, p1 := run()
+	n2, s2, p2 := run()
+	if n1 != n2 || s1 != s2 || p1 != p2 {
+		t.Fatalf("non-deterministic pipeline: (%d,%d,%d) vs (%d,%d,%d)", n1, s1, p1, n2, s2, p2)
+	}
+}
+
+func TestBloomFalsePositiveToleranceAtScale(t *testing.T) {
+	// With many patterns and filters, a foreign trace ID may false-positive
+	// into some filter; the query must stay structurally sane (a partial
+	// hit over stitched candidates or a miss — never a panic or an exact).
+	sys := sim.OnlineBoutique(1006)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 128})
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	for _, tr := range sim.GenTraces(sys, 2000) {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+	exactForeign := 0
+	for i := 0; i < 2000; i++ {
+		res := cluster.Query(fmt.Sprintf("foreign-%08d", i))
+		if res.Kind == mint.ExactHit {
+			exactForeign++
+		}
+	}
+	if exactForeign != 0 {
+		t.Fatalf("%d foreign IDs returned exact hits", exactForeign)
+	}
+}

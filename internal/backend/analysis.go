@@ -1,0 +1,179 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// This file implements the production use cases of §6.3: trace exploration
+// over approximate traces (UC 1) and batch trace analysis (UC 2). Both
+// operate on whatever the querier returns — exact traces for sampled IDs,
+// approximate traces for everything else — so they cover all requests.
+
+// FlameNode is one frame of a trace flame graph.
+type FlameNode struct {
+	Service   string
+	Operation string
+	Duration  int64 // µs (bucket representative for approximate traces)
+	Status    trace.Status
+	Children  []*FlameNode
+}
+
+// FlameGraph renders a trace (exact or approximate) into its execution
+// flame graph — the Trace Explorer view that remains available for
+// unsampled traces (UC 1: "the full trace execution path, flame graph,
+// types and approximate content of each operation").
+func FlameGraph(t *trace.Trace) []*FlameNode {
+	byID := map[string]*trace.Span{}
+	for _, s := range t.Spans {
+		byID[s.SpanID] = s
+	}
+	nodes := map[string]*FlameNode{}
+	for _, s := range t.Spans {
+		nodes[s.SpanID] = &FlameNode{
+			Service:   s.Service,
+			Operation: s.Operation,
+			Duration:  s.Duration,
+			Status:    s.Status,
+		}
+	}
+	var roots []*FlameNode
+	// Deterministic child order: start time, then span ID.
+	spans := make([]*trace.Span, len(t.Spans))
+	copy(spans, t.Spans)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUnix != spans[j].StartUnix {
+			return spans[i].StartUnix < spans[j].StartUnix
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if parent, ok := nodes[s.ParentID]; ok && s.ParentID != "" {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// RenderFlame formats a flame graph as an indented text tree.
+func RenderFlame(roots []*FlameNode) string {
+	var b strings.Builder
+	var walk func(n *FlameNode, depth int)
+	walk = func(n *FlameNode, depth int) {
+		marker := " "
+		if n.Status >= 400 {
+			marker = "!"
+		}
+		fmt.Fprintf(&b, "%s%s %s/%s %.1fms\n",
+			strings.Repeat("  ", depth), marker, n.Service, n.Operation,
+			float64(n.Duration)/1e3)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// BatchStats aggregates a set of traces the way UC 2's batch analysis does:
+// per-service span counts and duration statistics, plus the aggregated
+// topology (caller→callee edge counts).
+type BatchStats struct {
+	Traces    int
+	Spans     int
+	ByService map[string]*ServiceStats
+	Edges     map[string]int // "caller->callee" -> count
+}
+
+// ServiceStats summarizes one service's spans within a batch.
+type ServiceStats struct {
+	Spans       int
+	Errors      int
+	TotalDurUS  int64
+	MaxDurUS    int64
+	DurationsUS []int64 // scatter-diagram material (per UC 2)
+}
+
+// BatchQuery runs the querier over many trace IDs and aggregates whatever
+// comes back. Misses are counted but contribute nothing (with Mint there
+// are none; with '1 or 0' baselines this is where batch analysis starves).
+func (b *Backend) BatchQuery(traceIDs []string) (*BatchStats, int) {
+	stats := &BatchStats{
+		ByService: map[string]*ServiceStats{},
+		Edges:     map[string]int{},
+	}
+	misses := 0
+	for _, id := range traceIDs {
+		res := b.Query(id)
+		if res.Kind == Miss || res.Trace == nil {
+			misses++
+			continue
+		}
+		stats.Traces++
+		accumulate(stats, res.Trace)
+	}
+	return stats, misses
+}
+
+func accumulate(stats *BatchStats, t *trace.Trace) {
+	byID := map[string]*trace.Span{}
+	for _, s := range t.Spans {
+		byID[s.SpanID] = s
+	}
+	for _, s := range t.Spans {
+		stats.Spans++
+		svc, ok := stats.ByService[s.Service]
+		if !ok {
+			svc = &ServiceStats{}
+			stats.ByService[s.Service] = svc
+		}
+		svc.Spans++
+		if s.Status >= 400 {
+			svc.Errors++
+		}
+		svc.TotalDurUS += s.Duration
+		if s.Duration > svc.MaxDurUS {
+			svc.MaxDurUS = s.Duration
+		}
+		svc.DurationsUS = append(svc.DurationsUS, s.Duration)
+		if s.ParentID != "" {
+			if parent, ok := byID[s.ParentID]; ok && parent.Service != s.Service {
+				stats.Edges[parent.Service+"->"+s.Service]++
+			}
+		}
+	}
+}
+
+// TopServices returns services ordered by span count, for batch summaries.
+func (s *BatchStats) TopServices(k int) []string {
+	type kv struct {
+		svc string
+		n   int
+	}
+	var list []kv
+	for svc, st := range s.ByService {
+		list = append(list, kv{svc, st.Spans})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].svc < list[j].svc
+	})
+	if k > len(list) {
+		k = len(list)
+	}
+	out := make([]string, 0, k)
+	for _, e := range list[:k] {
+		out = append(out, e.svc)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func flameTrace() *trace.Trace {
+	return &trace.Trace{
+		TraceID: "f1",
+		Spans: []*trace.Span{
+			{TraceID: "f1", SpanID: "r", Service: "web", Operation: "GET /", StartUnix: 1, Duration: 100},
+			{TraceID: "f1", SpanID: "a", ParentID: "r", Service: "web", Operation: "call db", StartUnix: 2, Duration: 60, Kind: trace.KindClient},
+			{TraceID: "f1", SpanID: "b", ParentID: "a", Service: "db", Operation: "Query", StartUnix: 3, Duration: 50, Status: trace.StatusError},
+			{TraceID: "f1", SpanID: "c", ParentID: "r", Service: "web", Operation: "render", StartUnix: 4, Duration: 20},
+		},
+	}
+}
+
+func TestFlameGraphStructure(t *testing.T) {
+	roots := FlameGraph(flameTrace())
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	r := roots[0]
+	if r.Operation != "GET /" || len(r.Children) != 2 {
+		t.Fatalf("root = %+v", r)
+	}
+	if r.Children[0].Operation != "call db" || len(r.Children[0].Children) != 1 {
+		t.Fatalf("child order/structure wrong: %+v", r.Children[0])
+	}
+	if r.Children[0].Children[0].Status != trace.StatusError {
+		t.Fatal("status must survive into the flame graph")
+	}
+}
+
+func TestRenderFlame(t *testing.T) {
+	out := RenderFlame(FlameGraph(flameTrace()))
+	if !strings.Contains(out, "web/GET /") || !strings.Contains(out, "db/Query") {
+		t.Fatalf("render missing frames:\n%s", out)
+	}
+	if !strings.Contains(out, "! db/Query") {
+		t.Fatalf("error frames should be marked:\n%s", out)
+	}
+	// Indentation reflects depth.
+	if !strings.Contains(out, "    ! db/Query") {
+		t.Fatalf("db frame should be nested two levels deep:\n%s", out)
+	}
+}
+
+func TestFlameGraphFragmentedTrace(t *testing.T) {
+	// Approximate traces can have multiple segment roots.
+	tr := &trace.Trace{Spans: []*trace.Span{
+		{SpanID: "x", Service: "a", Operation: "op1", StartUnix: 1},
+		{SpanID: "y", ParentID: "gone", Service: "b", Operation: "op2", StartUnix: 2},
+	}}
+	roots := FlameGraph(tr)
+	if len(roots) != 2 {
+		t.Fatalf("fragmented trace should yield both roots, got %d", len(roots))
+	}
+}
+
+func TestBatchQueryAggregates(t *testing.T) {
+	h := newHarness()
+	var ids []string
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("t%d", i)
+		h.ingest(st(id, 3000))
+		ids = append(ids, id)
+	}
+	h.flush()
+	stats, misses := h.b.BatchQuery(ids)
+	if misses != 0 {
+		t.Fatalf("misses = %d", misses)
+	}
+	if stats.Traces != 30 || stats.Spans != 30 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	svc := stats.ByService["svc"]
+	if svc == nil || svc.Spans != 30 {
+		t.Fatalf("service stats = %+v", svc)
+	}
+	if len(svc.DurationsUS) != 30 || svc.DurationsUS[0] <= 0 {
+		t.Fatal("durations for scatter analysis missing")
+	}
+	if got := stats.TopServices(1); len(got) != 1 || got[0] != "svc" {
+		t.Fatalf("top services = %v", got)
+	}
+}
+
+func TestBatchQueryCountsMisses(t *testing.T) {
+	h := newHarness()
+	h.ingest(st("known", 3000))
+	h.flush()
+	_, misses := h.b.BatchQuery([]string{"known", "unknown-1", "unknown-2"})
+	if misses != 2 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestBatchEdgesAggregated(t *testing.T) {
+	b := New(0)
+	// Feed BatchQuery-compatible state via accumulate directly on a
+	// two-service trace.
+	stats := &BatchStats{ByService: map[string]*ServiceStats{}, Edges: map[string]int{}}
+	accumulate(stats, flameTrace())
+	if stats.Edges["web->db"] != 1 {
+		t.Fatalf("edges = %v", stats.Edges)
+	}
+	_ = b
+}

@@ -1,0 +1,479 @@
+// Package backend implements mint-backend (§4.3): the distributed trace
+// storage engine and querier. Reported patterns, Bloom filters and sampled
+// parameters are stored in a format that supports queries without
+// decompression; the querier returns exact traces for sampled trace IDs and
+// approximate traces for everything else.
+package backend
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bloom"
+	"repro/internal/bucket"
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// HitKind classifies a query outcome the way the paper's Fig. 12 does.
+type HitKind int
+
+// Query outcomes.
+const (
+	Miss HitKind = iota
+	PartialHit
+	ExactHit
+)
+
+// String renders the hit kind.
+func (k HitKind) String() string {
+	switch k {
+	case ExactHit:
+		return "exact"
+	case PartialHit:
+		return "partial"
+	default:
+		return "miss"
+	}
+}
+
+// QueryResult is what the querier returns for a trace ID.
+type QueryResult struct {
+	Kind  HitKind
+	Trace *trace.Trace
+}
+
+type bloomSegment struct {
+	node      string
+	patternID string
+	filter    *bloom.Filter
+}
+
+// Backend is the Mint trace backend: pattern/bloom/param stores plus
+// storage-byte accounting.
+type Backend struct {
+	mu sync.Mutex
+
+	spanPatterns map[string]*parser.SpanPattern
+	topoPatterns map[string]*topo.Pattern
+	segments     []bloomSegment
+	// latest periodic snapshot per (node, patternID); replaced on re-upload
+	// so storage reflects the live filter state, while full filters append
+	// immutable segments.
+	liveFilters map[string]int // key -> index into segments
+
+	params  map[string]map[string][]*parser.ParsedSpan // traceID -> node -> spans
+	sampled map[string]string                          // traceID -> reason
+
+	mapper *bucket.Mapper
+
+	storagePatterns int64
+	storageBloom    int64
+	storageParams   int64
+}
+
+// New creates a backend. alpha is the numeric bucketing precision the agents
+// use (needed to reconstruct numeric attributes); 0 takes the default.
+func New(alpha float64) *Backend {
+	if alpha == 0 {
+		alpha = bucket.DefaultAlpha
+	}
+	return &Backend{
+		spanPatterns: map[string]*parser.SpanPattern{},
+		topoPatterns: map[string]*topo.Pattern{},
+		liveFilters:  map[string]int{},
+		params:       map[string]map[string][]*parser.ParsedSpan{},
+		sampled:      map[string]string{},
+		mapper:       bucket.NewMapper(alpha),
+	}
+}
+
+// AcceptPatterns stores a pattern report. Duplicate patterns (same content
+// hash from different nodes) are stored once — the commonality win.
+func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range r.SpanPatterns {
+		if _, ok := b.spanPatterns[p.ID]; !ok {
+			b.spanPatterns[p.ID] = p
+			b.storagePatterns += int64(p.Size())
+		}
+	}
+	for _, p := range r.TopoPatterns {
+		if _, ok := b.topoPatterns[p.ID]; !ok {
+			b.topoPatterns[p.ID] = p
+			b.storagePatterns += int64(p.Size())
+		}
+	}
+}
+
+// AcceptBloom stores a reported Bloom filter. Full-filter reports
+// (immutable=true) append; periodic snapshots replace the previous snapshot
+// for the same (node, pattern).
+func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seg := bloomSegment{node: r.Node, patternID: r.PatternID, filter: r.Filter}
+	sz := int64(r.Filter.SizeBytes())
+	if immutable {
+		b.segments = append(b.segments, seg)
+		b.storageBloom += sz
+		return
+	}
+	key := r.Node + "\x1f" + r.PatternID
+	if idx, ok := b.liveFilters[key]; ok {
+		b.segments[idx] = seg
+		return // replacement: no storage growth
+	}
+	b.liveFilters[key] = len(b.segments)
+	b.segments = append(b.segments, seg)
+	b.storageBloom += sz
+}
+
+// AcceptParams stores the sampled parameters of one trace from one node.
+func (b *Backend) AcceptParams(r *wire.ParamsReport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	byNode, ok := b.params[r.TraceID]
+	if !ok {
+		byNode = map[string][]*parser.ParsedSpan{}
+		b.params[r.TraceID] = byNode
+	}
+	byNode[r.Node] = append(byNode[r.Node], r.Spans...)
+	for _, s := range r.Spans {
+		b.storageParams += int64(s.Size())
+	}
+}
+
+// MarkSampled records that a trace was marked sampled (and why).
+func (b *Backend) MarkSampled(traceID, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.sampled[traceID]; !ok {
+		b.sampled[traceID] = reason
+	}
+}
+
+// Sampled reports whether a trace is marked sampled.
+func (b *Backend) Sampled(traceID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.sampled[traceID]
+	return ok
+}
+
+// StorageBytes returns total storage and its three components.
+func (b *Backend) StorageBytes() (total, patterns, blooms, params int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.storagePatterns + b.storageBloom + b.storageParams,
+		b.storagePatterns, b.storageBloom, b.storageParams
+}
+
+// SpanPatternCount returns the number of stored span patterns.
+func (b *Backend) SpanPatternCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spanPatterns)
+}
+
+// TopoPatternCount returns the number of stored topo patterns.
+func (b *Backend) TopoPatternCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.topoPatterns)
+}
+
+// Query implements the paper's query logic (§4.3): check every Bloom filter
+// for the trace ID; reconstruct the matching sub-trace patterns into an
+// approximate trace; if the trace was sampled, overlay the exact parameters.
+func (b *Backend) Query(traceID string) QueryResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Exact path: sampled traces have their parameters stored.
+	if _, ok := b.sampled[traceID]; ok {
+		if byNode, ok := b.params[traceID]; ok {
+			t := b.reconstructExact(traceID, byNode)
+			if t != nil && len(t.Spans) > 0 {
+				return QueryResult{Kind: ExactHit, Trace: t}
+			}
+		}
+	}
+
+	// Approximate path: find the patterns whose filters contain the ID.
+	type hit struct {
+		node      string
+		patternID string
+	}
+	seen := map[string]bool{}
+	var hits []hit
+	for _, seg := range b.segments {
+		if !seg.filter.Contains(traceID) {
+			continue
+		}
+		key := seg.node + "\x1f" + seg.patternID
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
+	}
+	if len(hits) == 0 {
+		return QueryResult{Kind: Miss}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].node != hits[j].node {
+			return hits[i].node < hits[j].node
+		}
+		return hits[i].patternID < hits[j].patternID
+	})
+
+	t := &trace.Trace{TraceID: traceID}
+	// Upstream-downstream verification (§6.2): a sub-trace pattern is a
+	// genuine segment if it is the root segment or some other candidate
+	// exits into its entry pattern's operation. Bloom false positives that
+	// do not stitch are dropped when at least one stitched segment exists.
+	var pats []*topo.Pattern
+	for _, h := range hits {
+		if p, ok := b.topoPatterns[h.patternID]; ok {
+			pats = append(pats, p)
+		}
+	}
+	stitched := b.stitch(pats)
+	seq := 0
+	st := &stitchState{exitSpans: map[string][]string{}}
+	for _, p := range stitched {
+		b.appendApproxSpans(t, p, &seq, st)
+	}
+	if len(t.Spans) == 0 {
+		return QueryResult{Kind: Miss}
+	}
+	return QueryResult{Kind: PartialHit, Trace: t}
+}
+
+// calleeOf returns the downstream service a client-span pattern calls, from
+// its peer.service attribute (the cross-node link of §6.2).
+func (b *Backend) calleeOf(spanPatternID string) string {
+	pat, ok := b.spanPatterns[spanPatternID]
+	if !ok {
+		return ""
+	}
+	for _, a := range pat.Attrs {
+		if a.Key == "peer.service" {
+			return a.Pattern
+		}
+	}
+	return ""
+}
+
+// serviceOf returns the service of a span pattern.
+func (b *Backend) serviceOf(spanPatternID string) string {
+	if pat, ok := b.spanPatterns[spanPatternID]; ok {
+		return pat.Service
+	}
+	return ""
+}
+
+// stitch orders candidate sub-trace patterns so that upstream segments come
+// before the downstream segments they call into, and drops candidates that
+// neither start a trace nor are called by another candidate when stitched
+// segments exist (Bloom false-positive mitigation).
+func (b *Backend) stitch(pats []*topo.Pattern) []*topo.Pattern {
+	if len(pats) <= 1 {
+		return pats
+	}
+	called := map[string]bool{}
+	for _, p := range pats {
+		for _, q := range pats {
+			if p == q {
+				continue
+			}
+			if b.linksTo(p, q) {
+				called[q.ID] = true
+			}
+		}
+	}
+	var roots, linked []*topo.Pattern
+	for _, p := range pats {
+		if called[p.ID] {
+			linked = append(linked, p)
+		} else {
+			roots = append(roots, p)
+		}
+	}
+	return append(roots, linked...)
+}
+
+// linksTo reports whether a exits into c's entry: either the exit pattern
+// matches c's entry directly, or the exit's peer.service names c's entry
+// service (client and server spans of one call have different patterns).
+func (b *Backend) linksTo(a, c *topo.Pattern) bool {
+	entrySvc := b.serviceOf(c.Entry)
+	for _, x := range a.Exits {
+		if x == c.Entry {
+			return true
+		}
+		if entrySvc != "" && b.calleeOf(x) == entrySvc {
+			return true
+		}
+	}
+	return false
+}
+
+// stitchState carries cross-segment linking context during approximate
+// reconstruction: the synthetic span IDs of exit (client) spans keyed by
+// the callee service they invoke.
+type stitchState struct {
+	exitSpans map[string][]string // callee service -> unused exit span IDs
+}
+
+func (b *Backend) appendApproxSpans(t *trace.Trace, p *topo.Pattern, seq *int, stitch *stitchState) {
+	// Reconstruct the pattern's span tree: every edge parent->children
+	// becomes placeholder spans with masked attributes.
+	nextID := func() string {
+		*seq++
+		return approxID(t.TraceID, *seq)
+	}
+	// Map pattern IDs to synthetic span IDs as we walk the edges. The same
+	// span pattern can appear several times; edges are in pre-order so a
+	// simple queue of pending parents works.
+	type nodeRef struct {
+		patID  string
+		spanID string
+	}
+	var spans []*trace.Span
+	// Attach this segment's entry under a matching upstream exit span, if
+	// one is waiting (trace coherence across nodes, §6.2).
+	segmentParent := func(entryPatID string) string {
+		svc := b.serviceOf(entryPatID)
+		ids := stitch.exitSpans[svc]
+		if len(ids) == 0 {
+			return ""
+		}
+		id := ids[0]
+		stitch.exitSpans[svc] = ids[1:]
+		return id
+	}
+	makeSpan := func(patID, spanID, parentID string) *trace.Span {
+		sp := &trace.Span{
+			TraceID:    t.TraceID,
+			SpanID:     spanID,
+			ParentID:   parentID,
+			Node:       p.Node,
+			Attributes: map[string]trace.AttrValue{},
+		}
+		if callee := b.calleeOf(patID); callee != "" {
+			stitch.exitSpans[callee] = append(stitch.exitSpans[callee], spanID)
+		}
+		if spat, ok := b.spanPatterns[patID]; ok {
+			sp.Service = spat.Service
+			sp.Operation = spat.Operation
+			sp.Kind = spat.Kind
+			for _, a := range spat.Attrs {
+				// Numeric buckets surface a representative value (the
+				// interval midpoint) so downstream analysis of approximate
+				// traces can reason about latency and status; the masked
+				// interval string is kept as the attribute.
+				if a.IsNum {
+					lo, hi := b.mapper.Bounds(a.NumIndex)
+					mid := (lo + hi) / 2
+					switch a.Key {
+					case "~duration":
+						sp.Duration = int64(mid)
+					case "~status":
+						sp.Status = trace.Status(uint16(mid + 0.5))
+					default:
+						sp.Attributes[a.Key] = trace.Num(mid)
+					}
+					continue
+				}
+				sp.Attributes[a.Key] = trace.Str(a.Pattern)
+			}
+		} else {
+			sp.Operation = patID
+		}
+		spans = append(spans, sp)
+		return sp
+	}
+	if len(p.Edges) == 0 {
+		if p.Entry != "" {
+			makeSpan(p.Entry, nextID(), segmentParent(p.Entry))
+		}
+		t.Spans = append(t.Spans, spans...)
+		return
+	}
+	rootRef := nodeRef{patID: p.Edges[0].Parent, spanID: nextID()}
+	makeSpan(rootRef.patID, rootRef.spanID, segmentParent(rootRef.patID))
+	idByPat := map[string][]string{rootRef.patID: {rootRef.spanID}}
+	for _, e := range p.Edges {
+		// Find the synthetic span ID for the parent pattern: take the most
+		// recently created instance.
+		ids := idByPat[e.Parent]
+		parentID := ""
+		if len(ids) > 0 {
+			parentID = ids[len(ids)-1]
+		} else {
+			ref := nodeRef{patID: e.Parent, spanID: nextID()}
+			makeSpan(ref.patID, ref.spanID, segmentParent(e.Parent))
+			idByPat[e.Parent] = append(idByPat[e.Parent], ref.spanID)
+			parentID = ref.spanID
+		}
+		for _, childPat := range e.Children {
+			id := nextID()
+			makeSpan(childPat, id, parentID)
+			idByPat[childPat] = append(idByPat[childPat], id)
+		}
+	}
+	t.Spans = append(t.Spans, spans...)
+}
+
+func approxID(traceID string, seq int) string {
+	return traceID + "-approx-" + itoa(seq)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (b *Backend) reconstructExact(traceID string, byNode map[string][]*parser.ParsedSpan) *trace.Trace {
+	t := &trace.Trace{TraceID: traceID}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		for _, ps := range byNode[node] {
+			pat, ok := b.spanPatterns[ps.PatternID]
+			if !ok {
+				continue
+			}
+			t.Spans = append(t.Spans, parser.Reconstruct(b.mapper, pat, ps, node))
+		}
+	}
+	return t
+}
+
+// DebugSpanPatterns returns the stored span patterns for diagnostics.
+func (b *Backend) DebugSpanPatterns() []*parser.SpanPattern {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*parser.SpanPattern, 0, len(b.spanPatterns))
+	for _, p := range b.spanPatterns {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/bloom"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// harness builds one agent + backend pair and pipes reports manually.
+type harness struct {
+	a *agent.Agent
+	b *Backend
+}
+
+func newHarness() *harness {
+	return &harness{a: agent.New("n1", agent.Config{DisableSamplers: true}), b: New(0)}
+}
+
+func (h *harness) ingest(st *trace.SubTrace) {
+	h.a.Ingest(st)
+}
+
+func (h *harness) flush() {
+	sp, tp := h.a.DrainPatternDeltas()
+	h.b.AcceptPatterns(&wire.PatternReport{Node: "n1", SpanPatterns: sp, TopoPatterns: tp})
+	for _, snap := range h.a.SnapshotBloomFilters() {
+		h.b.AcceptBloom(&wire.BloomReport{Node: "n1", PatternID: snap.PatternID, Filter: snap.Filter}, false)
+	}
+}
+
+var sqlSeq int
+
+func st(traceID string, dur int64) *trace.SubTrace {
+	sqlSeq++
+	spans := []*trace.Span{
+		{TraceID: traceID, SpanID: traceID + "-r", Service: "svc", Node: "n1",
+			Operation: "handle", Kind: trace.KindServer, StartUnix: 1, Duration: dur, Status: trace.StatusOK,
+			Attributes: map[string]trace.AttrValue{
+				"sql.query": trace.Str(fmt.Sprintf("SELECT * FROM t WHERE id=%d", sqlSeq)),
+			}},
+	}
+	return &trace.SubTrace{TraceID: traceID, Node: "n1", Spans: spans}
+}
+
+func TestQueryMissWhenUnknown(t *testing.T) {
+	h := newHarness()
+	if r := h.b.Query("nope"); r.Kind != Miss {
+		t.Fatalf("unknown trace should miss, got %v", r.Kind)
+	}
+	h.ingest(st("t1", 3000))
+	h.flush()
+	if r := h.b.Query("definitely-not-there"); r.Kind != Miss {
+		t.Fatalf("foreign ID should miss, got %v", r.Kind)
+	}
+}
+
+func TestQueryPartialHitApproximateTrace(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 20; i++ {
+		h.ingest(st(fmt.Sprintf("t%d", i), 3000))
+	}
+	h.flush()
+	r := h.b.Query("t7")
+	if r.Kind != PartialHit {
+		t.Fatalf("expected partial hit, got %v", r.Kind)
+	}
+	if len(r.Trace.Spans) != 1 {
+		t.Fatalf("approximate trace spans = %d", len(r.Trace.Spans))
+	}
+	sp := r.Trace.Spans[0]
+	if sp.Service != "svc" || sp.Operation != "handle" {
+		t.Fatalf("approximate span metadata wrong: %+v", sp)
+	}
+	// Variables are masked; duration is a bucket representative.
+	if sp.Attributes["sql.query"].Str == "" {
+		t.Fatal("approximate span should show the attribute pattern")
+	}
+	if sp.Duration <= 0 {
+		t.Fatal("approximate span should carry a representative duration")
+	}
+}
+
+func TestQueryExactHitAfterParams(t *testing.T) {
+	h := newHarness()
+	sub := st("hot", 2987)
+	origSQL := sub.Spans[0].Attributes["sql.query"].Str
+	h.ingest(sub)
+	h.flush()
+	spans, _ := h.a.TakeParams("hot")
+	h.b.AcceptParams(&wire.ParamsReport{Node: "n1", TraceID: "hot", Spans: spans})
+	h.b.MarkSampled("hot", "test")
+	r := h.b.Query("hot")
+	if r.Kind != ExactHit {
+		t.Fatalf("expected exact hit, got %v", r.Kind)
+	}
+	got := r.Trace.Spans[0]
+	if got.Attributes["sql.query"].Str != origSQL {
+		t.Fatalf("exact reconstruction: %q != %q", got.Attributes["sql.query"].Str, origSQL)
+	}
+	if got.Duration != 2987 {
+		t.Fatalf("duration = %d", got.Duration)
+	}
+}
+
+func TestSampledWithoutParamsFallsBack(t *testing.T) {
+	h := newHarness()
+	h.ingest(st("t1", 3000))
+	h.flush()
+	h.b.MarkSampled("t1", "reason")
+	// Params never arrived: the query falls back to the approximate trace.
+	if r := h.b.Query("t1"); r.Kind != PartialHit {
+		t.Fatalf("want partial fallback, got %v", r.Kind)
+	}
+	if !h.b.Sampled("t1") || h.b.Sampled("t2") {
+		t.Fatal("Sampled bookkeeping wrong")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	h := newHarness()
+	h.ingest(st("t1", 3000))
+	h.flush()
+	total, pats, blooms, params := h.b.StorageBytes()
+	if pats <= 0 || blooms <= 0 || params != 0 {
+		t.Fatalf("storage = pats %d blooms %d params %d", pats, blooms, params)
+	}
+	if total != pats+blooms+params {
+		t.Fatal("total must be the sum of parts")
+	}
+	// Periodic bloom re-upload replaces, not grows.
+	h.ingest(st("t2", 3000))
+	h.flush()
+	_, _, blooms2, _ := h.b.StorageBytes()
+	if blooms2 != blooms {
+		t.Fatalf("bloom storage grew on snapshot replace: %d -> %d", blooms, blooms2)
+	}
+	// Immutable (full) filters append.
+	f := bloom.New(64, 0.01)
+	f.Add("x")
+	h.b.AcceptBloom(&wire.BloomReport{Node: "n1", PatternID: "p", Filter: f}, true)
+	_, _, blooms3, _ := h.b.StorageBytes()
+	if blooms3 <= blooms2 {
+		t.Fatal("immutable filter should add storage")
+	}
+}
+
+func TestDuplicatePatternsStoredOnce(t *testing.T) {
+	b := New(0)
+	pat := &topo.Pattern{ID: "x", Node: "n1", Entry: "e"}
+	r := &wire.PatternReport{Node: "n1", TopoPatterns: []*topo.Pattern{pat}}
+	b.AcceptPatterns(r)
+	_, before, _, _ := b.StorageBytes()
+	b.AcceptPatterns(r)
+	_, after, _, _ := b.StorageBytes()
+	if before != after {
+		t.Fatal("duplicate pattern must not grow storage")
+	}
+	if b.TopoPatternCount() != 1 {
+		t.Fatalf("count = %d", b.TopoPatternCount())
+	}
+}
+
+func TestCrossNodeStitching(t *testing.T) {
+	// Two agents: frontend calls backend. The approximate trace should
+	// attach the downstream segment under the upstream exit span.
+	fe := agent.New("fe", agent.Config{DisableSamplers: true})
+	be := agent.New("be", agent.Config{DisableSamplers: true})
+	b := New(0)
+
+	feSpans := []*trace.Span{
+		{TraceID: "t1", SpanID: "r", Service: "frontend", Node: "fe",
+			Operation: "GET /", Kind: trace.KindServer, StartUnix: 1, Duration: 5000, Status: trace.StatusOK},
+		{TraceID: "t1", SpanID: "c", ParentID: "r", Service: "frontend", Node: "fe",
+			Operation: "call api", Kind: trace.KindClient, StartUnix: 2, Duration: 3000, Status: trace.StatusOK,
+			Attributes: map[string]trace.AttrValue{"peer.service": trace.Str("api")}},
+	}
+	beSpans := []*trace.Span{
+		{TraceID: "t1", SpanID: "s", ParentID: "c", Service: "api", Node: "be",
+			Operation: "Handle", Kind: trace.KindServer, StartUnix: 3, Duration: 2500, Status: trace.StatusOK},
+	}
+	fe.Ingest(&trace.SubTrace{TraceID: "t1", Node: "fe", Spans: feSpans})
+	be.Ingest(&trace.SubTrace{TraceID: "t1", Node: "be", Spans: beSpans})
+	for _, a := range []*agent.Agent{fe, be} {
+		sp, tp := a.DrainPatternDeltas()
+		b.AcceptPatterns(&wire.PatternReport{Node: a.Node, SpanPatterns: sp, TopoPatterns: tp})
+		for _, snap := range a.SnapshotBloomFilters() {
+			b.AcceptBloom(&wire.BloomReport{Node: a.Node, PatternID: snap.PatternID, Filter: snap.Filter}, false)
+		}
+	}
+	r := b.Query("t1")
+	if r.Kind != PartialHit {
+		t.Fatalf("query = %v", r.Kind)
+	}
+	if len(r.Trace.Spans) != 3 {
+		t.Fatalf("approximate trace should cover both segments, got %d spans", len(r.Trace.Spans))
+	}
+	// The api segment's root must hang under the frontend's client span.
+	byService := map[string]*trace.Span{}
+	for _, s := range r.Trace.Spans {
+		byService[s.Service+"/"+s.Operation] = s
+	}
+	apiRoot := byService["api/Handle"]
+	client := byService["frontend/call api"]
+	if apiRoot == nil || client == nil {
+		t.Fatalf("segments missing: %+v", byService)
+	}
+	if apiRoot.ParentID != client.SpanID {
+		t.Fatalf("cross-node stitching failed: api parent %q, client span %q", apiRoot.ParentID, client.SpanID)
+	}
+}
+
+func TestHitKindString(t *testing.T) {
+	if Miss.String() != "miss" || PartialHit.String() != "partial" || ExactHit.String() != "exact" {
+		t.Fatal("HitKind strings")
+	}
+}

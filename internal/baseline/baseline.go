@@ -1,0 +1,379 @@
+// Package baseline implements the four comparison tracing frameworks of the
+// evaluation (§5): OpenTelemetry with head sampling (OT-Head), OpenTelemetry
+// with tail sampling (OT-Tail), Hindsight (retroactive sampling with
+// breadcrumbs), and Sieve (RRCF-based tail sampling) — plus the OT-Full
+// reference with no reduction. All frameworks consume the same trace stream
+// and are measured with the same byte meters as Mint.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/backend"
+	"repro/internal/rrcf"
+	"repro/internal/sampler"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Framework is the common surface the experiments drive.
+type Framework interface {
+	// Name identifies the framework in result tables.
+	Name() string
+	// Warmup lets a framework bootstrap (most baselines ignore it).
+	Warmup(traces []*trace.Trace)
+	// Capture observes one complete trace.
+	Capture(t *trace.Trace)
+	// Flush performs any periodic reporting.
+	Flush()
+	// Query returns what the framework can say about a trace ID.
+	Query(traceID string) backend.QueryResult
+	// NetworkBytes are the bytes sent from application nodes to backend.
+	NetworkBytes() int64
+	// StorageBytes are the bytes persisted at the backend.
+	StorageBytes() int64
+	// Retained returns the traces available for downstream analysis.
+	Retained() []*trace.Trace
+}
+
+// store is the shared retained-trace store of the raw-span baselines.
+type store struct {
+	meter   *wire.Meter
+	storage int64
+	traces  map[string]*trace.Trace
+	order   []string
+}
+
+func newStore() *store {
+	return &store{meter: wire.NewMeter(), traces: map[string]*trace.Trace{}}
+}
+
+func (s *store) keep(t *trace.Trace) {
+	if _, ok := s.traces[t.TraceID]; !ok {
+		s.order = append(s.order, t.TraceID)
+	}
+	s.traces[t.TraceID] = t
+	s.storage += int64(t.Size())
+}
+
+func (s *store) query(traceID string) backend.QueryResult {
+	if t, ok := s.traces[traceID]; ok {
+		return backend.QueryResult{Kind: backend.ExactHit, Trace: t}
+	}
+	return backend.QueryResult{Kind: backend.Miss}
+}
+
+func (s *store) retained() []*trace.Trace {
+	out := make([]*trace.Trace, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.traces[id])
+	}
+	return out
+}
+
+// reportRaw meters a whole trace's spans as raw reports from their nodes.
+func (s *store) reportRaw(t *trace.Trace) {
+	for node, spans := range t.ByNode() {
+		sz := 0
+		for _, sp := range spans {
+			sz += sp.Size() + 1
+		}
+		s.meter.Record(node, &wire.RawSpanReport{Node: node, Bytes: sz})
+	}
+}
+
+// OTFull is OpenTelemetry at a 100% sampling rate: the no-reduction
+// reference line of Fig. 11.
+type OTFull struct{ s *store }
+
+// NewOTFull creates the reference framework.
+func NewOTFull() *OTFull { return &OTFull{s: newStore()} }
+
+// Name implements Framework.
+func (f *OTFull) Name() string { return "OT-Full" }
+
+// Warmup implements Framework.
+func (f *OTFull) Warmup([]*trace.Trace) {}
+
+// Capture implements Framework.
+func (f *OTFull) Capture(t *trace.Trace) {
+	f.s.reportRaw(t)
+	f.s.keep(t)
+}
+
+// Flush implements Framework.
+func (f *OTFull) Flush() {}
+
+// Query implements Framework.
+func (f *OTFull) Query(id string) backend.QueryResult { return f.s.query(id) }
+
+// NetworkBytes implements Framework.
+func (f *OTFull) NetworkBytes() int64 { return f.s.meter.Total() }
+
+// StorageBytes implements Framework.
+func (f *OTFull) StorageBytes() int64 { return f.s.storage }
+
+// Retained implements Framework.
+func (f *OTFull) Retained() []*trace.Trace { return f.s.retained() }
+
+// OTHead is OpenTelemetry under head sampling: the sampling decision is
+// made when the request starts, so unsampled traces cost neither network
+// nor storage.
+type OTHead struct {
+	s    *store
+	head *sampler.Head
+}
+
+// NewOTHead creates a head-sampling framework with the given rate.
+func NewOTHead(rate float64) *OTHead {
+	return &OTHead{s: newStore(), head: sampler.NewHead(rate)}
+}
+
+// Name implements Framework.
+func (f *OTHead) Name() string { return "OT-Head" }
+
+// Warmup implements Framework.
+func (f *OTHead) Warmup([]*trace.Trace) {}
+
+// Capture implements Framework.
+func (f *OTHead) Capture(t *trace.Trace) {
+	if !f.head.Sample(t.TraceID) {
+		return
+	}
+	f.s.reportRaw(t)
+	f.s.keep(t)
+}
+
+// Flush implements Framework.
+func (f *OTHead) Flush() {}
+
+// Query implements Framework.
+func (f *OTHead) Query(id string) backend.QueryResult { return f.s.query(id) }
+
+// NetworkBytes implements Framework.
+func (f *OTHead) NetworkBytes() int64 { return f.s.meter.Total() }
+
+// StorageBytes implements Framework.
+func (f *OTHead) StorageBytes() int64 { return f.s.storage }
+
+// Retained implements Framework.
+func (f *OTHead) Retained() []*trace.Trace { return f.s.retained() }
+
+// OTTail is OpenTelemetry under tail sampling: every span still travels to
+// the backend (full network cost), then a user-defined filter decides what
+// to persist. The evaluation's filter keeps traces tagged is_abnormal.
+type OTTail struct {
+	s    *store
+	keep func(*trace.Trace) bool
+}
+
+// NewOTTail creates a tail-sampling framework retaining traces for which
+// keep returns true.
+func NewOTTail(keep func(*trace.Trace) bool) *OTTail {
+	return &OTTail{s: newStore(), keep: keep}
+}
+
+// NewOTTailOnFlag retains traces carrying attribute flag="true" on any span.
+func NewOTTailOnFlag(flag string) *OTTail {
+	return NewOTTail(func(t *trace.Trace) bool { return HasFlag(t, flag) })
+}
+
+// HasFlag reports whether any span carries attribute flag="true".
+func HasFlag(t *trace.Trace, flag string) bool {
+	for _, s := range t.Spans {
+		if v, ok := s.Attributes[flag]; ok && v.Str == "true" {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Framework.
+func (f *OTTail) Name() string { return "OT-Tail" }
+
+// Warmup implements Framework.
+func (f *OTTail) Warmup([]*trace.Trace) {}
+
+// Capture implements Framework.
+func (f *OTTail) Capture(t *trace.Trace) {
+	f.s.reportRaw(t) // tail sampling cannot reduce network overhead
+	if f.keep(t) {
+		f.s.keep(t)
+	}
+}
+
+// Flush implements Framework.
+func (f *OTTail) Flush() {}
+
+// Query implements Framework.
+func (f *OTTail) Query(id string) backend.QueryResult { return f.s.query(id) }
+
+// NetworkBytes implements Framework.
+func (f *OTTail) NetworkBytes() int64 { return f.s.meter.Total() }
+
+// StorageBytes implements Framework.
+func (f *OTTail) StorageBytes() int64 { return f.s.storage }
+
+// Retained implements Framework.
+func (f *OTTail) Retained() []*trace.Trace { return f.s.retained() }
+
+// Hindsight implements retroactive sampling (NSDI'23): agents buffer trace
+// data locally in lotteries of memory and only ship data for traces whose
+// trigger fires, plus a small breadcrumb per (trace, node) so the collector
+// can retrieve all segments of a triggered trace.
+type Hindsight struct {
+	s       *store
+	trigger func(*trace.Trace) bool
+	// breadcrumbBytes is the per-hop breadcrumb size (trace ID + node).
+	breadcrumbBytes int
+}
+
+// NewHindsight creates a Hindsight-like framework whose trigger fires on
+// traces for which fire returns true.
+func NewHindsight(fire func(*trace.Trace) bool) *Hindsight {
+	return &Hindsight{s: newStore(), trigger: fire, breadcrumbBytes: 24}
+}
+
+// NewHindsightOnFlag triggers on traces carrying flag="true".
+func NewHindsightOnFlag(flag string) *Hindsight {
+	return NewHindsight(func(t *trace.Trace) bool { return HasFlag(t, flag) })
+}
+
+// Name implements Framework.
+func (f *Hindsight) Name() string { return "Hindsight" }
+
+// Warmup implements Framework.
+func (f *Hindsight) Warmup([]*trace.Trace) {}
+
+// Capture implements Framework.
+func (f *Hindsight) Capture(t *trace.Trace) {
+	// Breadcrumbs flow for every trace from every node it touches.
+	for node := range t.ByNode() {
+		f.s.meter.Record(node, &wire.RawSpanReport{Node: node, Bytes: f.breadcrumbBytes})
+	}
+	if f.trigger(t) {
+		f.s.reportRaw(t)
+		f.s.keep(t)
+	}
+}
+
+// Flush implements Framework.
+func (f *Hindsight) Flush() {}
+
+// Query implements Framework.
+func (f *Hindsight) Query(id string) backend.QueryResult { return f.s.query(id) }
+
+// NetworkBytes implements Framework.
+func (f *Hindsight) NetworkBytes() int64 { return f.s.meter.Total() }
+
+// StorageBytes implements Framework.
+func (f *Hindsight) StorageBytes() int64 { return f.s.storage }
+
+// Retained implements Framework.
+func (f *Hindsight) Retained() []*trace.Trace { return f.s.retained() }
+
+// Sieve is attention-based tail sampling (ICWS'21): every trace reaches the
+// collector (full network), is embedded as a feature vector, scored by a
+// robust random cut forest, and retained when its score marks it uncommon.
+type Sieve struct {
+	s      *store
+	forest *rrcf.Forest
+	// adaptive threshold: retain scores above mean + k*std of recent scores
+	scores []float64
+	window int
+	k      float64
+}
+
+// NewSieve creates a Sieve framework with the given forest shape.
+func NewSieve(numTrees, treeSize int, seed int64) *Sieve {
+	return &Sieve{
+		s:      newStore(),
+		forest: rrcf.New(numTrees, treeSize, seed),
+		window: 512,
+		k:      2.0,
+	}
+}
+
+// featureVector embeds a trace: span count, error count, total and max
+// duration (log-scaled), and depth — the structural features Sieve's paper
+// builds its attention over.
+func featureVector(t *trace.Trace) []float64 {
+	spanCount := float64(len(t.Spans))
+	errors := 0.0
+	total := 0.0
+	maxDur := 0.0
+	services := map[string]struct{}{}
+	for _, s := range t.Spans {
+		if s.Status >= 400 {
+			errors++
+		}
+		d := float64(s.Duration)
+		total += d
+		if d > maxDur {
+			maxDur = d
+		}
+		services[s.Service] = struct{}{}
+	}
+	return []float64{
+		spanCount,
+		errors,
+		math.Log1p(total),
+		math.Log1p(maxDur),
+		float64(len(services)),
+	}
+}
+
+// Name implements Framework.
+func (f *Sieve) Name() string { return "Sieve" }
+
+// Warmup seeds the forest with normal traffic.
+func (f *Sieve) Warmup(traces []*trace.Trace) {
+	for _, t := range traces {
+		f.forest.InsertAndScore(featureVector(t))
+	}
+}
+
+// Capture implements Framework.
+func (f *Sieve) Capture(t *trace.Trace) {
+	f.s.reportRaw(t) // tail approach: network cost is full
+	score := f.forest.InsertAndScore(featureVector(t))
+	f.scores = append(f.scores, score)
+	if len(f.scores) > f.window {
+		f.scores = f.scores[1:]
+	}
+	mean, std := meanStd(f.scores)
+	if len(f.scores) >= 32 && score > mean+f.k*std {
+		f.s.keep(t)
+	}
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+// Flush implements Framework.
+func (f *Sieve) Flush() {}
+
+// Query implements Framework.
+func (f *Sieve) Query(id string) backend.QueryResult { return f.s.query(id) }
+
+// NetworkBytes implements Framework.
+func (f *Sieve) NetworkBytes() int64 { return f.s.meter.Total() }
+
+// StorageBytes implements Framework.
+func (f *Sieve) StorageBytes() int64 { return f.s.storage }
+
+// Retained implements Framework.
+func (f *Sieve) Retained() []*trace.Trace { return f.s.retained() }

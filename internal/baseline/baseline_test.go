@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func traffic(n int, abnormalEvery int) []*trace.Trace {
+	sys := sim.OnlineBoutique(77)
+	services := sys.TrafficServices()
+	out := make([]*trace.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		opt := sim.GenOptions{}
+		if abnormalEvery > 0 && i%abnormalEvery == abnormalEvery-1 {
+			opt.Fault = &sim.Fault{Type: sim.FaultException, Service: services[i%len(services)], Magnitude: 100}
+		}
+		out = append(out, sys.GenTrace(sys.PickAPI(), opt))
+	}
+	return out
+}
+
+func TestOTFullKeepsEverything(t *testing.T) {
+	f := NewOTFull()
+	ts := traffic(100, 0)
+	var raw int64
+	for _, tr := range ts {
+		raw += int64(tr.Size())
+		f.Capture(tr)
+	}
+	if f.StorageBytes() != raw {
+		t.Fatalf("storage %d != raw %d", f.StorageBytes(), raw)
+	}
+	if f.NetworkBytes() < raw {
+		t.Fatalf("network %d < raw %d", f.NetworkBytes(), raw)
+	}
+	if len(f.Retained()) != 100 {
+		t.Fatal("must retain all traces")
+	}
+	if f.Query(ts[0].TraceID).Kind != backend.ExactHit {
+		t.Fatal("all queries must hit")
+	}
+}
+
+func TestOTHeadRateAndConsistency(t *testing.T) {
+	f := NewOTHead(0.10)
+	ts := traffic(2000, 0)
+	for _, tr := range ts {
+		f.Capture(tr)
+	}
+	kept := len(f.Retained())
+	if kept < 140 || kept > 260 {
+		t.Fatalf("head 10%% kept %d of 2000", kept)
+	}
+	// Network and storage track the kept subset only.
+	if f.NetworkBytes() == 0 || f.StorageBytes() == 0 {
+		t.Fatal("kept traces must cost bytes")
+	}
+	for _, tr := range f.Retained() {
+		if f.Query(tr.TraceID).Kind != backend.ExactHit {
+			t.Fatal("kept traces must query exact")
+		}
+	}
+}
+
+func TestOTTailFullNetworkFilteredStorage(t *testing.T) {
+	f := NewOTTailOnFlag("is_abnormal")
+	ts := traffic(200, 10)
+	var raw int64
+	for _, tr := range ts {
+		raw += int64(tr.Size())
+		f.Capture(tr)
+	}
+	if f.NetworkBytes() < raw {
+		t.Fatal("tail sampling cannot reduce network overhead")
+	}
+	kept := len(f.Retained())
+	if kept != 20 {
+		t.Fatalf("tail kept %d, want the 20 flagged traces", kept)
+	}
+	if f.StorageBytes() >= raw/2 {
+		t.Fatal("tail storage should be far below raw")
+	}
+}
+
+func TestHindsightBreadcrumbsAndTriggers(t *testing.T) {
+	f := NewHindsightOnFlag("is_abnormal")
+	ts := traffic(200, 10)
+	var raw int64
+	for _, tr := range ts {
+		raw += int64(tr.Size())
+		f.Capture(tr)
+	}
+	if len(f.Retained()) != 20 {
+		t.Fatalf("triggered %d, want 20", len(f.Retained()))
+	}
+	// Network: breadcrumbs for everything + raw data for triggered traces
+	// only. Must be far below OT-Tail's full-network cost but above
+	// OT-Head at the same retention.
+	if f.NetworkBytes() >= raw {
+		t.Fatal("hindsight network should be well below raw")
+	}
+	if f.NetworkBytes() <= f.StorageBytes() {
+		t.Fatal("breadcrumbs must add network beyond stored bytes")
+	}
+}
+
+func TestSieveRetainsUncommonTraces(t *testing.T) {
+	f := NewSieve(8, 256, 3)
+	sys := sim.OnlineBoutique(99)
+	warm := sim.GenTraces(sys, 300)
+	f.Warmup(warm)
+	for _, tr := range sim.GenTraces(sys, 500) {
+		f.Capture(tr)
+	}
+	// A wildly anomalous trace (error + huge latency).
+	fault := &sim.Fault{Type: sim.FaultCPU, Service: "frontend", Magnitude: 5000}
+	weird := sys.GenTrace(0, sim.GenOptions{Fault: fault})
+	f.Capture(weird)
+	if f.Query(weird.TraceID).Kind != backend.ExactHit {
+		t.Fatal("sieve should retain the anomalous trace")
+	}
+	kept := len(f.Retained())
+	if kept > 200 {
+		t.Fatalf("sieve retained %d of 501 — far too many", kept)
+	}
+}
+
+func TestHasFlag(t *testing.T) {
+	tr := &trace.Trace{Spans: []*trace.Span{
+		{Attributes: map[string]trace.AttrValue{"is_abnormal": trace.Str("true")}},
+	}}
+	if !HasFlag(tr, "is_abnormal") {
+		t.Fatal("flag present")
+	}
+	if HasFlag(&trace.Trace{}, "is_abnormal") {
+		t.Fatal("flag absent")
+	}
+}
+
+func TestFrameworkNames(t *testing.T) {
+	fws := []Framework{
+		NewOTFull(), NewOTHead(0.05), NewOTTailOnFlag("x"),
+		NewHindsightOnFlag("x"), NewSieve(2, 16, 1),
+	}
+	want := []string{"OT-Full", "OT-Head", "OT-Tail", "Hindsight", "Sieve"}
+	for i, fw := range fws {
+		if fw.Name() != want[i] {
+			t.Errorf("name = %q, want %q", fw.Name(), want[i])
+		}
+		fw.Warmup(nil)
+		fw.Flush()
+		if fw.Query("none").Kind != backend.Miss {
+			t.Errorf("%s: empty framework should miss", fw.Name())
+		}
+	}
+}
+
+func TestQueryMissForUnsampled(t *testing.T) {
+	f := NewOTHead(0.0)
+	ts := traffic(10, 0)
+	for _, tr := range ts {
+		f.Capture(tr)
+	}
+	for _, tr := range ts {
+		if f.Query(tr.TraceID).Kind != backend.Miss {
+			t.Fatal("rate-0 head sampler must miss everything")
+		}
+	}
+	_ = fmt.Sprint() // keep fmt for debugging convenience
+}

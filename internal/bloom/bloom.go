@@ -1,0 +1,177 @@
+// Package bloom implements the space-efficient probabilistic membership
+// structure Mint uses to mount trace metadata onto topology patterns (§3.3).
+//
+// The implementation follows the standard Bloom filter construction with
+// double hashing (Kirsch–Mitzenmacher): two independent 64-bit hash values
+// h1, h2 are derived from one FNV-1a pass and the k probe positions are
+// h1 + i*h2 mod m. Parameters match the paper's deployment defaults: a fixed
+// 4 KB bit buffer per filter and a 1% false-positive probability, which
+// together determine the filter's capacity. When the capacity is reached the
+// collector reports the filter and resets it.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+)
+
+// DefaultBufferBytes is the paper's default per-filter buffer size (4 KB).
+const DefaultBufferBytes = 4096
+
+// DefaultFPP is the paper's default false-positive probability (Guava's
+// falsePositiveProbability parameter set to 0.01).
+const DefaultFPP = 0.01
+
+// Filter is a Bloom filter over string keys.
+type Filter struct {
+	bits     []uint64
+	m        uint64 // number of bits
+	k        int    // number of hash probes
+	n        int    // elements inserted
+	capacity int    // elements before FPP is exceeded
+}
+
+// New creates a filter with a bit array of bufBytes bytes sized for the given
+// false-positive probability. It panics if bufBytes <= 0 or fpp is outside
+// (0, 1); configuration errors are programming errors here.
+func New(bufBytes int, fpp float64) *Filter {
+	if bufBytes <= 0 {
+		panic("bloom: buffer size must be positive")
+	}
+	if fpp <= 0 || fpp >= 1 {
+		panic("bloom: fpp must be in (0, 1)")
+	}
+	m := uint64(bufBytes) * 8
+	// Optimal k for a target fpp is -log2(fpp); capacity follows from
+	// n = -m (ln 2)^2 / ln p.
+	k := int(math.Ceil(-math.Log2(fpp)))
+	if k < 1 {
+		k = 1
+	}
+	capacity := int(-float64(m) * math.Ln2 * math.Ln2 / math.Log(fpp))
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Filter{
+		bits:     make([]uint64, (m+63)/64),
+		m:        m,
+		k:        k,
+		n:        0,
+		capacity: capacity,
+	}
+}
+
+// NewDefault creates a filter with the paper's defaults (4 KB, FPP 0.01).
+func NewDefault() *Filter { return New(DefaultBufferBytes, DefaultFPP) }
+
+func hash2(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	// Derive a second value by hashing the first sum; this keeps the two
+	// probes independent enough for double hashing.
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h1)
+	h.Reset()
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	h2 := h.Sum64() | 1 // force odd so probes cycle through all positions
+	return h1, h2
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key string) {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may be in the set. False positives occur with
+// probability ≈ FPP at capacity; false negatives never occur — the no-miss
+// property Mint's trace coherence relies on.
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of inserted elements.
+func (f *Filter) Count() int { return f.n }
+
+// Capacity returns how many elements the filter holds before exceeding its
+// target false-positive probability.
+func (f *Filter) Capacity() int { return f.capacity }
+
+// Full reports whether the filter has reached capacity and should be
+// reported and reset by the collector.
+func (f *Filter) Full() bool { return f.n >= f.capacity }
+
+// Reset clears the filter for reuse after its contents have been reported.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// SizeBytes returns the serialized size of the filter's bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Snapshot returns an immutable copy of the filter for reporting. The copy
+// shares no state with the live filter.
+func (f *Filter) Snapshot() *Filter {
+	c := &Filter{
+		bits:     make([]uint64, len(f.bits)),
+		m:        f.m,
+		k:        f.k,
+		n:        f.n,
+		capacity: f.capacity,
+	}
+	copy(c.bits, f.bits)
+	return c
+}
+
+// Marshal serializes the filter: header (m, k, n) followed by the bit array.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 24+len(f.bits)*8)
+	binary.LittleEndian.PutUint64(out[0:], f.m)
+	binary.LittleEndian.PutUint64(out[8:], uint64(f.k))
+	binary.LittleEndian.PutUint64(out[16:], uint64(f.n))
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[24+i*8:], w)
+	}
+	return out
+}
+
+// ErrCorrupt reports a malformed serialized filter.
+var ErrCorrupt = errors.New("bloom: corrupt serialized filter")
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 24 {
+		return nil, ErrCorrupt
+	}
+	m := binary.LittleEndian.Uint64(data[0:])
+	k := int(binary.LittleEndian.Uint64(data[8:]))
+	n := int(binary.LittleEndian.Uint64(data[16:]))
+	words := int((m + 63) / 64)
+	if len(data) != 24+words*8 || k < 1 || m == 0 {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k, n: n}
+	f.capacity = int(-float64(m) * math.Ln2 * math.Ln2 / math.Log(DefaultFPP))
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[24+i*8:])
+	}
+	return f, nil
+}

@@ -1,0 +1,135 @@
+// Package bucket implements the exponential-interval bucketing Mint's Span
+// Parser applies to numeric attributes (§3.2.1).
+//
+// With precision parameter α the growth factor is γ = (1+α)/(1−α); a value d
+// lands in bucket i = ⌈log_γ d⌉ so bucket Bᵢ covers (γ^(i−1), γ^i]. Values in
+// (0,1] land in bucket 0. The variable parameter recorded for a value is its
+// distance from the bucket's lower bound, which is what the online parser
+// stores in the Params Buffer (e.g. "+4" for 31 in (27, 81]).
+package bucket
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultAlpha is the paper's default precision parameter (0.5), which gives
+// γ = 3.
+const DefaultAlpha = 0.5
+
+// Mapper maps numeric values to exponential buckets.
+type Mapper struct {
+	alpha    float64
+	gamma    float64
+	logGamma float64
+}
+
+// NewMapper creates a bucket mapper with precision alpha in (0, 1). It panics
+// on out-of-range alpha: the value is a static configuration constant.
+func NewMapper(alpha float64) *Mapper {
+	if alpha <= 0 || alpha >= 1 {
+		panic("bucket: alpha must be in (0, 1)")
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Mapper{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma)}
+}
+
+// Gamma returns the bucket growth factor γ.
+func (m *Mapper) Gamma() float64 { return m.gamma }
+
+// Index returns the bucket index for value d.
+//
+// Positive values follow the paper's formula i = ⌈log_γ d⌉ with values in
+// (0, 1] mapping to bucket 0. Zero maps to the sentinel bucket -1 covering
+// exactly {0}; negative values map to mirrored negative buckets below -1 so
+// every float64 has a well-defined bucket.
+func (m *Mapper) Index(d float64) int {
+	switch {
+	case d > 0:
+		idx := int(math.Ceil(math.Log(d) / m.logGamma))
+		if idx < 0 {
+			idx = 0 // (0,1] — guard against FP rounding below zero
+		}
+		// Correct ceil rounding at exact bucket boundaries.
+		for m.Lower(idx) >= d && idx > 0 {
+			idx--
+		}
+		for m.Upper(idx) < d {
+			idx++
+		}
+		return idx
+	case d == 0:
+		return -1
+	default:
+		// Mirror positive bucketing: -d's bucket i becomes -(i+2) so the
+		// ranges for -1 (zero) and 0.. (positives) stay disjoint.
+		return -m.posIndex(-d) - 2
+	}
+}
+
+func (m *Mapper) posIndex(d float64) int {
+	idx := int(math.Ceil(math.Log(d) / m.logGamma))
+	if idx < 0 {
+		idx = 0
+	}
+	for m.Lower(idx) >= d && idx > 0 {
+		idx--
+	}
+	for m.Upper(idx) < d {
+		idx++
+	}
+	return idx
+}
+
+// Lower returns the exclusive lower bound of bucket i.
+func (m *Mapper) Lower(i int) float64 {
+	l, _ := m.Bounds(i)
+	return l
+}
+
+// Bounds returns the interval (lower, upper] covered by bucket index i,
+// including the sentinel zero and negative buckets.
+func (m *Mapper) Bounds(i int) (lower, upper float64) {
+	switch {
+	case i >= 0:
+		if i == 0 {
+			return 0, 1
+		}
+		return math.Pow(m.gamma, float64(i-1)), math.Pow(m.gamma, float64(i))
+	case i == -1:
+		return 0, 0 // the single value 0
+	default:
+		pl, pu := m.Bounds(-i - 2)
+		return -pu, -pl
+	}
+}
+
+// Upper returns the inclusive upper bound of bucket i.
+func (m *Mapper) Upper(i int) float64 {
+	_, u := m.Bounds(i)
+	return u
+}
+
+// Offset returns the variable parameter for value d: its distance from the
+// bucket's lower bound (for bucket 0 the distance from 0). The pair
+// (Index(d), Offset(d)) losslessly reconstructs d via Reconstruct.
+func (m *Mapper) Offset(d float64) float64 {
+	i := m.Index(d)
+	l, _ := m.Bounds(i)
+	return d - l
+}
+
+// Reconstruct inverts (index, offset) back to the original value.
+func (m *Mapper) Reconstruct(index int, offset float64) float64 {
+	l, _ := m.Bounds(index)
+	return l + offset
+}
+
+// Pattern renders the interval pattern string for bucket i, e.g. "(27, 81]".
+func (m *Mapper) Pattern(i int) string {
+	l, u := m.Bounds(i)
+	if i == -1 {
+		return "[0]"
+	}
+	return fmt.Sprintf("(%g, %g]", l, u)
+}

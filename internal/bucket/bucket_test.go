@@ -1,0 +1,137 @@
+package bucket
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGamma(t *testing.T) {
+	m := NewMapper(0.5)
+	if g := m.Gamma(); g != 3 {
+		t.Fatalf("alpha=0.5 should give gamma=3, got %f", g)
+	}
+}
+
+func TestNewMapperPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%f should panic", alpha)
+				}
+			}()
+			NewMapper(alpha)
+		}()
+	}
+}
+
+func TestIndexPaperExample(t *testing.T) {
+	// Fig. 7: duration 31 falls in (27, 81] with offset +4.
+	m := NewMapper(0.5)
+	idx := m.Index(31)
+	lo, hi := m.Bounds(idx)
+	if lo != 27 || hi != 81 {
+		t.Fatalf("bucket of 31 = (%g, %g], want (27, 81]", lo, hi)
+	}
+	if off := m.Offset(31); off != 4 {
+		t.Fatalf("offset of 31 = %g, want 4", off)
+	}
+	if m.Pattern(idx) != "(27, 81]" {
+		t.Fatalf("pattern = %q", m.Pattern(idx))
+	}
+}
+
+func TestUnitBucket(t *testing.T) {
+	m := NewMapper(0.5)
+	for _, v := range []float64{0.001, 0.5, 1} {
+		if idx := m.Index(v); idx != 0 {
+			t.Errorf("Index(%g) = %d, want 0 (bucket (0,1])", v, idx)
+		}
+	}
+}
+
+func TestZeroAndNegative(t *testing.T) {
+	m := NewMapper(0.5)
+	if m.Index(0) != -1 {
+		t.Fatalf("zero bucket = %d, want -1", m.Index(0))
+	}
+	if v := m.Reconstruct(m.Index(0), m.Offset(0)); v != 0 {
+		t.Fatalf("zero should reconstruct to 0, got %g", v)
+	}
+	neg := m.Index(-31)
+	lo, hi := m.Bounds(neg)
+	if !(lo <= -31 && -31 <= hi) {
+		t.Fatalf("-31 not within its bucket (%g, %g]", lo, hi)
+	}
+}
+
+func TestBucketContainsValue(t *testing.T) {
+	m := NewMapper(0.5)
+	f := func(raw float64) bool {
+		d := math.Abs(math.Mod(raw, 1e9))
+		idx := m.Index(d)
+		lo, hi := m.Bounds(idx)
+		if d == 0 {
+			return idx == -1
+		}
+		return lo < d && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructLossless(t *testing.T) {
+	m := NewMapper(0.5)
+	f := func(raw float64) bool {
+		d := math.Mod(raw, 1e9)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		got := m.Reconstruct(m.Index(d), m.Offset(d))
+		return math.Abs(got-d) < 1e-6*math.Max(1, math.Abs(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketsAreContiguous(t *testing.T) {
+	m := NewMapper(0.5)
+	for i := 0; i < 20; i++ {
+		_, hi := m.Bounds(i)
+		lo2, _ := m.Bounds(i + 1)
+		if hi != lo2 {
+			t.Fatalf("bucket %d upper %g != bucket %d lower %g", i, hi, i+1, lo2)
+		}
+	}
+}
+
+func TestDifferentAlphas(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.9} {
+		m := NewMapper(alpha)
+		for _, d := range []float64{0.5, 3, 100, 12345.678} {
+			idx := m.Index(d)
+			lo, hi := m.Bounds(idx)
+			if !(lo < d && d <= hi) {
+				t.Errorf("alpha=%g: %g not in bucket %d (%g, %g]", alpha, d, idx, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHigherAlphaCoarserBuckets(t *testing.T) {
+	fine := NewMapper(0.1)
+	coarse := NewMapper(0.9)
+	// Count distinct buckets over a range; coarser mapper must have fewer.
+	fineSet := map[int]bool{}
+	coarseSet := map[int]bool{}
+	for d := 1.0; d < 100000; d *= 1.37 {
+		fineSet[fine.Index(d)] = true
+		coarseSet[coarse.Index(d)] = true
+	}
+	if len(coarseSet) >= len(fineSet) {
+		t.Fatalf("coarse (%d buckets) should be fewer than fine (%d)", len(coarseSet), len(fineSet))
+	}
+}

@@ -1,0 +1,135 @@
+// Package buffer implements the Params Buffer (§4.1): a fixed-size FIFO
+// queue in which variable parameters wait for a sampling decision.
+// Parameters from the same trace ID are grouped into one block; when the
+// buffer is full the block at the front of the queue is evicted.
+package buffer
+
+import (
+	"sync"
+
+	"repro/internal/parser"
+)
+
+// DefaultBytes is the paper's default Params Buffer size (4 MB).
+const DefaultBytes = 4 << 20
+
+// Block groups the parameters of one trace on one node.
+type Block struct {
+	TraceID string
+	Spans   []*parser.ParsedSpan
+	bytes   int
+}
+
+// Size returns the block's byte footprint.
+func (b *Block) Size() int { return b.bytes }
+
+// Buffer is a bounded FIFO of per-trace parameter blocks.
+type Buffer struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	order    []string // trace IDs, front first
+	blocks   map[string]*Block
+	evicted  uint64 // blocks dropped due to capacity
+	onEvict  func(*Block)
+}
+
+// New creates a Params Buffer with the given capacity in bytes (0 means the
+// 4 MB paper default).
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBytes
+	}
+	return &Buffer{capacity: capacity, blocks: map[string]*Block{}}
+}
+
+// OnEvict registers a callback invoked with each block dropped from the
+// front of the queue. Used by tests and by overflow accounting.
+func (b *Buffer) OnEvict(fn func(*Block)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onEvict = fn
+}
+
+// Push appends a parsed span's parameters to its trace's block, creating the
+// block at the back of the queue if needed, and evicts front blocks until
+// the buffer fits its capacity.
+func (b *Buffer) Push(ps *parser.ParsedSpan) {
+	b.mu.Lock()
+	var evicted []*Block
+	blk, ok := b.blocks[ps.TraceID]
+	if !ok {
+		blk = &Block{TraceID: ps.TraceID}
+		b.blocks[ps.TraceID] = blk
+		b.order = append(b.order, ps.TraceID)
+	}
+	sz := ps.Size()
+	blk.Spans = append(blk.Spans, ps)
+	blk.bytes += sz
+	b.used += sz
+	for b.used > b.capacity && len(b.order) > 0 {
+		front := b.order[0]
+		b.order = b.order[1:]
+		dropped := b.blocks[front]
+		delete(b.blocks, front)
+		b.used -= dropped.bytes
+		b.evicted++
+		evicted = append(evicted, dropped)
+	}
+	cb := b.onEvict
+	b.mu.Unlock()
+	if cb != nil {
+		for _, e := range evicted {
+			cb(e)
+		}
+	}
+}
+
+// Take removes and returns the block for a trace ID, if present. The
+// collector calls this when a trace is marked sampled.
+func (b *Buffer) Take(traceID string) (*Block, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blk, ok := b.blocks[traceID]
+	if !ok {
+		return nil, false
+	}
+	delete(b.blocks, traceID)
+	for i, id := range b.order {
+		if id == traceID {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	b.used -= blk.bytes
+	return blk, true
+}
+
+// Peek returns the block for a trace ID without removing it.
+func (b *Buffer) Peek(traceID string) (*Block, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blk, ok := b.blocks[traceID]
+	return blk, ok
+}
+
+// Len returns the number of buffered blocks.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.blocks)
+}
+
+// Used returns the buffered bytes.
+func (b *Buffer) Used() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Evicted returns how many blocks have been dropped due to capacity.
+func (b *Buffer) Evicted() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evicted
+}

@@ -1,0 +1,96 @@
+package buffer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func ps(traceID string, payload int) *parser.ParsedSpan {
+	params := make([]string, payload)
+	for i := range params {
+		params[i] = "xxxxxxxx"
+	}
+	return &parser.ParsedSpan{
+		PatternID: "p", TraceID: traceID, SpanID: "s", ParentID: "",
+		AttrParams: [][]string{params},
+	}
+}
+
+func TestPushGroupsByTrace(t *testing.T) {
+	b := New(1 << 20)
+	b.Push(ps("t1", 1))
+	b.Push(ps("t1", 1))
+	b.Push(ps("t2", 1))
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 blocks", b.Len())
+	}
+	blk, ok := b.Peek("t1")
+	if !ok || len(blk.Spans) != 2 {
+		t.Fatalf("t1 block = %+v", blk)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	one := ps("x", 10).Size()
+	b := New(one * 3)
+	var evicted []string
+	b.OnEvict(func(blk *Block) { evicted = append(evicted, blk.TraceID) })
+	for i := 0; i < 5; i++ {
+		b.Push(ps(fmt.Sprintf("t%d", i), 10))
+	}
+	if b.Evicted() == 0 {
+		t.Fatal("buffer should have evicted blocks")
+	}
+	// Oldest first.
+	if len(evicted) == 0 || evicted[0] != "t0" {
+		t.Fatalf("evicted = %v, want front of queue first", evicted)
+	}
+	if _, ok := b.Peek("t0"); ok {
+		t.Fatal("evicted block must be gone")
+	}
+	if b.Used() > one*3 {
+		t.Fatalf("used %d exceeds capacity %d", b.Used(), one*3)
+	}
+}
+
+func TestTake(t *testing.T) {
+	b := New(1 << 20)
+	b.Push(ps("t1", 1))
+	b.Push(ps("t2", 1))
+	blk, ok := b.Take("t1")
+	if !ok || blk.TraceID != "t1" {
+		t.Fatalf("take = %+v, %v", blk, ok)
+	}
+	if _, ok := b.Take("t1"); ok {
+		t.Fatal("double take must fail")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len after take = %d", b.Len())
+	}
+	if _, ok := b.Take("missing"); ok {
+		t.Fatal("taking a missing trace must fail")
+	}
+	// Used decreases.
+	if b.Used() != ps("t2", 1).Size() {
+		t.Fatalf("used = %d", b.Used())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0)
+	if b.capacity != DefaultBytes {
+		t.Fatalf("default capacity = %d, want %d", b.capacity, DefaultBytes)
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	b := New(1 << 20)
+	span := ps("t1", 5)
+	b.Push(span)
+	blk, _ := b.Peek("t1")
+	if blk.Size() != span.Size() {
+		t.Fatalf("block size = %d, want %d", blk.Size(), span.Size())
+	}
+}

@@ -1,0 +1,87 @@
+// Package collector implements mint-collector (§4.2): the per-host component
+// that periodically reports patterns from the Pattern Library, immediately
+// reports Bloom filters when they reach their size limit, and uploads a
+// sampled trace's parameters from every host when notified by the backend.
+package collector
+
+import (
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/backend"
+	"repro/internal/bloom"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Collector wires one agent to the backend and meters every byte it sends.
+type Collector struct {
+	agent   *agent.Agent
+	backend *backend.Backend
+	meter   *wire.Meter
+
+	mu       sync.Mutex
+	notified map[string]bool // traces whose params this host already reported
+}
+
+// New creates a collector for an agent. Bloom-full events are wired to
+// immediate reports, matching the paper's "immediately reports Bloom Filters
+// once they reach their size limit".
+func New(a *agent.Agent, b *backend.Backend, m *wire.Meter) *Collector {
+	c := &Collector{agent: a, backend: b, meter: m, notified: map[string]bool{}}
+	a.OnBloomFull(func(patternID string, f *bloom.Filter) {
+		r := &wire.BloomReport{Node: a.Node, PatternID: patternID, Filter: f}
+		m.Record(a.Node, r)
+		b.AcceptBloom(r, true)
+	})
+	return c
+}
+
+// Ingest passes a sub-trace to the agent and propagates any sampling
+// decisions to the backend (which notifies all collectors).
+func (c *Collector) Ingest(st *trace.SubTrace) agent.IngestResult {
+	res := c.agent.Ingest(st)
+	for _, ev := range res.Samples {
+		c.backend.MarkSampled(ev.TraceID, ev.Reason)
+	}
+	return res
+}
+
+// FlushPatterns performs the periodic upload (default cadence: 1 minute of
+// virtual time): pattern deltas plus current Bloom filter snapshots.
+func (c *Collector) FlushPatterns() {
+	sp, tp := c.agent.DrainPatternDeltas()
+	if len(sp) > 0 || len(tp) > 0 {
+		r := &wire.PatternReport{Node: c.agent.Node, SpanPatterns: sp, TopoPatterns: tp}
+		c.meter.Record(c.agent.Node, r)
+		c.backend.AcceptPatterns(r)
+	}
+	for _, snap := range c.agent.SnapshotBloomFilters() {
+		r := &wire.BloomReport{Node: c.agent.Node, PatternID: snap.PatternID, Filter: snap.Filter}
+		c.meter.Record(c.agent.Node, r)
+		c.backend.AcceptBloom(r, false)
+	}
+}
+
+// ReportSampled uploads this host's buffered parameters for a sampled trace
+// (step ⑥ — called for every host when any host samples the trace).
+func (c *Collector) ReportSampled(traceID string) {
+	c.mu.Lock()
+	if c.notified[traceID] {
+		c.mu.Unlock()
+		return
+	}
+	c.notified[traceID] = true
+	c.mu.Unlock()
+
+	spans, ok := c.agent.TakeParams(traceID)
+	if !ok || len(spans) == 0 {
+		return
+	}
+	r := &wire.ParamsReport{Node: c.agent.Node, TraceID: traceID, Spans: spans}
+	c.meter.Record(c.agent.Node, r)
+	c.backend.AcceptParams(r)
+}
+
+// Agent returns the wrapped agent.
+func (c *Collector) Agent() *agent.Agent { return c.agent }

@@ -1,0 +1,85 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Every driver is deterministic (seeded RNGs, virtual
+// time) and returns a Result that cmd/mintbench prints and bench_test.go
+// wraps in testing.B benchmarks.
+package experiments
+
+import (
+	"repro/internal/backend"
+	"repro/internal/baseline"
+	"repro/internal/trace"
+	"repro/mint"
+)
+
+// Result is a printable experiment artifact: a table of rows mirroring the
+// paper's table or figure series.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// MintFramework adapts a mint.Cluster to the baseline.Framework interface
+// so experiments drive Mint and the baselines identically.
+type MintFramework struct {
+	cluster *mint.Cluster
+	ids     []string
+	// flushEvery triggers the periodic pattern upload every n captures
+	// (the paper's one-minute cadence mapped onto trace counts).
+	flushEvery int
+	count      int
+}
+
+// NewMintFramework wraps a cluster. flushEvery <= 0 disables automatic
+// periodic flushes (call Flush explicitly).
+func NewMintFramework(c *mint.Cluster, flushEvery int) *MintFramework {
+	return &MintFramework{cluster: c, flushEvery: flushEvery}
+}
+
+// Name implements baseline.Framework.
+func (f *MintFramework) Name() string { return "Mint" }
+
+// Warmup implements baseline.Framework.
+func (f *MintFramework) Warmup(traces []*trace.Trace) { f.cluster.Warmup(traces) }
+
+// Capture implements baseline.Framework.
+func (f *MintFramework) Capture(t *trace.Trace) {
+	f.cluster.Capture(t)
+	f.ids = append(f.ids, t.TraceID)
+	f.count++
+	if f.flushEvery > 0 && f.count%f.flushEvery == 0 {
+		f.cluster.Flush()
+	}
+}
+
+// Flush implements baseline.Framework.
+func (f *MintFramework) Flush() { f.cluster.Flush() }
+
+// Query implements baseline.Framework.
+func (f *MintFramework) Query(id string) backend.QueryResult { return f.cluster.Query(id) }
+
+// NetworkBytes implements baseline.Framework.
+func (f *MintFramework) NetworkBytes() int64 { return f.cluster.NetworkBytes() }
+
+// StorageBytes implements baseline.Framework.
+func (f *MintFramework) StorageBytes() int64 { return f.cluster.StorageBytes() }
+
+// Retained implements baseline.Framework: Mint can reconstruct every
+// captured trace — exactly when sampled, approximately otherwise.
+func (f *MintFramework) Retained() []*trace.Trace {
+	out := make([]*trace.Trace, 0, len(f.ids))
+	for _, id := range f.ids {
+		res := f.cluster.Query(id)
+		if res.Kind != backend.Miss && res.Trace != nil {
+			out = append(out, res.Trace)
+		}
+	}
+	return out
+}
+
+// Cluster exposes the wrapped cluster.
+func (f *MintFramework) Cluster() *mint.Cluster { return f.cluster }
+
+var _ baseline.Framework = (*MintFramework)(nil)

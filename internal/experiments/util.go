@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmtMB renders bytes as megabytes with two decimals.
+func fmtMB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/1e6) }
+
+// fmtPct renders a ratio as a percentage with two decimals.
+func fmtPct(r float64) string { return fmt.Sprintf("%.2f%%", r*100) }
+
+// fmtF renders a float with the given precision.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// fmtI renders an int.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }
+
+// Render pretty-prints a Result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

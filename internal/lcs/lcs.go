@@ -1,0 +1,181 @@
+// Package lcs provides tokenization, longest-common-subsequence similarity
+// (Eq. 1 of the paper) and LCS-based template merging for the Span Parser's
+// string-attribute clustering.
+package lcs
+
+import "strings"
+
+// Wildcard is the placeholder token representing a variable slot in a merged
+// template.
+const Wildcard = "<*>"
+
+// delimiters are the characters that split identifiers inside span
+// attribute values (IDs, SQL, URLs, thread names, stack frames). They are
+// kept as their own tokens so templates can be re-rendered. '<' and '>' are
+// deliberately not delimiters: the wildcard marker "<*>" must survive
+// re-tokenization of a rendered template.
+const delimiters = ",()=/?&;:-.[]"
+
+// Tokenize splits s into word tokens. Words are the paper's token unit;
+// punctuation that commonly delimits identifiers in span attributes splits
+// tokens, and the delimiters themselves are kept as tokens so templates can
+// be re-rendered.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t':
+			flush()
+		case r < 128 && strings.ContainsRune(delimiters, r):
+			flush()
+			tokens = append(tokens, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Join renders a token sequence back into a string. Delimiter tokens attach
+// without surrounding spaces; word tokens are space-separated. Values whose
+// spacing follows this convention (no spaces adjacent to delimiters)
+// round-trip exactly through Tokenize/Join.
+func Join(tokens []string) string {
+	var b strings.Builder
+	prevWord := false
+	for _, t := range tokens {
+		isDelim := len(t) == 1 && strings.ContainsAny(t, delimiters)
+		if prevWord && !isDelim {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t)
+		prevWord = !isDelim
+	}
+	return b.String()
+}
+
+// Length returns the length of the longest common subsequence of a and b.
+func Length(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Single-row DP.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Similarity computes Eq. 1: |LCS(s1, s2)| / max(|s1|, |s2|) over token
+// sequences. Two empty sequences are identical (similarity 1).
+func Similarity(a, b []string) float64 {
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(Length(a, b)) / float64(max)
+}
+
+// backtrack reconstructs one LCS of a and b as index pairs (ai, bi).
+func backtrack(a, b []string) [][2]int {
+	n, m := len(a), len(b)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a[i-1] == b[j-1] {
+				dp[i][j] = dp[i-1][j-1] + 1
+			} else if dp[i-1][j] >= dp[i][j-1] {
+				dp[i][j] = dp[i-1][j]
+			} else {
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	var pairs [][2]int
+	i, j := n, m
+	for i > 0 && j > 0 {
+		if a[i-1] == b[j-1] {
+			pairs = append(pairs, [2]int{i - 1, j - 1})
+			i--
+			j--
+		} else if dp[i-1][j] >= dp[i][j-1] {
+			i--
+		} else {
+			j--
+		}
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(pairs)-1; l < r; l, r = l+1, r-1 {
+		pairs[l], pairs[r] = pairs[r], pairs[l]
+	}
+	return pairs
+}
+
+// Merge produces the template of two token sequences: tokens on the LCS are
+// kept, and every maximal gap on either side collapses into a single
+// Wildcard. Merging a template with another sequence keeps existing
+// wildcards (a wildcard never matches back into a literal).
+func Merge(a, b []string) []string {
+	pairs := backtrack(a, b)
+	var out []string
+	ai, bi := 0, 0
+	emitGap := func(gapA, gapB bool) {
+		if gapA || gapB {
+			if len(out) == 0 || out[len(out)-1] != Wildcard {
+				out = append(out, Wildcard)
+			}
+		}
+	}
+	for _, p := range pairs {
+		emitGap(ai < p[0], bi < p[1])
+		tok := a[p[0]]
+		// A wildcard matched against a wildcard stays a wildcard; the
+		// LCS only pairs equal tokens so tok is already correct.
+		if len(out) > 0 && out[len(out)-1] == Wildcard && tok == Wildcard {
+			// collapse consecutive wildcards
+		} else {
+			out = append(out, tok)
+		}
+		ai, bi = p[0]+1, p[1]+1
+	}
+	emitGap(ai < len(a), bi < len(b))
+	return out
+}
+
+// MergeAll folds Merge over a set of token sequences, producing the shortest
+// wildcard template representing the whole cluster.
+func MergeAll(seqs [][]string) []string {
+	if len(seqs) == 0 {
+		return nil
+	}
+	tmpl := seqs[0]
+	for _, s := range seqs[1:] {
+		tmpl = Merge(tmpl, s)
+	}
+	return tmpl
+}

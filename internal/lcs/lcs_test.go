@@ -1,0 +1,195 @@
+package lcs
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT * FROM t WHERE id=5", []string{"SELECT", "*", "FROM", "t", "WHERE", "id", "=", "5"}},
+		{"pool-3-thread-17", []string{"pool", "-", "3", "-", "thread", "-", "17"}},
+		{"cache:cart:123", []string{"cache", ":", "cart", ":", "123"}},
+		{"10.2.3.4:8080", []string{"10", ".", "2", ".", "3", ".", "4", ":", "8080"}},
+		{"", nil},
+		{"   ", nil},
+		{"a  b", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeKeepsWildcardIntact(t *testing.T) {
+	got := Tokenize("select * from <*>")
+	want := []string{"select", "*", "from", "<*>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wildcard must survive tokenization: got %v", got)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	// Delimiter-tight strings round-trip exactly.
+	cases := []string{
+		"SELECT * FROM products WHERE id=123",
+		"pool-3-thread-17",
+		"cache:cart:42",
+		"/v1/product?id=9&session=ab12",
+		"com.bench.svc.Handler.process",
+	}
+	for _, c := range cases {
+		if got := Join(Tokenize(c)); got != c {
+			t.Errorf("Join(Tokenize(%q)) = %q", c, got)
+		}
+	}
+}
+
+func TestLength(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a b c", "a b c", 3},
+		{"a b c", "a x c", 2},
+		{"a b c", "x y z", 0},
+		{"", "a", 0},
+	}
+	for _, c := range cases {
+		got := Length(strings.Fields(c.a), strings.Fields(c.b))
+		if got != c.want {
+			t.Errorf("Length(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityEquation(t *testing.T) {
+	// Eq. 1: |LCS| / max(|s1|, |s2|).
+	a := Tokenize("select * from A")
+	b := Tokenize("select * from B")
+	got := Similarity(a, b)
+	want := 3.0 / 4.0
+	if got != want {
+		t.Fatalf("similarity = %f, want %f", got, want)
+	}
+	if Similarity(nil, nil) != 1 {
+		t.Fatal("two empty sequences are identical")
+	}
+	if Similarity(a, nil) != 0 {
+		t.Fatal("empty vs non-empty must be 0")
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return Similarity(a, b) == Similarity(b, a)
+	}
+	cfg := &quick.Config{Values: randTokenSeqs(2)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	f := func(a, b []string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{Values: randTokenSeqs(2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeBasic(t *testing.T) {
+	a := Tokenize("select * from A where id=1")
+	b := Tokenize("select * from B where id=2")
+	m := Merge(a, b)
+	want := "select * from <*> where id=<*>"
+	if Join(m) != want {
+		t.Fatalf("merge = %q, want %q", Join(m), want)
+	}
+}
+
+func TestMergeCollapsesGaps(t *testing.T) {
+	a := Tokenize("x a b c y")
+	b := Tokenize("x q y")
+	m := Merge(a, b)
+	if Join(m) != "x <*> y" {
+		t.Fatalf("gap should collapse to one wildcard, got %q", Join(m))
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	f := func(a []string) bool {
+		m := Merge(a, a)
+		return reflect.DeepEqual(m, a) || (len(a) == 0 && len(m) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{Values: randTokenSeqs(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeMatchesBoth: the merged template's non-wildcard tokens are a
+// subsequence of both inputs.
+func TestMergeMatchesBoth(t *testing.T) {
+	isSubseq := func(sub, full []string) bool {
+		i := 0
+		for _, tok := range full {
+			if i < len(sub) && sub[i] == tok {
+				i++
+			}
+		}
+		return i == len(sub)
+	}
+	f := func(a, b []string) bool {
+		m := Merge(a, b)
+		var lits []string
+		for _, tok := range m {
+			if tok != Wildcard {
+				lits = append(lits, tok)
+			}
+		}
+		return isSubseq(lits, a) && isSubseq(lits, b)
+	}
+	if err := quick.Check(f, &quick.Config{Values: randTokenSeqs(2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	seqs := [][]string{
+		Tokenize("/user/1/profile"),
+		Tokenize("/user/2/profile"),
+		Tokenize("/user/30/profile"),
+	}
+	m := MergeAll(seqs)
+	if Join(m) != "/user/<*>/profile" {
+		t.Fatalf("MergeAll = %q", Join(m))
+	}
+	if MergeAll(nil) != nil {
+		t.Fatal("MergeAll(nil) should be nil")
+	}
+}
+
+// randTokenSeqs builds a quick.Config value generator producing n token
+// slices drawn from a small vocabulary (so overlaps actually occur).
+func randTokenSeqs(n int) func(values []reflect.Value, r *rand.Rand) {
+	vocab := []string{"a", "b", "c", "select", "*", "from", "x", "=", "1", "2"}
+	return func(values []reflect.Value, r *rand.Rand) {
+		for i := 0; i < n; i++ {
+			l := r.Intn(8)
+			seq := make([]string, l)
+			for j := range seq {
+				seq[j] = vocab[r.Intn(len(vocab))]
+			}
+			values[i] = reflect.ValueOf(seq)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package logcomp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func corpus(n int) []*trace.Trace {
+	sys := sim.AlibabaLike("lc", 4, 8, 1234)
+	return sim.GenTraces(sys, n)
+}
+
+func TestAllCompressorsPositive(t *testing.T) {
+	ts := corpus(300)
+	comps := []Compressor{
+		LogZipLike{}, LogReducerLike{}, CLPLike{},
+		MintCompressor{}, MintCompressor{DisableSpanParsing: true}, MintCompressor{DisableTraceParsing: true},
+	}
+	raw := RawSize(ts)
+	for _, c := range comps {
+		sz := c.CompressedSize(ts)
+		if sz <= 0 {
+			t.Errorf("%s: compressed size %d", c.Name(), sz)
+		}
+		if sz >= raw {
+			t.Errorf("%s: no compression achieved (%d >= %d)", c.Name(), sz, raw)
+		}
+		if r := Ratio(c, ts); r <= 1 {
+			t.Errorf("%s: ratio %f <= 1", c.Name(), r)
+		}
+	}
+}
+
+func TestMintBeatsAblationsAndLogCompressors(t *testing.T) {
+	ts := corpus(500)
+	mint := Ratio(MintCompressor{}, ts)
+	woSp := Ratio(MintCompressor{DisableSpanParsing: true}, ts)
+	woTp := Ratio(MintCompressor{DisableTraceParsing: true}, ts)
+	clp := Ratio(CLPLike{}, ts)
+	logzip := Ratio(LogZipLike{}, ts)
+
+	if mint <= woSp {
+		t.Errorf("Mint (%.2f) must beat w/oSp (%.2f)", mint, woSp)
+	}
+	if mint <= clp || mint <= logzip {
+		t.Errorf("Mint (%.2f) must beat log compressors (CLP %.2f, LogZip %.2f)", mint, clp, logzip)
+	}
+	if woTp <= woSp {
+		t.Errorf("span parsing (w/oTp %.2f) should contribute more than storing raw values (w/oSp %.2f) on attribute-heavy traces", woTp, woSp)
+	}
+}
+
+func TestCompressedSizeScalesSubLinearly(t *testing.T) {
+	small := corpus(100)
+	big := corpus(400)
+	c := MintCompressor{}
+	rSmall := Ratio(c, small)
+	rBig := Ratio(c, big)
+	// More traces amortize the pattern library: the ratio must not get
+	// meaningfully worse with scale.
+	if rBig < rSmall*0.9 {
+		t.Fatalf("ratio degraded with scale: %.2f -> %.2f", rSmall, rBig)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (MintCompressor{}).Name() != "Mint" {
+		t.Fatal("Mint name")
+	}
+	if (MintCompressor{DisableSpanParsing: true}).Name() != "w/oSp" {
+		t.Fatal("w/oSp name")
+	}
+	if (MintCompressor{DisableTraceParsing: true}).Name() != "w/oTp" {
+		t.Fatal("w/oTp name")
+	}
+	if (LogZipLike{}).Name() != "LogZip" || (LogReducerLike{}).Name() != "LogReducer" || (CLPLike{}).Name() != "CLP" {
+		t.Fatal("baseline names")
+	}
+}
+
+func TestIsNumberToken(t *testing.T) {
+	yes := []string{"0", "42", "-7", "3.5", "+10"}
+	no := []string{"", "-", "a1", "1a", "1.2.3", "..", "abc"}
+	for _, s := range yes {
+		if !isNumberToken(s) {
+			t.Errorf("%q should be a number", s)
+		}
+	}
+	for _, s := range no {
+		if isNumberToken(s) {
+			t.Errorf("%q should not be a number", s)
+		}
+	}
+}
+
+func TestHasDigit(t *testing.T) {
+	if !hasDigit("abc1") || hasDigit("abc") {
+		t.Fatal("hasDigit")
+	}
+}
+
+func TestRatioEmptyCorpus(t *testing.T) {
+	if r := Ratio(MintCompressor{}, nil); r != 0 {
+		t.Fatalf("empty corpus ratio = %f", r)
+	}
+}
+
+func TestThresholdAffectsSize(t *testing.T) {
+	ts := corpus(300)
+	low := MintCompressor{Threshold: 0.2}.CompressedSize(ts)
+	high := MintCompressor{Threshold: 0.8}.CompressedSize(ts)
+	if low == high {
+		t.Fatal("similarity threshold should change the pattern/param split")
+	}
+}

@@ -1,0 +1,125 @@
+package logcomp
+
+import (
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// MintCompressor is Mint's lossless trace compressor (§5.3): both parsing
+// levels enabled. The queryable representation is the two pattern libraries
+// plus, per trace, a topo-pattern reference and the variable parameters of
+// every span. Ablation flags disable one level each, producing the paper's
+// w/o S_p and w/o T_p variants.
+type MintCompressor struct {
+	// DisableSpanParsing stores raw attribute values instead of span
+	// patterns + parameters (the w/o S_p ablation).
+	DisableSpanParsing bool
+	// DisableTraceParsing stores each trace's topology explicitly instead
+	// of referencing a topo pattern (the w/o T_p ablation).
+	DisableTraceParsing bool
+	// Threshold overrides the similarity threshold (0 keeps the default).
+	Threshold float64
+}
+
+// Name implements Compressor.
+func (m MintCompressor) Name() string {
+	switch {
+	case m.DisableSpanParsing:
+		return "w/oSp"
+	case m.DisableTraceParsing:
+		return "w/oTp"
+	default:
+		return "Mint"
+	}
+}
+
+const (
+	traceRefBytes = 8  // trace -> topo pattern reference
+	spanIDBytes   = 8  // span / parent ID re-encoded as integers
+	startBytes    = 4  // delta-encoded start timestamp
+	topoEdgeBytes = 12 // explicit parent->child edge when w/o T_p
+)
+
+// CompressedSize implements Compressor.
+func (m MintCompressor) CompressedSize(traces []*trace.Trace) int64 {
+	cfg := parser.Defaults()
+	if m.Threshold != 0 {
+		cfg.SimilarityThreshold = m.Threshold
+	}
+	p := parser.New(cfg)
+	topoLib := topo.NewLibrary(0, 0)
+	valueDict := map[string]bool{}
+
+	var total int64
+	for _, t := range traces {
+		for node, spans := range t.ByNode() {
+			for _, st := range trace.BuildSubTraces(node, spans) {
+				total += m.compressSubTrace(p, topoLib, st, valueDict)
+			}
+		}
+		total += int64(len(t.TraceID))
+	}
+	if !m.DisableSpanParsing {
+		total += int64(p.Library().Size())
+	}
+	if !m.DisableTraceParsing {
+		total += int64(topoLib.Size())
+	}
+	return total
+}
+
+func (m MintCompressor) compressSubTrace(p *parser.Parser, topoLib *topo.Library, st *trace.SubTrace, valueDict map[string]bool) int64 {
+	var total int64
+	parsed := make(map[string]*parser.ParsedSpan, len(st.Spans))
+	for _, s := range st.Spans {
+		pat, ps := p.Parse(s)
+		parsed[s.SpanID] = ps
+		if m.DisableSpanParsing {
+			// Without span-level parsing, attribute values are stored as a
+			// value dictionary plus per-span references: exact repeats
+			// (static resource attributes) dedupe, but any value with an
+			// embedded parameter is a fresh dictionary entry.
+			for _, k := range s.AttrKeys() {
+				v := s.Attributes[k].String()
+				if !valueDict[v] {
+					valueDict[v] = true
+					total += int64(len(v))
+				}
+				total += refBytes
+			}
+			total += int64(len(s.Operation)) + int64(len(s.Service)) + numEncBytes // duration
+		} else {
+			// Pattern reference + variable parameters only.
+			total += refBytes
+			for _, params := range ps.AttrParams {
+				for _, v := range params {
+					total += int64(len(v)) + 1
+				}
+			}
+		}
+		total += spanIDBytes + startBytes
+		_ = pat
+	}
+	if m.DisableTraceParsing {
+		// Explicit topology: one edge per parented span plus per-span
+		// pattern references were already counted above.
+		for _, s := range st.Spans {
+			if s.ParentID != "" {
+				total += topoEdgeBytes
+			}
+		}
+		total += int64(len(st.TraceID))
+		return total
+	}
+	enc := topo.Encode(st, parsed)
+	topoLib.Mount(enc.Pattern, st.TraceID)
+	// Per sub-trace: a reference to its topo pattern. Trace IDs live in the
+	// pattern's Bloom filter; amortize its cost per mounted trace.
+	total += traceRefBytes + bloomAmortizedBytes
+	return total
+}
+
+// bloomAmortizedBytes is the per-trace share of a 4 KB Bloom filter at its
+// 0.01-FPP capacity (~3400 entries): about 10 bits.
+const bloomAmortizedBytes = 2

@@ -1,0 +1,247 @@
+// Package otlp implements a minimal OTLP/JSON-compatible ingestion surface
+// so Mint can consume spans exported by OpenTelemetry SDKs (§4.1: the agent
+// "supports various trace protocols ... because Mint's parsing operations
+// are decoupled from raw trace data generation").
+//
+// The subset implemented covers the fields Mint's parsers consume:
+// resource.service.name, span ids, kind, timestamps, status and string/
+// numeric attributes. Everything else is ignored, matching the paper's
+// decoupling claim.
+package otlp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Export mirrors the OTLP ExportTraceServiceRequest JSON shape (subset).
+type Export struct {
+	ResourceSpans []ResourceSpans `json:"resourceSpans"`
+}
+
+// ResourceSpans groups spans by originating resource (service instance).
+type ResourceSpans struct {
+	Resource   Resource     `json:"resource"`
+	ScopeSpans []ScopeSpans `json:"scopeSpans"`
+}
+
+// Resource carries service identity attributes.
+type Resource struct {
+	Attributes []KeyValue `json:"attributes"`
+}
+
+// ScopeSpans is one instrumentation scope's span batch.
+type ScopeSpans struct {
+	Spans []Span `json:"spans"`
+}
+
+// Span is the OTLP span subset Mint consumes.
+type Span struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	ParentSpanID      string     `json:"parentSpanId"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []KeyValue `json:"attributes"`
+	Status            Status     `json:"status"`
+}
+
+// Status is the OTLP span status.
+type Status struct {
+	Code int `json:"code"` // 0 unset, 1 ok, 2 error
+}
+
+// KeyValue is an OTLP attribute.
+type KeyValue struct {
+	Key   string   `json:"key"`
+	Value AnyValue `json:"value"`
+}
+
+// AnyValue is the OTLP value union (string/int/double subset).
+type AnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // OTLP encodes int64 as string
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+// kindFromOTLP maps OTLP SpanKind to the internal kind.
+func kindFromOTLP(k int) trace.Kind {
+	switch k {
+	case 2:
+		return trace.KindServer
+	case 3:
+		return trace.KindClient
+	case 4:
+		return trace.KindProducer
+	case 5:
+		return trace.KindConsumer
+	default:
+		return trace.KindInternal
+	}
+}
+
+// Decode parses an OTLP/JSON export payload into Mint's span model. node
+// names the application node the payload came from (OTLP carries no host
+// placement; the receiving agent knows its own node).
+func Decode(payload []byte, node string) ([]*trace.Span, error) {
+	var ex Export
+	if err := json.Unmarshal(payload, &ex); err != nil {
+		return nil, fmt.Errorf("otlp: decode: %w", err)
+	}
+	return Convert(&ex, node)
+}
+
+// Convert maps a decoded export to internal spans.
+func Convert(ex *Export, node string) ([]*trace.Span, error) {
+	var out []*trace.Span
+	for _, rs := range ex.ResourceSpans {
+		service := ""
+		for _, kv := range rs.Resource.Attributes {
+			if kv.Key == "service.name" && kv.Value.StringValue != nil {
+				service = *kv.Value.StringValue
+			}
+		}
+		if service == "" {
+			return nil, fmt.Errorf("otlp: resource missing service.name")
+		}
+		for _, ss := range rs.ScopeSpans {
+			for _, s := range ss.Spans {
+				sp, err := convertSpan(&s, service, node)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sp)
+			}
+		}
+	}
+	return out, nil
+}
+
+func convertSpan(s *Span, service, node string) (*trace.Span, error) {
+	if s.TraceID == "" || s.SpanID == "" {
+		return nil, fmt.Errorf("otlp: span missing trace or span id")
+	}
+	start, err := parseNanos(s.StartTimeUnixNano)
+	if err != nil {
+		return nil, fmt.Errorf("otlp: span %s: bad start time: %w", s.SpanID, err)
+	}
+	end, err := parseNanos(s.EndTimeUnixNano)
+	if err != nil {
+		return nil, fmt.Errorf("otlp: span %s: bad end time: %w", s.SpanID, err)
+	}
+	status := trace.StatusOK
+	if s.Status.Code == 2 {
+		status = trace.StatusError
+	}
+	sp := &trace.Span{
+		TraceID:    s.TraceID,
+		SpanID:     s.SpanID,
+		ParentID:   s.ParentSpanID,
+		Service:    service,
+		Node:       node,
+		Operation:  s.Name,
+		Kind:       kindFromOTLP(s.Kind),
+		StartUnix:  start / 1000, // ns -> µs
+		Duration:   (end - start) / 1000,
+		Status:     status,
+		Attributes: map[string]trace.AttrValue{},
+	}
+	if sp.Duration < 0 {
+		return nil, fmt.Errorf("otlp: span %s: end before start", s.SpanID)
+	}
+	for _, kv := range s.Attributes {
+		switch {
+		case kv.Value.StringValue != nil:
+			sp.Attributes[kv.Key] = trace.Str(*kv.Value.StringValue)
+		case kv.Value.IntValue != nil:
+			n, err := strconv.ParseInt(*kv.Value.IntValue, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("otlp: span %s: attribute %s: %w", s.SpanID, kv.Key, err)
+			}
+			sp.Attributes[kv.Key] = trace.Num(float64(n))
+		case kv.Value.DoubleValue != nil:
+			sp.Attributes[kv.Key] = trace.Num(*kv.Value.DoubleValue)
+		}
+	}
+	return sp, nil
+}
+
+func parseNanos(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty timestamp")
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// Encode renders internal spans as an OTLP/JSON export, grouping spans by
+// service. Round-tripping through Encode/Decode preserves every field Mint
+// parses.
+func Encode(spans []*trace.Span) ([]byte, error) {
+	byService := map[string][]*trace.Span{}
+	var order []string
+	for _, s := range spans {
+		if _, ok := byService[s.Service]; !ok {
+			order = append(order, s.Service)
+		}
+		byService[s.Service] = append(byService[s.Service], s)
+	}
+	var ex Export
+	for _, svc := range order {
+		name := svc
+		rs := ResourceSpans{
+			Resource: Resource{Attributes: []KeyValue{{
+				Key: "service.name", Value: AnyValue{StringValue: &name},
+			}}},
+			ScopeSpans: []ScopeSpans{{}},
+		}
+		for _, s := range byService[svc] {
+			rs.ScopeSpans[0].Spans = append(rs.ScopeSpans[0].Spans, encodeSpan(s))
+		}
+		ex.ResourceSpans = append(ex.ResourceSpans, rs)
+	}
+	return json.Marshal(&ex)
+}
+
+func encodeSpan(s *trace.Span) Span {
+	kind := 0
+	switch s.Kind {
+	case trace.KindServer:
+		kind = 2
+	case trace.KindClient:
+		kind = 3
+	case trace.KindProducer:
+		kind = 4
+	case trace.KindConsumer:
+		kind = 5
+	}
+	statusCode := 1
+	if s.Status >= 400 {
+		statusCode = 2
+	}
+	out := Span{
+		TraceID:           s.TraceID,
+		SpanID:            s.SpanID,
+		ParentSpanID:      s.ParentID,
+		Name:              s.Operation,
+		Kind:              kind,
+		StartTimeUnixNano: strconv.FormatInt(s.StartUnix*1000, 10),
+		EndTimeUnixNano:   strconv.FormatInt((s.StartUnix+s.Duration)*1000, 10),
+		Status:            Status{Code: statusCode},
+	}
+	for _, k := range s.AttrKeys() {
+		v := s.Attributes[k]
+		if v.IsNum {
+			d := v.Num
+			out.Attributes = append(out.Attributes, KeyValue{Key: k, Value: AnyValue{DoubleValue: &d}})
+		} else {
+			str := v.Str
+			out.Attributes = append(out.Attributes, KeyValue{Key: k, Value: AnyValue{StringValue: &str}})
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package otlp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleSpans() []*trace.Span {
+	return []*trace.Span{
+		{
+			TraceID: "abc123", SpanID: "s1", Service: "web", Node: "n1",
+			Operation: "GET /", Kind: trace.KindServer, StartUnix: 1000, Duration: 500,
+			Status: trace.StatusOK,
+			Attributes: map[string]trace.AttrValue{
+				"http.url": trace.Str("/home"),
+				"payload":  trace.Num(128),
+			},
+		},
+		{
+			TraceID: "abc123", SpanID: "s2", ParentID: "s1", Service: "db", Node: "n1",
+			Operation: "Query", Kind: trace.KindClient, StartUnix: 1100, Duration: 200,
+			Status:     trace.StatusError,
+			Attributes: map[string]trace.AttrValue{"sql": trace.Str("SELECT 1")},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload, err := Encode(sampleSpans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(payload, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("spans = %d", len(got))
+	}
+	byID := map[string]*trace.Span{}
+	for _, s := range got {
+		byID[s.SpanID] = s
+	}
+	s1 := byID["s1"]
+	if s1.Service != "web" || s1.Operation != "GET /" || s1.Kind != trace.KindServer {
+		t.Fatalf("s1 = %+v", s1)
+	}
+	if s1.StartUnix != 1000 || s1.Duration != 500 {
+		t.Fatalf("s1 timing = %d/%d", s1.StartUnix, s1.Duration)
+	}
+	if !s1.Attributes["http.url"].Equal(trace.Str("/home")) {
+		t.Fatal("string attribute lost")
+	}
+	if !s1.Attributes["payload"].Equal(trace.Num(128)) {
+		t.Fatal("numeric attribute lost")
+	}
+	s2 := byID["s2"]
+	if s2.Status != trace.StatusError || s2.ParentID != "s1" || s2.Kind != trace.KindClient {
+		t.Fatalf("s2 = %+v", s2)
+	}
+	if s2.Node != "n1" {
+		t.Fatal("node is assigned by the receiving agent")
+	}
+}
+
+func TestDecodeRealisticOTLPJSON(t *testing.T) {
+	payload := `{
+	  "resourceSpans": [{
+	    "resource": {"attributes": [{"key": "service.name", "value": {"stringValue": "cart"}}]},
+	    "scopeSpans": [{
+	      "spans": [{
+	        "traceId": "5b8aa5a2d2c872e8321cf37308d69df2",
+	        "spanId": "051581bf3cb55c13",
+	        "name": "GetCart",
+	        "kind": 2,
+	        "startTimeUnixNano": "1544712660000000000",
+	        "endTimeUnixNano": "1544712661000000000",
+	        "attributes": [
+	          {"key": "cache.key", "value": {"stringValue": "cache:cart:7"}},
+	          {"key": "items", "value": {"intValue": "3"}}
+	        ],
+	        "status": {"code": 1}
+	      }]
+	    }]
+	  }]
+	}`
+	spans, err := Decode([]byte(payload), "host-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spans[0]
+	if s.Service != "cart" || s.Operation != "GetCart" || s.Node != "host-7" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Duration != 1_000_000 { // 1s in µs
+		t.Fatalf("duration = %d", s.Duration)
+	}
+	if !s.Attributes["items"].Equal(trace.Num(3)) {
+		t.Fatal("intValue attribute must decode numerically")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{"resourceSpans": [}`,
+		"no service name":   `{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"spans":[{"traceId":"t","spanId":"s","startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+		"missing span id":   `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"x"}}]},"scopeSpans":[{"spans":[{"traceId":"t","startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+		"end before start":  `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"x"}}]},"scopeSpans":[{"spans":[{"traceId":"t","spanId":"s","startTimeUnixNano":"5000","endTimeUnixNano":"2000"}]}]}]}`,
+		"bad timestamp":     `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"x"}}]},"scopeSpans":[{"spans":[{"traceId":"t","spanId":"s","startTimeUnixNano":"NaN","endTimeUnixNano":"2000"}]}]}]}`,
+		"bad int attribute": `{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"x"}}]},"scopeSpans":[{"spans":[{"traceId":"t","spanId":"s","startTimeUnixNano":"1","endTimeUnixNano":"2","attributes":[{"key":"n","value":{"intValue":"xx"}}]}]}]}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := Decode([]byte(payload), "n"); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestKindMapping(t *testing.T) {
+	kinds := map[int]trace.Kind{
+		0: trace.KindInternal, 1: trace.KindInternal, 2: trace.KindServer,
+		3: trace.KindClient, 4: trace.KindProducer, 5: trace.KindConsumer,
+	}
+	for otlpKind, want := range kinds {
+		if got := kindFromOTLP(otlpKind); got != want {
+			t.Errorf("kind %d -> %v, want %v", otlpKind, got, want)
+		}
+	}
+}
+
+func TestEncodeGroupsByService(t *testing.T) {
+	payload, err := Encode(sampleSpans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(payload)
+	if strings.Count(s, "service.name") != 2 {
+		t.Fatalf("expected two resource groups:\n%s", s)
+	}
+}

@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"sort"
+	"sync"
+)
+
+// Library is the span Pattern Library (§3.2): the deduplicated set of span
+// patterns discovered by a parser, keyed by content.
+type Library struct {
+	mu       sync.RWMutex
+	byKey    map[string]*SpanPattern
+	byID     map[string]*SpanPattern
+	inserted uint64 // total Intern calls (matches + misses)
+}
+
+// NewLibrary creates an empty pattern library.
+func NewLibrary() *Library {
+	return &Library{byKey: map[string]*SpanPattern{}, byID: map[string]*SpanPattern{}}
+}
+
+// Intern returns the canonical pattern equal to pat, registering it (and
+// assigning its content-derived ID) if it is new.
+func (l *Library) Intern(pat *SpanPattern) *SpanPattern {
+	key := pat.Key()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inserted++
+	if existing, ok := l.byKey[key]; ok {
+		return existing
+	}
+	pat.ID = PatternID(key)
+	l.byKey[key] = pat
+	l.byID[pat.ID] = pat
+	return pat
+}
+
+// Get returns the pattern with the given ID.
+func (l *Library) Get(id string) (*SpanPattern, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	p, ok := l.byID[id]
+	return p, ok
+}
+
+// Len returns the number of distinct patterns.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.byID)
+}
+
+// Interns returns the total number of Intern calls, distinguishing pattern
+// hits from library growth in stats.
+func (l *Library) Interns() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.inserted
+}
+
+// Size returns the serialized size of the library in bytes.
+func (l *Library) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, p := range l.byID {
+		n += p.Size()
+	}
+	return n
+}
+
+// Snapshot returns the patterns sorted by ID for deterministic reporting.
+func (l *Library) Snapshot() []*SpanPattern {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*SpanPattern, 0, len(l.byID))
+	for _, p := range l.byID {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

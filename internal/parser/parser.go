@@ -1,0 +1,527 @@
+// Package parser implements Mint's inter-span level parsing (§3.2): the
+// offline warm-up that clusters sampled spans into per-attribute patterns,
+// and the online Hierarchical Attribute Parsing (HAP) that splits incoming
+// spans into a span-pattern ID plus variable parameters.
+package parser
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/bucket"
+	"repro/internal/lcs"
+	"repro/internal/prefixtree"
+	"repro/internal/trace"
+)
+
+// Config controls the span parser. Zero fields take paper defaults.
+type Config struct {
+	// SimilarityThreshold is the LCS similarity above which two string
+	// values join the same cluster (paper default 0.8).
+	SimilarityThreshold float64
+	// Alpha is the numeric bucketing precision parameter (paper default 0.5).
+	Alpha float64
+	// WarmupSpans is the number of sampled raw spans used to build the
+	// parser offline (paper default 5000).
+	WarmupSpans int
+	// Parallel enables concurrent per-attribute parsing, mirroring the
+	// paper's "highly parallel" HAP. Results are identical either way.
+	Parallel bool
+}
+
+// Defaults returns the paper's default configuration.
+func Defaults() Config {
+	return Config{SimilarityThreshold: 0.8, Alpha: bucket.DefaultAlpha, WarmupSpans: 5000}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.SimilarityThreshold == 0 {
+		c.SimilarityThreshold = d.SimilarityThreshold
+	}
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.WarmupSpans == 0 {
+		c.WarmupSpans = d.WarmupSpans
+	}
+	return c
+}
+
+// AttrPattern is the pattern of one attribute inside a span pattern.
+type AttrPattern struct {
+	Key      string
+	IsNum    bool
+	Pattern  string // rendered template ("select * from <*>") or interval ("(27, 81]")
+	NumIndex int    // bucket index when IsNum
+}
+
+// SpanPattern is the common part of a family of spans: fixed metadata shape
+// plus one pattern per attribute (§3.2.1 "Patterns combination").
+type SpanPattern struct {
+	ID        string
+	Service   string
+	Operation string
+	Kind      trace.Kind
+	Attrs     []AttrPattern // sorted by Key
+}
+
+// Key returns the canonical content key of the pattern; two spans with the
+// same Key share a pattern ID.
+func (p *SpanPattern) Key() string {
+	var b strings.Builder
+	b.WriteString(p.Service)
+	b.WriteByte('\x1e')
+	b.WriteString(p.Operation)
+	b.WriteByte('\x1e')
+	b.WriteString(p.Kind.String())
+	for _, a := range p.Attrs {
+		b.WriteByte('\x1e')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Pattern)
+	}
+	return b.String()
+}
+
+// Size returns the serialized size of the pattern in bytes, used for
+// pattern-library storage accounting.
+func (p *SpanPattern) Size() int {
+	n := len(p.ID) + len(p.Service) + len(p.Operation) + len(p.Kind.String()) + 8
+	for _, a := range p.Attrs {
+		n += len(a.Key) + len(a.Pattern) + 2
+	}
+	return n
+}
+
+// PatternID derives a deterministic UUID-style ID from a pattern key.
+// Content addressing (instead of the paper's random UUIDs) lets independent
+// agents converge on identical IDs for identical patterns.
+func PatternID(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	a := h.Sum64()
+	h.Write([]byte{0xff})
+	h.Write([]byte(key))
+	b := h.Sum64()
+	return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+		uint32(a>>32), uint16(a>>16), uint16(a), uint16(b>>48), b&0xffffffffffff)
+}
+
+// ParsedSpan is the variability part of one span: everything needed to
+// reconstruct the exact span given its pattern.
+type ParsedSpan struct {
+	PatternID string
+	TraceID   string
+	SpanID    string
+	ParentID  string
+	StartUnix int64
+	// AttrParams holds one entry per pattern attribute (same order as
+	// SpanPattern.Attrs). String attributes may have several wildcard
+	// captures; numeric attributes have a single offset value.
+	AttrParams [][]string
+	RawSize    int // serialized size of the original span (accounting)
+}
+
+// Size returns the serialized size of the parameter block in bytes. The
+// model is the compact binary wire encoding a production agent uses: an
+// 8-byte pattern reference, 8-byte span/parent IDs, a varint start
+// timestamp, and the variable parameters as length-prefixed byte strings.
+// (Trace IDs are carried once per params report, not per span.)
+func (ps *ParsedSpan) Size() int {
+	n := 8 + 8 + 8 + 6
+	for _, params := range ps.AttrParams {
+		for _, p := range params {
+			n += len(p) + 1
+		}
+	}
+	return n
+}
+
+// stringParser holds the learned templates for one string attribute.
+type stringParser struct {
+	tree      *prefixtree.Tree
+	templates [][]string // id -> template tokens
+}
+
+func newStringParser() *stringParser {
+	return &stringParser{tree: prefixtree.New()}
+}
+
+// learn incorporates a tokenized value: match, or merge into the most
+// similar template above the threshold, or create a new template. It returns
+// the template the value now belongs to.
+func (sp *stringParser) learn(tokens []string, threshold float64) []string {
+	if _, tmpl, ok := sp.tree.Match(tokens); ok {
+		return tmpl
+	}
+	bestID, bestSim := -1, 0.0
+	for id, tmpl := range sp.templates {
+		if sim := lcs.Similarity(tokens, tmpl); sim > bestSim {
+			bestID, bestSim = id, sim
+		}
+	}
+	if bestID >= 0 && bestSim >= threshold {
+		merged := lcs.Merge(sp.templates[bestID], tokens)
+		sp.templates[bestID] = merged
+		sp.rebuild()
+		return merged
+	}
+	id := len(sp.templates)
+	tmpl := append([]string(nil), tokens...)
+	sp.templates = append(sp.templates, tmpl)
+	sp.tree.Insert(tmpl, id)
+	return tmpl
+}
+
+// rebuild regenerates the prefix tree after a template merge. Merges are
+// rare once the parser is warm, so the rebuild cost amortizes to near zero.
+func (sp *stringParser) rebuild() {
+	sp.tree = prefixtree.New()
+	for id, tmpl := range sp.templates {
+		sp.tree.Insert(tmpl, id)
+	}
+}
+
+// match returns the template matching tokens without learning.
+func (sp *stringParser) match(tokens []string) ([]string, bool) {
+	_, tmpl, ok := sp.tree.Match(tokens)
+	return tmpl, ok
+}
+
+// Parser is Mint's span parser: one attribute parser per attribute key plus
+// the span-pattern library.
+type Parser struct {
+	mu      sync.Mutex
+	cfg     Config
+	mapper  *bucket.Mapper
+	strings map[string]*stringParser
+	lib     *Library
+	warm    bool
+	parses  uint64 // total spans parsed (stats)
+}
+
+// New creates a span parser. Warm it offline with Warmup, or let it learn
+// purely online.
+func New(cfg Config) *Parser {
+	cfg = cfg.withDefaults()
+	return &Parser{
+		cfg:     cfg,
+		mapper:  bucket.NewMapper(cfg.Alpha),
+		strings: map[string]*stringParser{},
+		lib:     NewLibrary(),
+	}
+}
+
+// Config returns the effective configuration.
+func (p *Parser) Config() Config { return p.cfg }
+
+// Library exposes the span pattern library (read-mostly; safe snapshots via
+// Library methods).
+func (p *Parser) Library() *Library { return p.lib }
+
+// Warm reports whether the offline warm-up has run.
+func (p *Parser) Warm() bool { return p.warm }
+
+// Parses returns the number of spans parsed so far.
+func (p *Parser) Parses() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.parses
+}
+
+// Warmup builds the per-attribute parsers from a sample of raw spans
+// (§3.2.1). At most cfg.WarmupSpans spans are used.
+func (p *Parser) Warmup(spans []*trace.Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(spans) > p.cfg.WarmupSpans {
+		spans = spans[:p.cfg.WarmupSpans]
+	}
+	// Cluster per attribute: group values by key, then greedy LCS clustering.
+	values := map[string][][]string{}
+	for _, s := range spans {
+		for _, k := range s.AttrKeys() {
+			v := s.Attributes[k]
+			if v.IsNum {
+				continue // numeric parsing is formula-based, nothing to learn
+			}
+			values[k] = append(values[k], maskDigits(lcs.Tokenize(v.Str)))
+		}
+	}
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sp := newStringParser()
+		for _, toks := range values[k] {
+			sp.learn(toks, p.cfg.SimilarityThreshold)
+		}
+		p.strings[k] = sp
+	}
+	// Register the span patterns observed in the sample so the library is
+	// warm before online traffic arrives.
+	for _, s := range spans {
+		pat, _ := p.parseLocked(s)
+		_ = pat
+	}
+	p.warm = true
+}
+
+// Parse performs online parsing of a raw span (§3.2.2): each attribute is
+// matched against its parser (learning new patterns on the fly), the
+// attribute patterns combine into a span pattern, and the variable parts are
+// returned as the span's parameters.
+func (p *Parser) Parse(s *trace.Span) (*SpanPattern, *ParsedSpan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.parseLocked(s)
+}
+
+type attrResult struct {
+	pat    AttrPattern
+	params []string
+}
+
+func (p *Parser) parseLocked(s *trace.Span) (*SpanPattern, *ParsedSpan) {
+	p.parses++
+	keys := s.AttrKeys()
+	// Implicit numeric attributes: duration and status are parsed like any
+	// other numeric attribute so symptom sampling sees them uniformly.
+	type attrJob struct {
+		key string
+		val trace.AttrValue
+	}
+	jobs := make([]attrJob, 0, len(keys)+2)
+	jobs = append(jobs, attrJob{"~duration", trace.Num(float64(s.Duration))})
+	jobs = append(jobs, attrJob{"~status", trace.Num(float64(s.Status))})
+	for _, k := range keys {
+		jobs = append(jobs, attrJob{k, s.Attributes[k]})
+	}
+
+	results := make([]attrResult, len(jobs))
+	if p.cfg.Parallel && len(jobs) > 2 {
+		// HAP: attribute parsers operate independently, so fan out. String
+		// learning mutates parser state; numeric parsing is pure. To keep
+		// correctness simple we parallelize only the pure numeric work and
+		// pre-matched strings, falling back to sequential learning.
+		var wg sync.WaitGroup
+		for i, j := range jobs {
+			if !j.val.IsNum {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, j attrJob) {
+				defer wg.Done()
+				results[i] = p.parseNumeric(j.key, j.val.Num)
+			}(i, j)
+		}
+		wg.Wait()
+		for i, j := range jobs {
+			if j.val.IsNum {
+				continue
+			}
+			results[i] = p.parseString(j.key, j.val.Str)
+		}
+	} else {
+		for i, j := range jobs {
+			if j.val.IsNum {
+				results[i] = p.parseNumeric(j.key, j.val.Num)
+			} else {
+				results[i] = p.parseString(j.key, j.val.Str)
+			}
+		}
+	}
+
+	pat := &SpanPattern{Service: s.Service, Operation: s.Operation, Kind: s.Kind}
+	params := make([][]string, len(results))
+	for i, r := range results {
+		pat.Attrs = append(pat.Attrs, r.pat)
+		params[i] = r.params
+	}
+	pat = p.lib.Intern(pat)
+	return pat, &ParsedSpan{
+		PatternID:  pat.ID,
+		TraceID:    s.TraceID,
+		SpanID:     s.SpanID,
+		ParentID:   s.ParentID,
+		StartUnix:  s.StartUnix,
+		AttrParams: params,
+		RawSize:    s.Size(),
+	}
+}
+
+func (p *Parser) parseNumeric(key string, v float64) attrResult {
+	idx := p.mapper.Index(v)
+	off := v - p.mapper.Lower(idx)
+	return attrResult{
+		pat: AttrPattern{Key: key, IsNum: true, Pattern: p.mapper.Pattern(idx), NumIndex: idx},
+		params: []string{
+			strconv.FormatFloat(off, 'g', -1, 64),
+		},
+	}
+}
+
+// maskDigits replaces pure-digit tokens with the wildcard marker before
+// matching. Numbers embedded in string values (IDs, ports, line numbers)
+// are always variable; masking them keeps values like IP addresses — whose
+// literal tokens share almost nothing — from defeating the LCS similarity
+// threshold and spawning one pattern per value.
+func maskDigits(tokens []string) []string {
+	masked := tokens
+	copied := false
+	for i, t := range tokens {
+		if !isDigits(t) {
+			continue
+		}
+		if !copied {
+			masked = append([]string(nil), tokens...)
+			copied = true
+		}
+		masked[i] = lcs.Wildcard
+	}
+	return masked
+}
+
+func isDigits(t string) bool {
+	if t == "" {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		if t[i] < '0' || t[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Parser) parseString(key, v string) attrResult {
+	sp, ok := p.strings[key]
+	if !ok {
+		sp = newStringParser()
+		p.strings[key] = sp
+	}
+	tokens := lcs.Tokenize(v)
+	masked := maskDigits(tokens)
+	tmpl, matched := sp.match(masked)
+	if !matched {
+		tmpl = sp.learn(masked, p.cfg.SimilarityThreshold)
+	}
+	params, ok := prefixtree.Extract(tmpl, tokens)
+	if !ok {
+		// The template was merged since matching (possible only when learn
+		// generalized it); extraction against the merged template must
+		// succeed, so retry once after a rematch.
+		if t2, m2 := sp.match(masked); m2 {
+			tmpl = t2
+			params, _ = prefixtree.Extract(tmpl, tokens)
+		}
+	}
+	return attrResult{
+		pat:    AttrPattern{Key: key, Pattern: lcs.Join(tmpl)},
+		params: params,
+	}
+}
+
+// Reconstruct inverts parsing: given a pattern and parameters it rebuilds
+// the exact original span. Node is not recorded in patterns (an agent's
+// patterns all share its node) and is supplied by the caller.
+func (p *Parser) Reconstruct(pat *SpanPattern, ps *ParsedSpan, node string) *trace.Span {
+	return Reconstruct(p.mapper, pat, ps, node)
+}
+
+// Reconstruct rebuilds a span from its pattern and parameters using the
+// given bucket mapper. It is exported at package level so the backend can
+// reconstruct without holding a parser.
+func Reconstruct(m *bucket.Mapper, pat *SpanPattern, ps *ParsedSpan, node string) *trace.Span {
+	s := &trace.Span{
+		TraceID:    ps.TraceID,
+		SpanID:     ps.SpanID,
+		ParentID:   ps.ParentID,
+		Service:    pat.Service,
+		Node:       node,
+		Operation:  pat.Operation,
+		Kind:       pat.Kind,
+		StartUnix:  ps.StartUnix,
+		Attributes: map[string]trace.AttrValue{},
+	}
+	for i, a := range pat.Attrs {
+		var params []string
+		if i < len(ps.AttrParams) {
+			params = ps.AttrParams[i]
+		}
+		if a.IsNum {
+			off := 0.0
+			if len(params) > 0 {
+				off, _ = strconv.ParseFloat(params[0], 64)
+			}
+			v := m.Reconstruct(a.NumIndex, off)
+			switch a.Key {
+			case "~duration":
+				s.Duration = int64(v + 0.5)
+			case "~status":
+				s.Status = trace.Status(uint16(v + 0.5))
+			default:
+				s.Attributes[a.Key] = trace.Num(v)
+			}
+			continue
+		}
+		tmpl := lcs.Tokenize(a.Pattern)
+		s.Attributes[a.Key] = trace.Str(prefixtree.Fill(tmpl, params))
+	}
+	return s
+}
+
+// ApproximateSpan renders the commonality-only view of a span (Fig. 10):
+// string wildcards stay masked as "<*>" and numeric attributes show their
+// bucket interval. This is what an unsampled trace query returns.
+func ApproximateSpan(pat *SpanPattern, ps *ParsedSpan, node string) *trace.Span {
+	s := &trace.Span{
+		TraceID:    ps.TraceID,
+		SpanID:     ps.SpanID,
+		ParentID:   ps.ParentID,
+		Service:    pat.Service,
+		Node:       node,
+		Operation:  pat.Operation,
+		Kind:       pat.Kind,
+		StartUnix:  ps.StartUnix,
+		Attributes: map[string]trace.AttrValue{},
+	}
+	for _, a := range pat.Attrs {
+		switch a.Key {
+		case "~duration", "~status":
+			// surfaced via the bucket pattern below
+			s.Attributes[a.Key] = trace.Str(a.Pattern)
+		default:
+			s.Attributes[a.Key] = trace.Str(a.Pattern)
+		}
+	}
+	return s
+}
+
+// StringTemplates returns the learned templates for an attribute key,
+// rendered, in deterministic order. Used by tests and pattern inspection.
+func (p *Parser) StringTemplates(key string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.strings[key]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(sp.templates))
+	for _, t := range sp.templates {
+		out = append(out, lcs.Join(t))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mapper exposes the numeric bucket mapper (shared with the backend for
+// reconstruction).
+func (p *Parser) Mapper() *bucket.Mapper { return p.mapper }

@@ -1,0 +1,248 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mkSpan(op, sql string, dur int64) *trace.Span {
+	return &trace.Span{
+		TraceID: "t1", SpanID: "s1", ParentID: "", Service: "svc", Node: "n1",
+		Operation: op, Kind: trace.KindServer, StartUnix: 1000, Duration: dur,
+		Status: trace.StatusOK,
+		Attributes: map[string]trace.AttrValue{
+			"sql.query": trace.Str(sql),
+			"payload":   trace.Num(float64(dur % 997)),
+		},
+	}
+}
+
+func TestParseProducesPatternAndParams(t *testing.T) {
+	p := New(Config{})
+	pat, ps := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=42", 31))
+	if pat.ID == "" {
+		t.Fatal("pattern must have an ID")
+	}
+	if ps.PatternID != pat.ID {
+		t.Fatal("parsed span must reference its pattern")
+	}
+	// sql.query template masks the number.
+	var sqlPat string
+	for _, a := range pat.Attrs {
+		if a.Key == "sql.query" {
+			sqlPat = a.Pattern
+		}
+	}
+	if !strings.Contains(sqlPat, "<*>") {
+		t.Fatalf("sql pattern should contain a wildcard: %q", sqlPat)
+	}
+}
+
+func TestSameOperationSharesPattern(t *testing.T) {
+	p := New(Config{})
+	pat1, _ := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=1", 30))
+	pat2, _ := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=999", 29))
+	if pat1.ID != pat2.ID {
+		t.Fatalf("same work logic must share a pattern: %s vs %s", pat1.ID, pat2.ID)
+	}
+	if p.Library().Len() != 1 {
+		t.Fatalf("library should hold 1 pattern, has %d", p.Library().Len())
+	}
+}
+
+func TestDifferentBucketsSplitPatterns(t *testing.T) {
+	p := New(Config{})
+	pat1, _ := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=1", 30))
+	pat2, _ := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=1", 30000))
+	if pat1.ID == pat2.ID {
+		t.Fatal("durations in different buckets produce different span patterns (Fig. 7)")
+	}
+}
+
+func TestReconstructLossless(t *testing.T) {
+	p := New(Config{})
+	orig := mkSpan("q", "SELECT * FROM users WHERE id=42", 31)
+	orig.Status = trace.StatusError
+	pat, ps := p.Parse(orig)
+	got := p.Reconstruct(pat, ps, "n1")
+
+	if got.TraceID != orig.TraceID || got.SpanID != orig.SpanID || got.ParentID != orig.ParentID {
+		t.Fatal("identity fields lost")
+	}
+	if got.Service != orig.Service || got.Operation != orig.Operation || got.Kind != orig.Kind {
+		t.Fatal("metadata lost")
+	}
+	if got.Duration != orig.Duration {
+		t.Fatalf("duration %d != %d", got.Duration, orig.Duration)
+	}
+	if got.Status != orig.Status {
+		t.Fatalf("status %d != %d", got.Status, orig.Status)
+	}
+	for k, v := range orig.Attributes {
+		if !got.Attributes[k].Equal(v) {
+			t.Fatalf("attribute %s: %q != %q", k, got.Attributes[k].String(), v.String())
+		}
+	}
+}
+
+func TestReconstructLosslessManyValues(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 200; i++ {
+		orig := mkSpan("q", fmt.Sprintf("SELECT * FROM users WHERE id=%d", i*37), int64(20+i))
+		pat, ps := p.Parse(orig)
+		got := p.Reconstruct(pat, ps, "n1")
+		if got.Attributes["sql.query"].Str != orig.Attributes["sql.query"].Str {
+			t.Fatalf("i=%d: sql %q != %q", i, got.Attributes["sql.query"].Str, orig.Attributes["sql.query"].Str)
+		}
+		if got.Duration != orig.Duration {
+			t.Fatalf("i=%d: duration %d != %d", i, got.Duration, orig.Duration)
+		}
+	}
+}
+
+func TestWarmupPrimesLibrary(t *testing.T) {
+	p := New(Config{WarmupSpans: 100})
+	var spans []*trace.Span
+	for i := 0; i < 100; i++ {
+		spans = append(spans, mkSpan("q", fmt.Sprintf("SELECT * FROM users WHERE id=%d", i), 30))
+	}
+	p.Warmup(spans)
+	if !p.Warm() {
+		t.Fatal("Warm() should be true after Warmup")
+	}
+	if p.Library().Len() == 0 {
+		t.Fatal("warmup should populate the library")
+	}
+	before := p.Library().Len()
+	// Online traffic of the same shape must not add patterns.
+	for i := 0; i < 50; i++ {
+		p.Parse(mkSpan("q", fmt.Sprintf("SELECT * FROM users WHERE id=%d", 1000+i), 30))
+	}
+	if p.Library().Len() != before {
+		t.Fatalf("library grew from %d to %d on known traffic", before, p.Library().Len())
+	}
+}
+
+func TestWarmupCapsSample(t *testing.T) {
+	p := New(Config{WarmupSpans: 10})
+	var spans []*trace.Span
+	for i := 0; i < 100; i++ {
+		spans = append(spans, mkSpan("q", "SELECT 1", 30))
+	}
+	p.Warmup(spans)
+	if p.Parses() != 10 {
+		t.Fatalf("warmup should use at most WarmupSpans spans, parsed %d", p.Parses())
+	}
+}
+
+func TestNewStringValueLearnedOnline(t *testing.T) {
+	p := New(Config{})
+	p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=1", 30))
+	// A structurally different value becomes its own template.
+	pat, ps := p.Parse(mkSpan("q", "DELETE FROM sessions WHERE expired=true", 30))
+	got := p.Reconstruct(pat, ps, "n1")
+	if got.Attributes["sql.query"].Str != "DELETE FROM sessions WHERE expired=true" {
+		t.Fatalf("new template mangled: %q", got.Attributes["sql.query"].Str)
+	}
+}
+
+func TestStringTemplatesListing(t *testing.T) {
+	p := New(Config{})
+	p.Parse(mkSpan("q", "SELECT * FROM a WHERE id=1", 30))
+	p.Parse(mkSpan("q", "SELECT * FROM a WHERE id=2", 30))
+	tmpls := p.StringTemplates("sql.query")
+	if len(tmpls) != 1 {
+		t.Fatalf("templates = %v, want one merged template", tmpls)
+	}
+	if p.StringTemplates("missing") != nil {
+		t.Fatal("unknown key should return nil")
+	}
+}
+
+func TestPatternIDDeterministic(t *testing.T) {
+	a := PatternID("some-key")
+	b := PatternID("some-key")
+	c := PatternID("other-key")
+	if a != b {
+		t.Fatal("IDs must be content-deterministic")
+	}
+	if a == c {
+		t.Fatal("different keys must get different IDs")
+	}
+	if len(a) != 36 {
+		t.Fatalf("UUID-style length, got %d (%s)", len(a), a)
+	}
+}
+
+func TestApproximateSpanMasksVariables(t *testing.T) {
+	p := New(Config{})
+	pat, ps := p.Parse(mkSpan("q", "SELECT * FROM users WHERE id=42", 31))
+	approx := ApproximateSpan(pat, ps, "n1")
+	sql := approx.Attributes["sql.query"].Str
+	if !strings.Contains(sql, "<*>") {
+		t.Fatalf("approximate value should keep wildcards: %q", sql)
+	}
+	if strings.Contains(sql, "42") {
+		t.Fatalf("approximate value must not leak parameters: %q", sql)
+	}
+}
+
+func TestParallelHAPMatchesSequential(t *testing.T) {
+	seq := New(Config{})
+	par := New(Config{Parallel: true})
+	for i := 0; i < 50; i++ {
+		s := mkSpan("q", fmt.Sprintf("SELECT * FROM users WHERE id=%d", i), int64(25+i%10))
+		p1, _ := seq.Parse(s)
+		p2, _ := par.Parse(s.Clone())
+		if p1.Key() != p2.Key() {
+			t.Fatalf("parallel parse diverged at %d: %q vs %q", i, p1.Key(), p2.Key())
+		}
+	}
+}
+
+func TestLibraryIntern(t *testing.T) {
+	l := NewLibrary()
+	p1 := &SpanPattern{Service: "a", Operation: "op"}
+	p2 := &SpanPattern{Service: "a", Operation: "op"}
+	i1 := l.Intern(p1)
+	i2 := l.Intern(p2)
+	if i1 != i2 {
+		t.Fatal("equal patterns must intern to the same object")
+	}
+	if l.Len() != 1 || l.Interns() != 2 {
+		t.Fatalf("len=%d interns=%d", l.Len(), l.Interns())
+	}
+	got, ok := l.Get(i1.ID)
+	if !ok || got != i1 {
+		t.Fatal("Get by ID failed")
+	}
+	if _, ok := l.Get("nope"); ok {
+		t.Fatal("unknown ID should miss")
+	}
+	if l.Size() <= 0 {
+		t.Fatal("library size should be positive")
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 {
+		t.Fatal("snapshot length")
+	}
+}
+
+func TestMaskDigits(t *testing.T) {
+	in := []string{"a", "123", "b4", "5"}
+	out := maskDigits(in)
+	if out[0] != "a" || out[1] != "<*>" || out[2] != "b4" || out[3] != "<*>" {
+		t.Fatalf("maskDigits = %v", out)
+	}
+	// Input slice must not be mutated.
+	if in[1] != "123" {
+		t.Fatal("maskDigits mutated its input")
+	}
+	same := []string{"a", "b"}
+	if &maskDigits(same)[0] != &same[0] {
+		t.Fatal("no digits: should return the original slice")
+	}
+}

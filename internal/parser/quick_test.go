@@ -1,0 +1,137 @@
+package parser
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// Property: for any span built from delimiter-tight attribute values, parse
+// followed by reconstruct is the identity on every field Mint stores.
+
+// genValue produces a random delimiter-tight attribute value from realistic
+// fragments: templated text with embedded numbers and IDs.
+func genValue(r *rand.Rand) string {
+	shapes := []func() string{
+		func() string { return fmt.Sprintf("SELECT * FROM t%d WHERE id=%d", r.Intn(4), r.Intn(1e6)) },
+		func() string { return fmt.Sprintf("cache:item:%d", r.Intn(1e5)) },
+		func() string { return fmt.Sprintf("pool-%d-thread-%d", 1+r.Intn(8), r.Intn(64)) },
+		func() string { return fmt.Sprintf("/api/v%d/res?id=%d", 1+r.Intn(3), r.Intn(1e4)) },
+		func() string { return fmt.Sprintf("10.%d.%d.%d:8080", r.Intn(255), r.Intn(255), 1+r.Intn(254)) },
+		func() string { return "constant-value" },
+		func() string { return fmt.Sprintf("err code=%d detail=retry", 5000+r.Intn(10)) },
+	}
+	return shapes[r.Intn(len(shapes))]()
+}
+
+func genSpan(r *rand.Rand, i int) *trace.Span {
+	s := &trace.Span{
+		TraceID:    fmt.Sprintf("q-%06d", i),
+		SpanID:     fmt.Sprintf("s-%06d", i),
+		ParentID:   "",
+		Service:    fmt.Sprintf("svc%d", r.Intn(3)),
+		Node:       "n1",
+		Operation:  fmt.Sprintf("op%d", r.Intn(4)),
+		Kind:       trace.Kind(r.Intn(5)),
+		StartUnix:  int64(r.Intn(1e9)),
+		Duration:   int64(1 + r.Intn(1e7)),
+		Status:     trace.Status(200 + 100*r.Intn(4)),
+		Attributes: map[string]trace.AttrValue{},
+	}
+	nAttrs := 1 + r.Intn(4)
+	for a := 0; a < nAttrs; a++ {
+		key := fmt.Sprintf("attr%d", a)
+		if r.Intn(3) == 0 {
+			s.Attributes[key] = trace.Num(math.Trunc(r.Float64()*1e6) / 4)
+		} else {
+			s.Attributes[key] = trace.Str(genValue(r))
+		}
+	}
+	return s
+}
+
+func TestQuickParseReconstructIdentity(t *testing.T) {
+	p := New(Config{})
+	r := rand.New(rand.NewSource(4242))
+	for i := 0; i < 3000; i++ {
+		orig := genSpan(r, i)
+		pat, ps := p.Parse(orig.Clone())
+		got := p.Reconstruct(pat, ps, "n1")
+		if got.TraceID != orig.TraceID || got.SpanID != orig.SpanID ||
+			got.Service != orig.Service || got.Operation != orig.Operation ||
+			got.Kind != orig.Kind || got.StartUnix != orig.StartUnix ||
+			got.Duration != orig.Duration || got.Status != orig.Status {
+			t.Fatalf("i=%d: metadata mismatch:\n got %+v\nwant %+v", i, got, orig)
+		}
+		for k, v := range orig.Attributes {
+			gv, ok := got.Attributes[k]
+			if !ok {
+				t.Fatalf("i=%d: attribute %s dropped", i, k)
+			}
+			if v.IsNum {
+				if !gv.IsNum || math.Abs(gv.Num-v.Num) > 1e-6*math.Max(1, math.Abs(v.Num)) {
+					t.Fatalf("i=%d: numeric %s: got %v want %v", i, k, gv, v)
+				}
+			} else if gv.Str != v.Str {
+				t.Fatalf("i=%d: string %s: got %q want %q (pattern %v)", i, k, gv.Str, v.Str, pat.Attrs)
+			}
+		}
+	}
+}
+
+func TestQuickPatternKeyStable(t *testing.T) {
+	// Property: interning the same span twice yields the same pattern ID;
+	// the library never yields two patterns with equal keys.
+	p := New(Config{})
+	r := rand.New(rand.NewSource(7))
+	seen := map[string]string{} // pattern key -> ID
+	for i := 0; i < 2000; i++ {
+		s := genSpan(r, i)
+		pat, _ := p.Parse(s)
+		if prev, ok := seen[pat.Key()]; ok && prev != pat.ID {
+			t.Fatalf("pattern key %q has two IDs: %s and %s", pat.Key(), prev, pat.ID)
+		}
+		seen[pat.Key()] = pat.ID
+	}
+}
+
+func TestQuickParamsSizeNonNegative(t *testing.T) {
+	f := func(a, b, c string) bool {
+		ps := &ParsedSpan{
+			PatternID: a, TraceID: b, SpanID: c,
+			AttrParams: [][]string{{a}, {b, c}},
+		}
+		return ps.Size() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTokenizerSafety(t *testing.T) {
+	// Property: parsing arbitrary strings must never panic and must always
+	// reconstruct *something* — exactness is only promised for
+	// delimiter-tight values, but robustness is promised for everything.
+	p := New(Config{})
+	i := 0
+	f := func(v string) bool {
+		i++
+		s := &trace.Span{
+			TraceID: fmt.Sprintf("f-%d", i), SpanID: fmt.Sprintf("fs-%d", i),
+			Service: "svc", Node: "n", Operation: "op",
+			Duration: 10, Status: 200,
+			Attributes: map[string]trace.AttrValue{"k": trace.Str(v)},
+		}
+		pat, ps := p.Parse(s)
+		got := p.Reconstruct(pat, ps, "n")
+		_, ok := got.Attributes["k"]
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

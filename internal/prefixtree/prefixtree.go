@@ -1,0 +1,189 @@
+// Package prefixtree implements the token-level prefix tree the Span Parser
+// uses to store string-attribute patterns (§3.2.1, "Parsers building").
+//
+// Patterns are wildcard templates such as ["select" "*" "from" "<*>"]. Since
+// different patterns share prefix tokens, their paths overlap in the tree,
+// reducing pattern storage and speeding up online matching. A wildcard node
+// matches one or more input tokens (LCS-merged templates of unequal-length
+// strings require multi-token wildcards); matching prefers literal edges and
+// backtracks into wildcards only when literals fail, returning the most
+// specific matching pattern.
+package prefixtree
+
+import (
+	"sort"
+
+	"repro/internal/lcs"
+)
+
+type node struct {
+	children map[string]*node // literal token edges
+	wildcard *node            // "<*>" edge, matches >= 1 tokens
+	// terminal pattern info; patternID >= 0 marks an accepting node
+	patternID int
+	template  []string
+}
+
+func newNode() *node {
+	return &node{children: map[string]*node{}, patternID: -1}
+}
+
+// Tree stores wildcard token templates and matches token sequences against
+// them.
+type Tree struct {
+	root  *node
+	count int
+	size  int // total tokens stored, a proxy for memory footprint
+}
+
+// New creates an empty pattern tree.
+func New() *Tree { return &Tree{root: newNode()} }
+
+// Len returns the number of stored patterns.
+func (t *Tree) Len() int { return t.count }
+
+// TokenCount returns the total number of edge tokens in the tree, a measure
+// of how much pattern storage overlaps (shared prefixes are counted once).
+func (t *Tree) TokenCount() int { return t.size }
+
+// Insert adds a template and associates it with id. Inserting an existing
+// template overwrites its id and reports false (no new pattern created).
+func (t *Tree) Insert(template []string, id int) bool {
+	n := t.root
+	for _, tok := range template {
+		if tok == lcs.Wildcard {
+			if n.wildcard == nil {
+				n.wildcard = newNode()
+				t.size++
+			}
+			n = n.wildcard
+			continue
+		}
+		next, ok := n.children[tok]
+		if !ok {
+			next = newNode()
+			n.children[tok] = next
+			t.size++
+		}
+		n = next
+	}
+	fresh := n.patternID < 0
+	if fresh {
+		t.count++
+	}
+	n.patternID = id
+	n.template = append([]string(nil), template...)
+	return fresh
+}
+
+// Match finds the stored template matching tokens. It returns the pattern id
+// and template, or ok=false when no template matches. Literal edges are
+// preferred over wildcard edges so the most specific pattern wins.
+func (t *Tree) Match(tokens []string) (id int, template []string, ok bool) {
+	n := match(t.root, tokens)
+	if n == nil {
+		return 0, nil, false
+	}
+	return n.patternID, n.template, true
+}
+
+// match walks the tree with backtracking. Wildcards consume >= 1 token.
+func match(n *node, tokens []string) *node {
+	if len(tokens) == 0 {
+		if n.patternID >= 0 {
+			return n
+		}
+		return nil
+	}
+	// Prefer a literal edge.
+	if next, ok := n.children[tokens[0]]; ok {
+		if r := match(next, tokens[1:]); r != nil {
+			return r
+		}
+	}
+	// Then try the wildcard edge consuming 1..len(tokens) tokens.
+	if n.wildcard != nil {
+		for consume := 1; consume <= len(tokens); consume++ {
+			if r := match(n.wildcard, tokens[consume:]); r != nil {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Extract returns the variable parts of tokens with respect to template: the
+// concatenation of token runs matched by each wildcard, in order. It reports
+// ok=false if tokens does not match template.
+func Extract(template, tokens []string) (params []string, ok bool) {
+	return extract(template, tokens, nil)
+}
+
+func extract(template, tokens []string, acc []string) ([]string, bool) {
+	if len(template) == 0 {
+		if len(tokens) == 0 {
+			return acc, true
+		}
+		return nil, false
+	}
+	if template[0] != lcs.Wildcard {
+		if len(tokens) == 0 || tokens[0] != template[0] {
+			return nil, false
+		}
+		return extract(template[1:], tokens[1:], acc)
+	}
+	// Wildcard: try consuming 1..len(tokens) tokens (non-greedy first).
+	for consume := 1; consume <= len(tokens); consume++ {
+		captured := lcs.Join(tokens[:consume])
+		if out, ok := extract(template[1:], tokens[consume:], append(acc, captured)); ok {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Fill substitutes params into template wildcards, reconstructing the
+// original token string. Missing params render as the wildcard marker.
+func Fill(template []string, params []string) string {
+	out := make([]string, 0, len(template))
+	pi := 0
+	for _, tok := range template {
+		if tok == lcs.Wildcard {
+			if pi < len(params) {
+				out = append(out, params[pi])
+				pi++
+			} else {
+				out = append(out, lcs.Wildcard)
+			}
+			continue
+		}
+		out = append(out, tok)
+	}
+	return lcs.Join(out)
+}
+
+// Templates returns all stored templates ordered by their rendered form,
+// for deterministic reporting.
+func (t *Tree) Templates() [][]string {
+	var out [][]string
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.patternID >= 0 {
+			out = append(out, n.template)
+		}
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.children[k])
+		}
+		if n.wildcard != nil {
+			walk(n.wildcard)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return lcs.Join(out[i]) < lcs.Join(out[j]) })
+	return out
+}

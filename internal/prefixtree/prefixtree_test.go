@@ -1,0 +1,154 @@
+package prefixtree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lcs"
+)
+
+func tpl(s string) []string { return lcs.Tokenize(s) }
+
+func TestInsertAndMatchLiteral(t *testing.T) {
+	tr := New()
+	tr.Insert(tpl("select * from users"), 1)
+	id, tmpl, ok := tr.Match(tpl("select * from users"))
+	if !ok || id != 1 {
+		t.Fatalf("exact literal match failed: ok=%v id=%d", ok, id)
+	}
+	if lcs.Join(tmpl) != "select * from users" {
+		t.Fatalf("template = %q", lcs.Join(tmpl))
+	}
+	if _, _, ok := tr.Match(tpl("select * from orders")); ok {
+		t.Fatal("different literal must not match")
+	}
+}
+
+func TestWildcardMatchesOneOrMoreTokens(t *testing.T) {
+	tr := New()
+	tr.Insert(tpl("select * from <*> where id=<*>"), 7)
+	for _, s := range []string{
+		"select * from users where id=5",
+		"select * from user accounts where id=5",
+	} {
+		if id, _, ok := tr.Match(tpl(s)); !ok || id != 7 {
+			t.Errorf("match(%q) = %v, %d", s, ok, id)
+		}
+	}
+	// Wildcard must consume at least one token.
+	if _, _, ok := tr.Match(tpl("select * from where id=5")); ok {
+		t.Fatal("wildcard must not match zero tokens")
+	}
+}
+
+func TestLiteralPreferredOverWildcard(t *testing.T) {
+	tr := New()
+	tr.Insert(tpl("get <*>"), 1)
+	tr.Insert(tpl("get users"), 2)
+	if id, _, _ := tr.Match(tpl("get users")); id != 2 {
+		t.Fatalf("literal template must win, got id %d", id)
+	}
+	if id, _, _ := tr.Match(tpl("get orders")); id != 1 {
+		t.Fatalf("wildcard should catch the rest, got id %d", id)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := New()
+	if fresh := tr.Insert(tpl("a b"), 1); !fresh {
+		t.Fatal("first insert should be fresh")
+	}
+	if fresh := tr.Insert(tpl("a b"), 9); fresh {
+		t.Fatal("duplicate insert should not be fresh")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if id, _, _ := tr.Match(tpl("a b")); id != 9 {
+		t.Fatalf("duplicate insert should overwrite id, got %d", id)
+	}
+}
+
+func TestSharedPrefixesSaveTokens(t *testing.T) {
+	tr := New()
+	tr.Insert(tpl("select * from users"), 1)
+	tr.Insert(tpl("select * from orders"), 2)
+	// 4+4 tokens with 3 shared: tree should store 5 edges, not 8.
+	if tc := tr.TokenCount(); tc != 5 {
+		t.Fatalf("TokenCount = %d, want 5 (shared prefix stored once)", tc)
+	}
+}
+
+func TestExtractAndFillRoundTrip(t *testing.T) {
+	template := tpl("select * from <*> where id=<*>")
+	tokens := tpl("select * from users where id=42")
+	params, ok := Extract(template, tokens)
+	if !ok {
+		t.Fatal("extract failed")
+	}
+	if !reflect.DeepEqual(params, []string{"users", "42"}) {
+		t.Fatalf("params = %v", params)
+	}
+	if got := Fill(template, params); got != "select * from users where id=42" {
+		t.Fatalf("fill = %q", got)
+	}
+}
+
+func TestExtractMultiTokenWildcard(t *testing.T) {
+	template := tpl("a <*> z")
+	tokens := tpl("a b c d z")
+	params, ok := Extract(template, tokens)
+	if !ok || len(params) != 1 {
+		t.Fatalf("extract = %v, %v", params, ok)
+	}
+	if params[0] != "b c d" {
+		t.Fatalf("wildcard capture = %q, want \"b c d\"", params[0])
+	}
+}
+
+func TestExtractMismatch(t *testing.T) {
+	if _, ok := Extract(tpl("a b"), tpl("a c")); ok {
+		t.Fatal("mismatched literal should fail")
+	}
+	if _, ok := Extract(tpl("a <*>"), tpl("a")); ok {
+		t.Fatal("wildcard with no tokens should fail")
+	}
+	if _, ok := Extract(tpl("a"), tpl("a b")); ok {
+		t.Fatal("leftover tokens should fail")
+	}
+}
+
+func TestFillMissingParams(t *testing.T) {
+	got := Fill(tpl("x <*> y <*>"), []string{"only"})
+	if got != "x only y <*>" {
+		t.Fatalf("fill with missing params = %q", got)
+	}
+}
+
+func TestTemplatesDeterministic(t *testing.T) {
+	tr := New()
+	tr.Insert(tpl("b x"), 1)
+	tr.Insert(tpl("a y"), 2)
+	tr.Insert(tpl("a <*>"), 3)
+	got := tr.Templates()
+	if len(got) != 3 {
+		t.Fatalf("Templates len = %d", len(got))
+	}
+	// Sorted by rendered form.
+	prev := ""
+	for _, tmpl := range got {
+		s := lcs.Join(tmpl)
+		if s < prev {
+			t.Fatalf("templates not sorted: %q after %q", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEmptyTemplateMatchesEmpty(t *testing.T) {
+	tr := New()
+	tr.Insert(nil, 5)
+	if id, _, ok := tr.Match(nil); !ok || id != 5 {
+		t.Fatalf("empty template should match empty input: %v %d", ok, id)
+	}
+}

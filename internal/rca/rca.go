@@ -1,0 +1,445 @@
+// Package rca implements the three trace-based root cause analysis methods
+// the evaluation feeds with each framework's retained traces (§5.2,
+// Table 3): MicroRank (extended spectrum analysis weighted by PageRank),
+// TraceRCA (invocation-level association mining) and TraceAnomaly
+// (deviation from normal templates). All three need common-case traces to
+// build their reference behavior — which is exactly what Table 3 shows the
+// '1 or 0' baselines cannot supply.
+package rca
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Dataset is the input to a localization run: the traces a framework
+// retained, partitioned into normal and abnormal by symptoms, plus the
+// service universe.
+type Dataset struct {
+	Normal   []*trace.Trace
+	Abnormal []*trace.Trace
+	Services []string
+}
+
+// Method localizes root causes from retained traces.
+type Method interface {
+	// Name identifies the method in result tables.
+	Name() string
+	// Localize returns services ranked most-suspicious first.
+	Localize(d Dataset) []string
+}
+
+// Partition splits traces into normal/abnormal by symptom: any span with an
+// error status, or a root span slower than the given duration threshold
+// (when threshold > 0).
+func Partition(traces []*trace.Trace, rootThreshold float64) (normal, abnormal []*trace.Trace) {
+	for _, t := range traces {
+		if IsAbnormal(t, rootThreshold) {
+			abnormal = append(abnormal, t)
+		} else {
+			normal = append(normal, t)
+		}
+	}
+	return normal, abnormal
+}
+
+// IsAbnormal reports whether a trace shows a symptom.
+func IsAbnormal(t *trace.Trace, rootThreshold float64) bool {
+	for _, s := range t.Spans {
+		if s.Status >= 400 {
+			return true
+		}
+	}
+	if rootThreshold > 0 {
+		for _, s := range t.Spans {
+			if s.ParentID == "" && float64(s.Duration) > rootThreshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RootDurationP99 estimates the 99th percentile of root-span durations.
+func RootDurationP99(traces []*trace.Trace) float64 {
+	var ds []float64
+	for _, t := range traces {
+		if root := t.Root(); root != nil {
+			ds = append(ds, float64(root.Duration))
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	idx := int(float64(len(ds)) * 0.99)
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+// SelfTimes computes each span's self time: its duration minus the summed
+// durations of its children present in the trace. Latency faults localize
+// in self time where raw durations smear over every ancestor.
+func SelfTimes(t *trace.Trace) map[string]float64 {
+	childSum := map[string]float64{}
+	for _, s := range t.Spans {
+		if s.ParentID != "" {
+			childSum[s.ParentID] += float64(s.Duration)
+		}
+	}
+	out := make(map[string]float64, len(t.Spans))
+	for _, s := range t.Spans {
+		self := float64(s.Duration) - childSum[s.SpanID]
+		if self < 0 {
+			self = 0
+		}
+		out[s.SpanID] = self
+	}
+	return out
+}
+
+// opKey identifies a span's work unit for normal-template statistics.
+func opKey(s *trace.Span) string { return s.Service + "|" + s.Operation }
+
+type distStat struct {
+	n    float64
+	sum  float64
+	sum2 float64
+}
+
+func (s *distStat) add(x float64) {
+	s.n++
+	s.sum += x
+	s.sum2 += x * x
+}
+
+func (s *distStat) meanStd() (float64, float64) {
+	if s.n == 0 {
+		return 0, 0
+	}
+	m := s.sum / s.n
+	v := s.sum2/s.n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return m, math.Sqrt(v)
+}
+
+// normalTemplates learns per-operation self-time distributions from the
+// normal corpus — TraceAnomaly's "normal templates", shared by the other
+// methods' latency blame.
+func normalTemplates(normal []*trace.Trace) map[string]*distStat {
+	stats := map[string]*distStat{}
+	for _, t := range normal {
+		selfs := SelfTimes(t)
+		for _, s := range t.Spans {
+			st, ok := stats[opKey(s)]
+			if !ok {
+				st = &distStat{}
+				stats[opKey(s)] = st
+			}
+			st.add(selfs[s.SpanID])
+		}
+	}
+	return stats
+}
+
+// spanZ scores one span's deviation: errors on non-client spans dominate;
+// otherwise the self-time z-score against the normal template, falling back
+// to a self-time share heuristic when no template exists.
+func spanZ(s *trace.Span, self float64, rootDur float64, stats map[string]*distStat) float64 {
+	if s.Status >= 400 {
+		if s.Kind == trace.KindClient {
+			// The client side mirrors the callee's failure; blame the
+			// server side where the work actually failed.
+			return 2
+		}
+		return 10
+	}
+	if st, ok := stats[opKey(s)]; ok && st.n >= 5 {
+		m, sd := st.meanStd()
+		if sd > 0 {
+			z := (self - m) / sd
+			if z < 0 {
+				return 0
+			}
+			return z
+		}
+		if m > 0 && self > 2*m {
+			return 5
+		}
+		return 0
+	}
+	// No template: a span hogging most of the request is suspicious.
+	if rootDur > 0 && self > 0.5*rootDur {
+		return 3
+	}
+	return 0
+}
+
+// blame returns the service with the highest span deviation in an abnormal
+// trace, plus that score.
+func blame(t *trace.Trace, stats map[string]*distStat) (string, float64) {
+	selfs := SelfTimes(t)
+	rootDur := 0.0
+	if root := t.Root(); root != nil {
+		rootDur = float64(root.Duration)
+	}
+	bestSvc, bestZ := "", 0.0
+	for _, s := range t.Spans {
+		z := spanZ(s, selfs[s.SpanID], rootDur, stats)
+		if z > bestZ {
+			bestZ = z
+			bestSvc = s.Service
+		}
+	}
+	return bestSvc, bestZ
+}
+
+func rank(scores map[string]float64) []string {
+	type kv struct {
+		svc   string
+		score float64
+	}
+	var out []kv
+	for s, v := range scores {
+		out = append(out, kv{s, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].svc < out[j].svc
+	})
+	ranked := make([]string, len(out))
+	for i, e := range out {
+		ranked[i] = e.svc
+	}
+	return ranked
+}
+
+func coverage(t *trace.Trace) map[string]bool {
+	set := map[string]bool{}
+	for _, s := range t.Spans {
+		if s.Service != "" {
+			set[s.Service] = true
+		}
+	}
+	return set
+}
+
+// MicroRank implements extended spectrum analysis (WWW'21): coverage of
+// abnormal traces is weighted by local symptoms, scored with Ochiai, and
+// fused with a PageRank over the service dependency graph. It degrades
+// without common-case traces: the n_ep term and the normal templates both
+// come from normal traffic.
+type MicroRank struct{}
+
+// Name implements Method.
+func (MicroRank) Name() string { return "MicroRank" }
+
+// Localize implements Method.
+func (MicroRank) Localize(d Dataset) []string {
+	stats := normalTemplates(d.Normal)
+	nef := map[string]float64{} // symptom-weighted abnormal coverage
+	nep := map[string]float64{} // normal coverage
+	for _, t := range d.Abnormal {
+		cov := coverage(t)
+		blamed, z := blame(t, stats)
+		for svc := range cov {
+			w := 0.2 // on the failing path
+			if svc == blamed && z > 0 {
+				w = 1.0 // shows the local symptom
+			}
+			nef[svc] += w
+		}
+	}
+	for _, t := range d.Normal {
+		for svc := range coverage(t) {
+			nep[svc]++
+		}
+	}
+	nf := float64(len(d.Abnormal))
+	pr := pageRank(d)
+	scores := map[string]float64{}
+	for _, svc := range d.Services {
+		ef := nef[svc]
+		ep := nep[svc]
+		denom := math.Sqrt(nf * (ef + ep))
+		var ochiai float64
+		if denom > 0 {
+			ochiai = ef / denom
+		}
+		scores[svc] = ochiai * (0.5 + pr[svc])
+	}
+	return rank(scores)
+}
+
+// pageRank runs PageRank over the service call graph induced by all traces,
+// with a preference vector biased toward services covered by failures.
+func pageRank(d Dataset) map[string]float64 {
+	edges := map[string]map[string]float64{}
+	pref := map[string]float64{}
+	addTrace := func(t *trace.Trace, weight float64) {
+		byID := map[string]*trace.Span{}
+		for _, s := range t.Spans {
+			byID[s.SpanID] = s
+		}
+		for _, s := range t.Spans {
+			pref[s.Service] += weight
+			if s.ParentID == "" {
+				continue
+			}
+			if parent, ok := byID[s.ParentID]; ok && parent.Service != s.Service {
+				m, ok := edges[parent.Service]
+				if !ok {
+					m = map[string]float64{}
+					edges[parent.Service] = m
+				}
+				m[s.Service]++
+			}
+		}
+	}
+	for _, t := range d.Normal {
+		addTrace(t, 0.2)
+	}
+	for _, t := range d.Abnormal {
+		addTrace(t, 1.0)
+	}
+	var prefSum float64
+	for _, v := range pref {
+		prefSum += v
+	}
+	n := len(d.Services)
+	if n == 0 {
+		return map[string]float64{}
+	}
+	rankv := map[string]float64{}
+	for _, s := range d.Services {
+		rankv[s] = 1.0 / float64(n)
+	}
+	const damping = 0.85
+	for iter := 0; iter < 30; iter++ {
+		next := map[string]float64{}
+		for _, s := range d.Services {
+			p := 1.0 / float64(n)
+			if prefSum > 0 {
+				p = pref[s] / prefSum
+			}
+			next[s] = (1 - damping) * p
+		}
+		for from, outs := range edges {
+			var outSum float64
+			for _, w := range outs {
+				outSum += w
+			}
+			if outSum == 0 {
+				continue
+			}
+			for to, w := range outs {
+				next[to] += damping * rankv[from] * (w / outSum)
+			}
+		}
+		rankv = next
+	}
+	return rankv
+}
+
+// TraceRCA mines suspicious invocations (IWQoS'21): a service's score
+// combines support (its presence in the failure evidence) and confidence
+// (how often it shows the local symptom when present), discounted by its
+// prevalence in normal traffic.
+type TraceRCA struct{}
+
+// Name implements Method.
+func (TraceRCA) Name() string { return "TraceRCA" }
+
+// Localize implements Method.
+func (TraceRCA) Localize(d Dataset) []string {
+	stats := normalTemplates(d.Normal)
+	abCover := map[string]float64{}
+	abBad := map[string]float64{}
+	noCover := map[string]float64{}
+	for _, t := range d.Abnormal {
+		for svc := range coverage(t) {
+			abCover[svc]++
+		}
+		if svc, z := blame(t, stats); z > 0 {
+			abBad[svc]++
+		}
+	}
+	for _, t := range d.Normal {
+		for svc := range coverage(t) {
+			noCover[svc]++
+		}
+	}
+	nAb := float64(len(d.Abnormal))
+	nNo := float64(len(d.Normal))
+	scores := map[string]float64{}
+	for _, svc := range d.Services {
+		if nAb == 0 {
+			scores[svc] = 0
+			continue
+		}
+		support := abCover[svc] / nAb
+		confidence := 0.0
+		if abCover[svc] > 0 {
+			confidence = abBad[svc] / abCover[svc]
+		}
+		prevalence := 0.0
+		if nNo > 0 {
+			prevalence = noCover[svc] / nNo
+		}
+		scores[svc] = support * (confidence + 0.05*(1-prevalence))
+	}
+	return rank(scores)
+}
+
+// TraceAnomaly compares abnormal traces against per-operation normal
+// templates (ISSRE'20), blaming the service with the largest standardized
+// self-time deviation; errors on server spans count as maximal deviations.
+type TraceAnomaly struct{}
+
+// Name implements Method.
+func (TraceAnomaly) Name() string { return "TraceAnomaly" }
+
+// Localize implements Method.
+func (TraceAnomaly) Localize(d Dataset) []string {
+	stats := normalTemplates(d.Normal)
+	scores := map[string]float64{}
+	for _, svc := range d.Services {
+		scores[svc] = 0
+	}
+	for _, t := range d.Abnormal {
+		if svc, z := blame(t, stats); svc != "" {
+			scores[svc] += z
+		}
+	}
+	return rank(scores)
+}
+
+// AtK computes top-k accuracy: the fraction of cases where the true root
+// cause appears in the first k entries of the ranking.
+func AtK(rankings [][]string, truths []string, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, r := range rankings {
+		limit := k
+		if limit > len(r) {
+			limit = len(r)
+		}
+		for j := 0; j < limit; j++ {
+			if r[j] == truths[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(rankings))
+}

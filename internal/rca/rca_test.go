@@ -1,0 +1,182 @@
+package rca
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// mkDataset runs a small fault scenario on OnlineBoutique and returns the
+// full-visibility dataset plus the faulted service.
+func mkDataset(t *testing.T, fault sim.Fault) (Dataset, string) {
+	t.Helper()
+	sys := sim.OnlineBoutique(321)
+	var normal, abnormal []*trace.Trace
+	for i := 0; i < 300; i++ {
+		normal = append(normal, sys.GenTrace(sys.PickAPI(), sim.GenOptions{}))
+	}
+	for i := 0; i < 15; i++ {
+		abnormal = append(abnormal, sys.GenTrace(sys.PickAPI(), sim.GenOptions{Fault: &fault}))
+	}
+	// Keep only abnormal traces actually touching the fault (requests that
+	// never reach the service show no symptom).
+	var touched []*trace.Trace
+	for _, tr := range abnormal {
+		for _, s := range tr.Spans {
+			if s.Service == fault.Service {
+				touched = append(touched, tr)
+				break
+			}
+		}
+	}
+	if len(touched) == 0 {
+		t.Skip("fault service not on any sampled path")
+	}
+	return Dataset{
+		Normal:   normal,
+		Abnormal: touched,
+		Services: sys.TrafficServices(),
+	}, fault.Service
+}
+
+func TestSelfTimes(t *testing.T) {
+	tr := &trace.Trace{Spans: []*trace.Span{
+		{SpanID: "r", Duration: 100},
+		{SpanID: "a", ParentID: "r", Duration: 60},
+		{SpanID: "b", ParentID: "a", Duration: 50},
+	}}
+	selfs := SelfTimes(tr)
+	if selfs["r"] != 40 || selfs["a"] != 10 || selfs["b"] != 50 {
+		t.Fatalf("self times = %v", selfs)
+	}
+}
+
+func TestSelfTimesClampNegative(t *testing.T) {
+	tr := &trace.Trace{Spans: []*trace.Span{
+		{SpanID: "r", Duration: 10},
+		{SpanID: "a", ParentID: "r", Duration: 60}, // async overlap
+	}}
+	if SelfTimes(tr)["r"] != 0 {
+		t.Fatal("negative self time must clamp to 0")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	ok := &trace.Trace{Spans: []*trace.Span{{SpanID: "r", Status: trace.StatusOK, Duration: 10}}}
+	bad := &trace.Trace{Spans: []*trace.Span{{SpanID: "r", Status: trace.StatusError, Duration: 10}}}
+	slow := &trace.Trace{Spans: []*trace.Span{{SpanID: "r", Status: trace.StatusOK, Duration: 10000}}}
+	n, a := Partition([]*trace.Trace{ok, bad, slow}, 5000)
+	if len(n) != 1 || len(a) != 2 {
+		t.Fatalf("partition = %d normal, %d abnormal", len(n), len(a))
+	}
+	// Without a latency threshold only errors are abnormal.
+	n, a = Partition([]*trace.Trace{ok, slow}, 0)
+	if len(n) != 2 || len(a) != 0 {
+		t.Fatal("threshold 0 must disable latency classification")
+	}
+}
+
+func TestRootDurationP99(t *testing.T) {
+	var ts []*trace.Trace
+	for i := 1; i <= 100; i++ {
+		ts = append(ts, &trace.Trace{Spans: []*trace.Span{{SpanID: "r", Duration: int64(i)}}})
+	}
+	p99 := RootDurationP99(ts)
+	if p99 < 98 || p99 > 100 {
+		t.Fatalf("p99 = %f", p99)
+	}
+	if RootDurationP99(nil) != 0 {
+		t.Fatal("empty corpus")
+	}
+}
+
+func TestMethodsLocalizeErrorFault(t *testing.T) {
+	d, truth := mkDataset(t, sim.Fault{Type: sim.FaultException, Service: "payment", Magnitude: 100})
+	for _, m := range []Method{MicroRank{}, TraceRCA{}, TraceAnomaly{}} {
+		ranking := m.Localize(d)
+		if len(ranking) == 0 {
+			t.Fatalf("%s returned empty ranking", m.Name())
+		}
+		top3 := ranking
+		if len(top3) > 3 {
+			top3 = top3[:3]
+		}
+		found := false
+		for _, svc := range top3 {
+			if svc == truth {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: %q not in top-3 %v", m.Name(), truth, top3)
+		}
+	}
+}
+
+func TestMethodsLocalizeLatencyFault(t *testing.T) {
+	d, truth := mkDataset(t, sim.Fault{Type: sim.FaultCPU, Service: "productcatalog", Magnitude: 200})
+	for _, m := range []Method{MicroRank{}, TraceRCA{}, TraceAnomaly{}} {
+		ranking := m.Localize(d)
+		top3 := ranking
+		if len(top3) > 3 {
+			top3 = top3[:3]
+		}
+		found := false
+		for _, svc := range top3 {
+			if svc == truth {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: latency fault at %q not in top-3 %v", m.Name(), truth, top3)
+		}
+	}
+}
+
+func TestMethodsDegradeWithoutNormalTraces(t *testing.T) {
+	// The '1 or 0' framework situation: only abnormal traces retained.
+	d, truth := mkDataset(t, sim.Fault{Type: sim.FaultCPU, Service: "currency", Magnitude: 200})
+	dNoNormal := Dataset{Normal: nil, Abnormal: d.Abnormal, Services: d.Services}
+	full := MicroRank{}.Localize(d)
+	starved := MicroRank{}.Localize(dNoNormal)
+	rankOf := func(r []string) int {
+		for i, svc := range r {
+			if svc == truth {
+				return i
+			}
+		}
+		return len(r)
+	}
+	if rankOf(starved) < rankOf(full) {
+		t.Fatalf("normal traces should help, not hurt: full rank %d, starved rank %d",
+			rankOf(full), rankOf(starved))
+	}
+}
+
+func TestAtK(t *testing.T) {
+	rankings := [][]string{
+		{"a", "b", "c"},
+		{"b", "a"},
+		{"c"},
+	}
+	truths := []string{"a", "a", "a"}
+	if got := AtK(rankings, truths, 1); got != 1.0/3 {
+		t.Fatalf("A@1 = %f", got)
+	}
+	if got := AtK(rankings, truths, 2); got != 2.0/3 {
+		t.Fatalf("A@2 = %f", got)
+	}
+	if AtK(nil, nil, 1) != 0 {
+		t.Fatal("empty rankings")
+	}
+}
+
+func TestLocalizeEmptyDataset(t *testing.T) {
+	d := Dataset{Services: []string{"a", "b"}}
+	for _, m := range []Method{MicroRank{}, TraceRCA{}, TraceAnomaly{}} {
+		if r := m.Localize(d); len(r) != 2 {
+			t.Errorf("%s on empty data: %v", m.Name(), r)
+		}
+	}
+}

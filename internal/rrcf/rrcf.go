@@ -1,0 +1,275 @@
+// Package rrcf implements a Robust Random Cut Forest (Guha et al., ICML'16),
+// the anomaly detector behind the Sieve baseline (§5 "Baselines"). Points
+// are float vectors; the forest maintains a sliding sample per tree and
+// scores points by collusive displacement (CoDisp): points that are easy to
+// isolate with random axis-parallel cuts get high scores.
+package rrcf
+
+import "math/rand"
+
+type node struct {
+	parent      *node
+	left, right *node
+	// internal node fields
+	dim int
+	cut float64
+	// bounding box over the subtree
+	min, max []float64
+	count    int
+	// leaf field
+	point []float64
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+func newLeaf(p []float64) *node {
+	mn := append([]float64(nil), p...)
+	mx := append([]float64(nil), p...)
+	return &node{min: mn, max: mx, count: 1, point: p}
+}
+
+// tree is one random cut tree over a bounded point sample.
+type tree struct {
+	root *node
+	size int
+	rng  *rand.Rand
+	cap  int
+	// leaves in insertion order for windowed eviction
+	window []*node
+}
+
+// Forest is a collection of random cut trees sharing a stream of points.
+type Forest struct {
+	trees []*tree
+	dim   int
+}
+
+// New creates a forest of numTrees trees, each holding at most treeSize
+// points from the stream, using the given seed.
+func New(numTrees, treeSize int, seed int64) *Forest {
+	f := &Forest{}
+	for i := 0; i < numTrees; i++ {
+		f.trees = append(f.trees, &tree{
+			rng: rand.New(rand.NewSource(seed + int64(i)*104729)),
+			cap: treeSize,
+		})
+	}
+	return f
+}
+
+// InsertAndScore inserts the point into every tree (evicting the oldest
+// point when a tree is full) and returns the average CoDisp of the point
+// across trees.
+func (f *Forest) InsertAndScore(p []float64) float64 {
+	if f.dim == 0 {
+		f.dim = len(p)
+	}
+	total := 0.0
+	for _, t := range f.trees {
+		if t.size >= t.cap {
+			t.evictOldest()
+		}
+		leaf := t.insert(p)
+		total += t.codisp(leaf)
+	}
+	return total / float64(len(f.trees))
+}
+
+// Score computes the average CoDisp the point would have, without keeping it
+// in the forest (insert, score, delete).
+func (f *Forest) Score(p []float64) float64 {
+	if f.dim == 0 {
+		f.dim = len(p)
+	}
+	total := 0.0
+	for _, t := range f.trees {
+		leaf := t.insert(p)
+		total += t.codisp(leaf)
+		t.deleteLeaf(leaf, false)
+	}
+	return total / float64(len(f.trees))
+}
+
+func (t *tree) evictOldest() {
+	if len(t.window) == 0 {
+		return
+	}
+	oldest := t.window[0]
+	t.window = t.window[1:]
+	t.deleteLeaf(oldest, true)
+}
+
+// insert places p into the tree using the RRCF insertion rule: at each node
+// draw a random cut across the bounding box extended with p; if the cut
+// separates p from the box, split here, otherwise descend.
+func (t *tree) insert(p []float64) *node {
+	leaf := newLeaf(p)
+	t.size++
+	t.window = append(t.window, leaf)
+	if t.root == nil {
+		t.root = leaf
+		return leaf
+	}
+	cur := t.root
+	for {
+		// Combined bbox of cur and p.
+		span := 0.0
+		dim := len(p)
+		mins := make([]float64, dim)
+		maxs := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			mins[d] = minf(cur.min[d], p[d])
+			maxs[d] = maxf(cur.max[d], p[d])
+			span += maxs[d] - mins[d]
+		}
+		if span == 0 {
+			// Identical bounding box (duplicate point): descend to a leaf
+			// and attach beside it with a zero-width split.
+			if cur.isLeaf() {
+				t.attach(cur, leaf, 0, cur.point[0])
+				return leaf
+			}
+			cur = cur.left
+			continue
+		}
+		r := t.rng.Float64() * span
+		var cutDim int
+		var cutVal float64
+		acc := 0.0
+		for d := 0; d < dim; d++ {
+			w := maxs[d] - mins[d]
+			if r <= acc+w {
+				cutDim = d
+				cutVal = mins[d] + (r - acc)
+				break
+			}
+			acc += w
+		}
+		outside := cutVal < cur.min[cutDim] || cutVal >= cur.max[cutDim]
+		if outside || cur.isLeaf() {
+			t.attach(cur, leaf, cutDim, cutVal)
+			return leaf
+		}
+		if p[cur.dim] <= cur.cut {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+}
+
+// attach splits the edge above cur with a new internal node separating cur
+// from leaf on (dim, cut).
+func (t *tree) attach(cur, leaf *node, dim int, cut float64) {
+	parent := cur.parent
+	internal := &node{parent: parent, dim: dim, cut: cut}
+	if leaf.point[dim] <= cut {
+		internal.left, internal.right = leaf, cur
+	} else {
+		internal.left, internal.right = cur, leaf
+	}
+	cur.parent = internal
+	leaf.parent = internal
+	if parent == nil {
+		t.root = internal
+	} else if parent.left == cur {
+		parent.left = internal
+	} else {
+		parent.right = internal
+	}
+	refreshUp(internal)
+}
+
+// deleteLeaf removes a leaf; its sibling replaces the parent.
+func (t *tree) deleteLeaf(leaf *node, fromWindow bool) {
+	t.size--
+	if !fromWindow {
+		// remove from window slice (it is the most recent insertion)
+		for i := len(t.window) - 1; i >= 0; i-- {
+			if t.window[i] == leaf {
+				t.window = append(t.window[:i], t.window[i+1:]...)
+				break
+			}
+		}
+	}
+	parent := leaf.parent
+	if parent == nil {
+		t.root = nil
+		return
+	}
+	sibling := parent.left
+	if sibling == leaf {
+		sibling = parent.right
+	}
+	grand := parent.parent
+	sibling.parent = grand
+	if grand == nil {
+		t.root = sibling
+	} else if grand.left == parent {
+		grand.left = sibling
+	} else {
+		grand.right = sibling
+	}
+	refreshUp(sibling.parent)
+}
+
+// refreshUp recomputes counts and bounding boxes from n to the root.
+func refreshUp(n *node) {
+	for ; n != nil; n = n.parent {
+		if n.isLeaf() {
+			continue
+		}
+		n.count = n.left.count + n.right.count
+		dim := len(n.left.min)
+		if n.min == nil {
+			n.min = make([]float64, dim)
+			n.max = make([]float64, dim)
+		}
+		for d := 0; d < dim; d++ {
+			n.min[d] = minf(n.left.min[d], n.right.min[d])
+			n.max[d] = maxf(n.left.max[d], n.right.max[d])
+		}
+	}
+}
+
+// codisp computes the collusive displacement of a leaf: the max over its
+// ancestors of |sibling subtree| / |subtree containing the leaf|.
+func (t *tree) codisp(leaf *node) float64 {
+	best := 0.0
+	sub := leaf
+	for sub.parent != nil {
+		parent := sub.parent
+		sibling := parent.left
+		if sibling == sub {
+			sibling = parent.right
+		}
+		ratio := float64(sibling.count) / float64(sub.count)
+		if ratio > best {
+			best = ratio
+		}
+		sub = parent
+	}
+	return best
+}
+
+// Size returns the number of points currently held per tree.
+func (f *Forest) Size() int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	return f.trees[0].size
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

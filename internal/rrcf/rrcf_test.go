@@ -1,0 +1,74 @@
+package rrcf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOutlierScoresHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := New(16, 256, 9)
+	var normalScores []float64
+	for i := 0; i < 600; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		s := f.InsertAndScore(p)
+		if i > 300 {
+			normalScores = append(normalScores, s)
+		}
+	}
+	var normalAvg float64
+	for _, s := range normalScores {
+		normalAvg += s
+	}
+	normalAvg /= float64(len(normalScores))
+
+	outlier := f.Score([]float64{40, -40})
+	if outlier < 3*normalAvg {
+		t.Fatalf("outlier codisp %.2f should dwarf normal avg %.2f", outlier, normalAvg)
+	}
+}
+
+func TestScoreDoesNotGrowForest(t *testing.T) {
+	f := New(4, 64, 1)
+	for i := 0; i < 50; i++ {
+		f.InsertAndScore([]float64{float64(i % 7), float64(i % 3)})
+	}
+	before := f.Size()
+	f.Score([]float64{100, 100})
+	if f.Size() != before {
+		t.Fatalf("Score must not retain the point: %d -> %d", before, f.Size())
+	}
+}
+
+func TestWindowedEviction(t *testing.T) {
+	f := New(2, 32, 3)
+	for i := 0; i < 500; i++ {
+		f.InsertAndScore([]float64{float64(i), float64(i * 2)})
+	}
+	if f.Size() > 32 {
+		t.Fatalf("tree size %d exceeds window 32", f.Size())
+	}
+}
+
+func TestDuplicatePointsSafe(t *testing.T) {
+	f := New(4, 64, 7)
+	for i := 0; i < 100; i++ {
+		f.InsertAndScore([]float64{1, 1, 1})
+	}
+	if f.Size() == 0 {
+		t.Fatal("duplicates should still be held")
+	}
+	// A genuinely different point still gets a sane score.
+	s := f.Score([]float64{50, 50, 50})
+	if s <= 0 {
+		t.Fatalf("outlier among duplicates scored %f", s)
+	}
+}
+
+func TestEmptyForestScore(t *testing.T) {
+	f := New(2, 16, 1)
+	// First point in an empty tree: no ancestors, codisp 0 — must not panic.
+	if s := f.InsertAndScore([]float64{1, 2}); s != 0 {
+		t.Fatalf("first point codisp = %f, want 0", s)
+	}
+}

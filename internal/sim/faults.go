@@ -1,0 +1,66 @@
+package sim
+
+import "math/rand"
+
+// FaultType enumerates the paper's injected fault classes (Table 2).
+type FaultType int
+
+// The five injected fault types of Table 2.
+const (
+	FaultCPU FaultType = iota
+	FaultMemory
+	FaultNetworkDelay
+	FaultException
+	FaultErrorReturn
+)
+
+// String names the fault type.
+func (f FaultType) String() string {
+	switch f {
+	case FaultCPU:
+		return "cpu-exhaustion"
+	case FaultMemory:
+		return "memory-exhaustion"
+	case FaultNetworkDelay:
+		return "network-delay"
+	case FaultException:
+		return "code-exception"
+	default:
+		return "error-return"
+	}
+}
+
+// AllFaultTypes lists every fault class once.
+var AllFaultTypes = []FaultType{FaultCPU, FaultMemory, FaultNetworkDelay, FaultException, FaultErrorReturn}
+
+// Fault is one chaos-engineering injection: a fault type applied at a
+// service. Magnitude is in milliseconds for latency faults.
+type Fault struct {
+	Type      FaultType
+	Service   string
+	Magnitude float64
+}
+
+// RandomFault draws a fault targeting a uniformly random service of the
+// system.
+func RandomFault(r *rand.Rand, services []string) *Fault {
+	return &Fault{
+		Type:      AllFaultTypes[r.Intn(len(AllFaultTypes))],
+		Service:   services[r.Intn(len(services))],
+		Magnitude: 50 + r.Float64()*200,
+	}
+}
+
+// FaultCampaign generates the paper's evaluation campaign: n faults spread
+// round-robin over fault types, each targeting a random service.
+func FaultCampaign(r *rand.Rand, services []string, n int) []*Fault {
+	out := make([]*Fault, n)
+	for i := range out {
+		out[i] = &Fault{
+			Type:      AllFaultTypes[i%len(AllFaultTypes)],
+			Service:   services[r.Intn(len(services))],
+			Magnitude: 50 + r.Float64()*200,
+		}
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+// Package sim is the microservice workload substrate of the reproduction.
+// It replaces the paper's Kubernetes deployments (OnlineBoutique,
+// TrainTicket) and Alibaba production systems with deterministic in-process
+// generators that produce traces with the same structural properties the
+// Mint algorithms depend on:
+//
+//   - inter-trace commonality: requests to the same API traverse the same
+//     services in the same order;
+//   - inter-span commonality: spans from the same operation share attribute
+//     keys and value templates (SQL statements, URLs, thread names);
+//   - variability: parameters, durations and runtime state differ per
+//     request;
+//   - anomalies: injected faults distort latencies, statuses and error
+//     attributes the way ChaosBlade faults distort real traces.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// AttrKind selects a synthetic attribute generator for an operation.
+type AttrKind int
+
+// Attribute generator kinds.
+const (
+	AttrSQL      AttrKind = iota // "SELECT * FROM t WHERE id = <n>"
+	AttrSQLWrite                 // "INSERT INTO t (c1, c2) VALUES (...)"
+	AttrURL                      // "/v1/product?id=<n>&user=<id>"
+	AttrThread                   // "pool-3-thread-17"
+	AttrFunc                     // "com.acme.svc.Handler.process"
+	AttrPayload                  // numeric payload size
+	AttrCacheKey                 // "cache:product:<id>"
+	AttrHost                     // "10.23.41.7:8080"
+	AttrQueue                    // numeric queue depth
+	AttrVersion                  // "v2.14.3" — constant per operation
+	AttrStatic                   // constant resource metadata (region, SDK, build)
+	AttrStack                    // templated call-stack frame list
+)
+
+// AttrSpec declares one attribute an operation attaches to its spans.
+type AttrSpec struct {
+	Key  string
+	Kind AttrKind
+	// Table/Path seed the generator so different operations get different
+	// constants (different tables, different URL prefixes).
+	Seed string
+}
+
+// Op is one operation (unit of work) executed by a service.
+type Op struct {
+	Service   string
+	Name      string
+	Kind      trace.Kind
+	Attrs     []AttrSpec
+	BaseLatMS float64 // median latency in milliseconds
+	Children  []*Op   // downstream calls, in invocation order
+}
+
+// System is a simulated microservice system: services placed on nodes and a
+// set of APIs, each an operation call tree.
+type System struct {
+	Name        string
+	Nodes       []string
+	ServiceNode map[string]string // service -> node
+	APIs        []*API
+	rng         *rand.Rand
+	traceSeq    int
+	spanSeq     int
+}
+
+// API is an entry point: a named request type with a weight (its share of
+// traffic) and a root operation.
+type API struct {
+	Name   string
+	Weight float64
+	Root   *Op
+}
+
+// NewSystem creates an empty system with a deterministic RNG.
+func NewSystem(name string, seed int64) *System {
+	return &System{
+		Name:        name,
+		ServiceNode: map[string]string{},
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// PlaceServices assigns services round-robin across n nodes.
+func (s *System) PlaceServices(services []string, n int) {
+	s.Nodes = s.Nodes[:0]
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, fmt.Sprintf("%s-node-%02d", s.Name, i+1))
+	}
+	for i, svc := range services {
+		s.ServiceNode[svc] = s.Nodes[i%n]
+	}
+}
+
+// AddAPI registers an API.
+func (s *System) AddAPI(api *API) { s.APIs = append(s.APIs, api) }
+
+// RNG exposes the system's RNG for workload drivers that need correlated
+// randomness.
+func (s *System) RNG() *rand.Rand { return s.rng }
+
+// PickAPI selects an API according to the configured weights.
+func (s *System) PickAPI() int {
+	total := 0.0
+	for _, a := range s.APIs {
+		total += a.Weight
+	}
+	x := s.rng.Float64() * total
+	for i, a := range s.APIs {
+		x -= a.Weight
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(s.APIs) - 1
+}
+
+// GenOptions tunes one generated trace.
+type GenOptions struct {
+	Fault     *Fault // nil for a normal request
+	StartUnix int64  // virtual start time (µs); 0 lets the sequence assign
+}
+
+// NextTraceID returns the next deterministic trace ID.
+func (s *System) NextTraceID() string {
+	s.traceSeq++
+	return fmt.Sprintf("%s-t%08x", s.Name, s.traceSeq)
+}
+
+func (s *System) nextSpanID() string {
+	s.spanSeq++
+	return fmt.Sprintf("s%08x", s.spanSeq)
+}
+
+// GenTrace generates one trace for APIs[apiIdx].
+func (s *System) GenTrace(apiIdx int, opt GenOptions) *trace.Trace {
+	api := s.APIs[apiIdx]
+	traceID := s.NextTraceID()
+	start := opt.StartUnix
+	if start == 0 {
+		start = int64(s.traceSeq) * 1000
+	}
+	t := &trace.Trace{TraceID: traceID}
+	s.genOp(t, api.Root, "", start, opt.Fault, true)
+	if opt.Fault != nil {
+		// The evaluation tags injected anomalies so tail sampling can
+		// filter on the tag (§5, "we tag all injected abnormal requests
+		// with an 'is_abnormal' tag").
+		if root := t.Root(); root != nil {
+			root.Attributes["is_abnormal"] = trace.Str("true")
+		}
+	}
+	return t
+}
+
+// genOp emits the spans for op and its subtree; returns the subtree latency
+// in microseconds.
+func (s *System) genOp(t *trace.Trace, op *Op, parentID string, start int64, f *Fault, isRoot bool) int64 {
+	node := s.ServiceNode[op.Service]
+	span := &trace.Span{
+		TraceID:    t.TraceID,
+		SpanID:     s.nextSpanID(),
+		ParentID:   parentID,
+		Service:    op.Service,
+		Node:       node,
+		Operation:  op.Name,
+		Kind:       op.Kind,
+		StartUnix:  start,
+		Status:     trace.StatusOK,
+		Attributes: map[string]trace.AttrValue{},
+	}
+	for _, spec := range op.Attrs {
+		span.Attributes[spec.Key] = s.genAttr(spec)
+	}
+
+	selfLat := s.latency(op.BaseLatMS)
+	childStart := start + selfLat/4
+	total := selfLat
+	for _, child := range op.Children {
+		// Cross-service calls produce a client span on the caller's node
+		// and the callee subtree; same-service calls nest directly.
+		if child.Service != op.Service {
+			clientSpan := &trace.Span{
+				TraceID:    t.TraceID,
+				SpanID:     s.nextSpanID(),
+				ParentID:   span.SpanID,
+				Service:    op.Service,
+				Node:       node,
+				Operation:  "call " + child.Service + "/" + child.Name,
+				Kind:       trace.KindClient,
+				StartUnix:  childStart,
+				Status:     trace.StatusOK,
+				Attributes: map[string]trace.AttrValue{"peer.service": trace.Str(child.Service)},
+			}
+			t.Spans = append(t.Spans, clientSpan)
+			netDelay := s.latency(0.2) // network hop
+			if f != nil && f.Type == FaultNetworkDelay && f.Service == child.Service {
+				netDelay += int64(f.Magnitude * 1000)
+			}
+			childLat := s.genOp(t, child, clientSpan.SpanID, childStart+netDelay, f, false)
+			clientSpan.Duration = childLat + 2*netDelay
+			if st := statusOfChild(t, clientSpan.SpanID); st != trace.StatusOK {
+				clientSpan.Status = st
+			}
+			childStart += clientSpan.Duration
+			total += clientSpan.Duration
+		} else {
+			childLat := s.genOp(t, child, span.SpanID, childStart, f, false)
+			childStart += childLat
+			total += childLat
+		}
+	}
+
+	if f != nil && f.Service == op.Service {
+		switch f.Type {
+		case FaultCPU, FaultMemory:
+			// Resource exhaustion inflates service time.
+			total += int64(f.Magnitude * 1000 * (1 + s.rng.Float64()))
+		case FaultException:
+			span.Status = trace.StatusError
+			span.Attributes["exception"] = trace.Str(fmt.Sprintf(
+				"java.lang.NullPointerException at com.%s.%s.process(line %d)",
+				op.Service, sanitizeOp(op.Name), 100+s.rng.Intn(400)))
+		case FaultErrorReturn:
+			span.Status = trace.StatusError
+			span.Attributes["error.code"] = trace.Str(fmt.Sprintf("ERR_%d", 5000+s.rng.Intn(10)))
+		}
+	}
+	span.Duration = total
+	t.Spans = append(t.Spans, span)
+	return total
+}
+
+func statusOfChild(t *trace.Trace, parentID string) trace.Status {
+	for _, s := range t.Spans {
+		if s.ParentID == parentID && s.Status != trace.StatusOK {
+			return s.Status
+		}
+	}
+	return trace.StatusOK
+}
+
+// latency draws a log-normal latency around baseMS milliseconds, in µs.
+// The spread (σ=0.15) keeps an operation's durations within one or two
+// exponential buckets, matching the stable production latencies behind the
+// paper's small pattern counts (Table 5).
+func (s *System) latency(baseMS float64) int64 {
+	if baseMS <= 0 {
+		baseMS = 0.1
+	}
+	v := math.Exp(s.rng.NormFloat64()*0.15) * baseMS * 1000
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// lognormAround draws a log-normal value around base with spread sigma.
+func (s *System) lognormAround(base, sigma float64) float64 {
+	return math.Exp(s.rng.NormFloat64()*sigma) * base
+}
+
+var (
+	tables   = []string{"orders", "users", "products", "inventory", "payments", "sessions", "tickets", "routes"}
+	columns  = []string{"id", "user_id", "city_id", "rb_id", "customer_id", "amount", "status", "created_at"}
+	excNames = []string{"scheduling", "http-nio", "grpc-worker", "kafka-consumer"}
+)
+
+// genAttr renders one synthetic attribute value: a fixed template per
+// (kind, seed) with random parameters — exactly the commonality/variability
+// structure of Fig. 4's instrumentation statements.
+func (s *System) genAttr(spec AttrSpec) trace.AttrValue {
+	r := s.rng
+	switch spec.Kind {
+	case AttrSQL:
+		tbl, shapeSeed := splitSeed(spec.Seed)
+		if tbl == "" {
+			tbl = tables[r.Intn(len(tables))]
+		}
+		// The statement shape is fixed per operation (it comes from one
+		// instrumentation site) but differs across operations sharing the
+		// attribute key. Cross-operation similarities land mid-range
+		// (0.3–0.7), which is what makes the similarity threshold a real
+		// knob (Fig. 16).
+		switch hashSeed(shapeSeed) % 3 {
+		case 0:
+			return trace.Str(fmt.Sprintf(
+				"SELECT id,user_id,city_id,rb_id,customer_id,amount,status,created_at,updated_at,region,batch_no FROM %s WHERE %s=%d AND status=%d ORDER BY created_at DESC LIMIT 50",
+				tbl, columns[r.Intn(3)], r.Intn(1_000_000), r.Intn(4)))
+		case 1:
+			return trace.Str(fmt.Sprintf(
+				"UPDATE %s SET status=%d,updated_at=NOW(),region=cn-hangzhou WHERE %s=%d AND version=%d",
+				tbl, r.Intn(4), columns[r.Intn(3)], r.Intn(1_000_000), r.Intn(100)))
+		default:
+			return trace.Str(fmt.Sprintf(
+				"SELECT count(*),max(amount),min(created_at) FROM %s WHERE region=cn-hangzhou AND batch_no=%d GROUP BY status",
+				tbl, r.Intn(100_000)))
+		}
+	case AttrSQLWrite:
+		tbl := spec.Seed
+		if tbl == "" {
+			tbl = tables[r.Intn(len(tables))]
+		}
+		return trace.Str(fmt.Sprintf(
+			"INSERT INTO %s(city_id,rb_id,customer_id,quantity,unit_price,currency,region,batch_no,created_at) VALUES(%d,%d,%d,%d,%d,CNY,cn-hangzhou,%d,NOW())",
+			tbl, r.Intn(999), r.Intn(999), r.Intn(999_999), 1+r.Intn(20), 100+r.Intn(9900), r.Intn(100_000)))
+	case AttrURL:
+		return trace.Str(fmt.Sprintf("/%s?id=%d&session=%08x",
+			spec.Seed, r.Intn(100_000), r.Uint32()))
+	case AttrThread:
+		return trace.Str(fmt.Sprintf("%s-%d-thread-%d",
+			excNames[len(spec.Seed)%len(excNames)], 1+r.Intn(4), 1+r.Intn(64)))
+	case AttrFunc:
+		return trace.Str(fmt.Sprintf("com.bench.%s.Handler.process", spec.Seed))
+	case AttrPayload:
+		return trace.Num(float64(int64(s.lognormAround(512, 0.25))))
+	case AttrCacheKey:
+		return trace.Str(fmt.Sprintf("cache:%s:%d", spec.Seed, r.Intn(100_000)))
+	case AttrHost:
+		return trace.Str(fmt.Sprintf("10.%d.%d.%d:8080", r.Intn(256), r.Intn(256), 1+r.Intn(254)))
+	case AttrQueue:
+		return trace.Num(float64(int64(s.lognormAround(8, 0.3))) + 1)
+	case AttrVersion:
+		return trace.Str("v2.14." + spec.Seed)
+	case AttrStatic:
+		// Constant resource metadata: identical on every span of the
+		// operation (OTel resource attributes). Pure commonality.
+		return trace.Str(fmt.Sprintf(
+			"region=cn-hangzhou,az=az-%s,sdk=opentelemetry-java-1.32.0,runtime=openjdk-17.0.9,build=2024.03.%s,deploy=prod",
+			spec.Seed, spec.Seed))
+	case AttrStack:
+		return trace.Str(fmt.Sprintf(
+			"com.bench.%s.Controller.handle/com.bench.%s.Service.execute/com.bench.%s.Dao.query(row %d)/org.apache.ibatis.session.SqlSession.selectList",
+			spec.Seed, spec.Seed, spec.Seed, r.Intn(500)))
+	default:
+		return trace.Str("value-" + fmt.Sprint(r.Intn(10)))
+	}
+}
+
+// sanitizeOp strips spaces from an operation name so it embeds cleanly in
+// generated identifiers.
+func sanitizeOp(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		if name[i] == ' ' || name[i] == '/' {
+			continue
+		}
+		out = append(out, name[i])
+	}
+	return string(out)
+}
+
+// TrafficServices returns the services reachable from at least one API's
+// call tree, sorted. Fault campaigns draw targets from this set: a fault at
+// a service no request touches leaves no trace-level symptom.
+func (s *System) TrafficServices() []string {
+	set := map[string]struct{}{}
+	var walk func(op *Op)
+	walk = func(op *Op) {
+		set[op.Service] = struct{}{}
+		for _, c := range op.Children {
+			walk(c)
+		}
+	}
+	for _, api := range s.APIs {
+		walk(api.Root)
+	}
+	out := make([]string, 0, len(set))
+	for svc := range set {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitSeed separates a "table|operation" seed into the table name and the
+// shape seed; plain seeds use the same string for both.
+func splitSeed(seed string) (table, shape string) {
+	for i := 0; i < len(seed); i++ {
+		if seed[i] == '|' {
+			return seed[:i], seed
+		}
+	}
+	return seed, seed
+}
+
+// hashSeed gives a small deterministic hash of an attribute seed, used to
+// pick per-operation constants (statement shapes).
+func hashSeed(s string) int {
+	h := 0
+	for i := 0; i < len(s); i++ {
+		h = h*31 + int(s[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := OnlineBoutique(42)
+	b := OnlineBoutique(42)
+	ta := GenTraces(a, 50)
+	tb := GenTraces(b, 50)
+	for i := range ta {
+		if ta[i].Serialize() != tb[i].Serialize() {
+			t.Fatalf("trace %d differs across identically seeded systems", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := GenTraces(OnlineBoutique(1), 10)
+	b := GenTraces(OnlineBoutique(2), 10)
+	same := 0
+	for i := range a {
+		if a[i].Serialize() == b[i].Serialize() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+func TestTraceWellFormed(t *testing.T) {
+	sys := TrainTicket(7)
+	for _, tr := range GenTraces(sys, 100) {
+		if tr.Root() == nil {
+			t.Fatal("every trace needs a root span")
+		}
+		ids := map[string]bool{}
+		for _, s := range tr.Spans {
+			if ids[s.SpanID] {
+				t.Fatalf("duplicate span ID %s", s.SpanID)
+			}
+			ids[s.SpanID] = true
+			if s.TraceID != tr.TraceID {
+				t.Fatal("span trace ID mismatch")
+			}
+			if s.Node == "" || s.Service == "" {
+				t.Fatalf("span missing placement: %+v", s)
+			}
+		}
+		// Every non-root parent must exist.
+		for _, s := range tr.Spans {
+			if s.ParentID != "" && !ids[s.ParentID] {
+				t.Fatalf("dangling parent %s", s.ParentID)
+			}
+		}
+	}
+}
+
+func TestClientSpansForCrossServiceCalls(t *testing.T) {
+	sys := OnlineBoutique(5)
+	tr := sys.GenTrace(0, GenOptions{}) // home: frontend fans out
+	clients := 0
+	for _, s := range tr.Spans {
+		if s.Kind == trace.KindClient {
+			clients++
+			if s.Attributes["peer.service"].Str == "" {
+				t.Fatal("client span must name its callee")
+			}
+		}
+	}
+	if clients == 0 {
+		t.Fatal("cross-service calls must emit client spans")
+	}
+}
+
+func TestFaultEffects(t *testing.T) {
+	sys := OnlineBoutique(9)
+	// Exception fault: error status + exception attribute + is_abnormal tag.
+	exc := sys.GenTrace(3, GenOptions{Fault: &Fault{Type: FaultException, Service: "payment", Magnitude: 100}})
+	foundErr, foundAttr := false, false
+	for _, s := range exc.Spans {
+		if s.Service == "payment" && s.Status == trace.StatusError {
+			foundErr = true
+			if s.Attributes["exception"].Str != "" {
+				foundAttr = true
+			}
+		}
+	}
+	if !foundErr || !foundAttr {
+		t.Fatalf("exception fault not applied: err=%v attr=%v", foundErr, foundAttr)
+	}
+	if exc.Root().Attributes["is_abnormal"].Str != "true" {
+		t.Fatal("faulted trace must carry the is_abnormal tag")
+	}
+
+	// CPU fault inflates the faulted service's duration.
+	base := sys.GenTrace(3, GenOptions{})
+	slow := sys.GenTrace(3, GenOptions{Fault: &Fault{Type: FaultCPU, Service: "payment", Magnitude: 500}})
+	durOf := func(tr *trace.Trace) int64 {
+		for _, s := range tr.Spans {
+			if s.Service == "payment" && s.Kind == trace.KindServer {
+				return s.Duration
+			}
+		}
+		return 0
+	}
+	if durOf(slow) < durOf(base)+400_000 {
+		t.Fatalf("CPU fault should add ≥400ms: base %d, slow %d", durOf(base), durOf(slow))
+	}
+}
+
+func TestErrorPropagatesToClientSpan(t *testing.T) {
+	sys := OnlineBoutique(11)
+	tr := sys.GenTrace(3, GenOptions{Fault: &Fault{Type: FaultErrorReturn, Service: "payment", Magnitude: 1}})
+	byID := map[string]*trace.Span{}
+	for _, s := range tr.Spans {
+		byID[s.SpanID] = s
+	}
+	for _, s := range tr.Spans {
+		if s.Service == "payment" && s.Status == trace.StatusError {
+			parent := byID[s.ParentID]
+			if parent != nil && parent.Kind == trace.KindClient && parent.Status != trace.StatusError {
+				t.Fatal("caller's client span should reflect the callee error")
+			}
+		}
+	}
+}
+
+func TestAPIWeights(t *testing.T) {
+	sys := OnlineBoutique(13)
+	counts := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		counts[sys.PickAPI()]++
+	}
+	if counts[0] <= counts[4] {
+		t.Fatalf("home (w=0.35) should dominate currency-rare (w=0.05): %v", counts)
+	}
+}
+
+func TestTrafficServices(t *testing.T) {
+	sys := TrainTicket(3)
+	ts := sys.TrafficServices()
+	if len(ts) == 0 || len(ts) >= len(sys.ServiceNode) {
+		t.Fatalf("traffic services = %d of %d — the APIs touch a strict subset", len(ts), len(sys.ServiceNode))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatal("traffic services must be sorted")
+		}
+	}
+}
+
+func TestAlibabaLikeShape(t *testing.T) {
+	for _, spec := range Fig13Datasets[:3] {
+		sys := DatasetSystem(spec, 1)
+		if len(sys.APIs) != spec.APINum {
+			t.Fatalf("%s: %d APIs, want %d", spec.Name, len(sys.APIs), spec.APINum)
+		}
+		sample := GenTraces(sys, 50)
+		var spans float64
+		for _, tr := range sample {
+			spans += float64(len(tr.Spans))
+		}
+		avg := spans / 50
+		// Depth target counts operations; client spans roughly double the
+		// span count. Just sanity-check the scale tracks the spec.
+		if avg < float64(spec.AvgDepth)/2 {
+			t.Fatalf("%s: avg spans %.1f too shallow for depth %d", spec.Name, avg, spec.AvgDepth)
+		}
+	}
+}
+
+func TestFaultCampaignRoundRobin(t *testing.T) {
+	sys := OnlineBoutique(17)
+	faults := FaultCampaign(sys.RNG(), sys.TrafficServices(), 10)
+	if len(faults) != 10 {
+		t.Fatal("campaign size")
+	}
+	for i, f := range faults {
+		if f.Type != AllFaultTypes[i%len(AllFaultTypes)] {
+			t.Fatal("campaign must round-robin fault types")
+		}
+	}
+}
+
+func TestZipfIndexDistribution(t *testing.T) {
+	sys := NewSystem("z", 1)
+	counts := make([]int, 5)
+	for i := 0; i < 10000; i++ {
+		counts[zipfIndex(sys.RNG(), 5)]++
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1]+500 {
+			t.Fatalf("zipf weights must decay: %v", counts)
+		}
+	}
+}
+
+func TestFaultTypeStrings(t *testing.T) {
+	for _, ft := range AllFaultTypes {
+		if ft.String() == "" {
+			t.Fatal("fault type must have a name")
+		}
+	}
+}
+
+func TestStartUnixOption(t *testing.T) {
+	sys := OnlineBoutique(19)
+	tr := sys.GenTrace(0, GenOptions{StartUnix: 123456})
+	if tr.Root().StartUnix != 123456 {
+		t.Fatalf("root start = %d", tr.Root().StartUnix)
+	}
+}

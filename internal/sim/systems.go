@@ -1,0 +1,492 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// OnlineBoutique builds the 10-microservice web e-commerce benchmark
+// (GoogleCloudPlatform/microservices-demo) used in §5: frontend fans out to
+// catalog, cart, recommendation, currency, shipping, checkout, payment,
+// email and ad services over gRPC.
+func OnlineBoutique(seed int64) *System {
+	s := NewSystem("ob", seed)
+	services := []string{
+		"frontend", "productcatalog", "cartservice", "recommendation",
+		"currency", "checkout", "payment", "shipping", "email", "adservice",
+	}
+	s.PlaceServices(services, 12)
+
+	catalogGet := &Op{
+		Service: "productcatalog", Name: "GetProduct", Kind: 1,
+		BaseLatMS: 3,
+		Attrs: []AttrSpec{
+			{Key: "sql.query", Kind: AttrSQL, Seed: "products"},
+			{Key: "thread.name", Kind: AttrThread, Seed: "cat"},
+		},
+	}
+	currencyConv := &Op{
+		Service: "currency", Name: "Convert", Kind: 1, BaseLatMS: 1,
+		Attrs: []AttrSpec{
+			{Key: "currency.pair", Kind: AttrCacheKey, Seed: "fx"},
+			{Key: "payload.bytes", Kind: AttrPayload},
+		},
+	}
+	cartGet := &Op{
+		Service: "cartservice", Name: "GetCart", Kind: 1, BaseLatMS: 2,
+		Attrs: []AttrSpec{
+			{Key: "cache.key", Kind: AttrCacheKey, Seed: "cart"},
+			{Key: "net.peer", Kind: AttrHost},
+		},
+	}
+	recommend := &Op{
+		Service: "recommendation", Name: "ListRecommendations", Kind: 1, BaseLatMS: 4,
+		Attrs: []AttrSpec{
+			{Key: "code.func", Kind: AttrFunc, Seed: "recommendation"},
+			{Key: "payload.bytes", Kind: AttrPayload},
+		},
+		Children: []*Op{catalogGet},
+	}
+	adsGet := &Op{
+		Service: "adservice", Name: "GetAds", Kind: 1, BaseLatMS: 2,
+		Attrs: []AttrSpec{
+			{Key: "http.url", Kind: AttrURL, Seed: "v1/ads"},
+		},
+	}
+
+	s.AddAPI(&API{
+		Name: "home", Weight: 0.35,
+		Root: &Op{
+			Service: "frontend", Name: "GET /", Kind: 1, BaseLatMS: 5,
+			Attrs: []AttrSpec{
+				{Key: "http.url", Kind: AttrURL, Seed: "home"},
+				{Key: "thread.name", Kind: AttrThread, Seed: "fe"},
+			},
+			Children: []*Op{catalogGet, currencyConv, cartGet, adsGet},
+		},
+	})
+	s.AddAPI(&API{
+		Name: "product", Weight: 0.30,
+		Root: &Op{
+			Service: "frontend", Name: "GET /product", Kind: 1, BaseLatMS: 5,
+			Attrs: []AttrSpec{
+				{Key: "http.url", Kind: AttrURL, Seed: "v1/product"},
+				{Key: "thread.name", Kind: AttrThread, Seed: "fe"},
+			},
+			Children: []*Op{catalogGet, recommend, currencyConv, adsGet},
+		},
+	})
+	s.AddAPI(&API{
+		Name: "cart", Weight: 0.18,
+		Root: &Op{
+			Service: "frontend", Name: "GET /cart", Kind: 1, BaseLatMS: 4,
+			Attrs: []AttrSpec{
+				{Key: "http.url", Kind: AttrURL, Seed: "v1/cart"},
+			},
+			Children: []*Op{cartGet, recommend, currencyConv, catalogGet},
+		},
+	})
+	s.AddAPI(&API{
+		Name: "checkout", Weight: 0.12,
+		Root: &Op{
+			Service: "frontend", Name: "POST /checkout", Kind: 1, BaseLatMS: 6,
+			Attrs: []AttrSpec{
+				{Key: "http.url", Kind: AttrURL, Seed: "v1/checkout"},
+			},
+			Children: []*Op{
+				{
+					Service: "checkout", Name: "PlaceOrder", Kind: 1, BaseLatMS: 8,
+					Attrs: []AttrSpec{
+						{Key: "sql.query", Kind: AttrSQLWrite, Seed: "orders"},
+						{Key: "code.func", Kind: AttrFunc, Seed: "checkout"},
+					},
+					Children: []*Op{
+						cartGet,
+						catalogGet,
+						currencyConv,
+						{
+							Service: "payment", Name: "Charge", Kind: 1, BaseLatMS: 10,
+							Attrs: []AttrSpec{
+								{Key: "sql.query", Kind: AttrSQLWrite, Seed: "payments"},
+								{Key: "payment.amount", Kind: AttrPayload},
+							},
+						},
+						{
+							Service: "shipping", Name: "ShipOrder", Kind: 1, BaseLatMS: 6,
+							Attrs: []AttrSpec{
+								{Key: "shipping.addr", Kind: AttrCacheKey, Seed: "addr"},
+							},
+						},
+						{
+							Service: "email", Name: "SendConfirmation", Kind: 1, BaseLatMS: 3,
+							Attrs: []AttrSpec{
+								{Key: "template.id", Kind: AttrVersion, Seed: "7"},
+							},
+						},
+					},
+				},
+			},
+		},
+	})
+	s.AddAPI(&API{
+		Name: "currency-rare", Weight: 0.05,
+		Root: &Op{
+			Service: "frontend", Name: "GET /setCurrency", Kind: 1, BaseLatMS: 2,
+			Attrs: []AttrSpec{
+				{Key: "http.url", Kind: AttrURL, Seed: "v1/setCurrency"},
+			},
+			Children: []*Op{currencyConv},
+		},
+	})
+	return s
+}
+
+// TrainTicket builds the 45-service railway ticketing benchmark
+// (FudanSELab/train-ticket): deep synchronous REST call chains.
+func TrainTicket(seed int64) *System {
+	s := NewSystem("tt", seed)
+	var services []string
+	names := []string{
+		"ui-dashboard", "auth", "user", "verification-code", "station",
+		"train", "config", "contacts", "order", "order-other", "route",
+		"travel", "travel2", "ticketinfo", "basic", "price", "seat",
+		"food", "food-map", "assurance", "security", "inside-payment",
+		"payment", "execute", "preserve", "preserve-other", "cancel",
+		"rebook", "consign", "consign-price", "notification", "admin-basic",
+		"admin-order", "admin-route", "admin-travel", "admin-user", "news",
+		"voucher", "route-plan", "travel-plan", "avatar", "delivery",
+		"gateway", "wait-order", "station-food",
+	}
+	for _, n := range names {
+		services = append(services, "ts-"+n+"-service")
+	}
+	s.PlaceServices(services, 12)
+
+	svc := func(i int) string { return services[i%len(services)] }
+	dbOp := func(i int, table string) *Op {
+		return &Op{
+			Service: svc(i), Name: "query" + table, Kind: 1, BaseLatMS: 2,
+			Attrs: []AttrSpec{
+				{Key: "sql.query", Kind: AttrSQL, Seed: table},
+				{Key: "thread.name", Kind: AttrThread, Seed: table},
+			},
+		}
+	}
+
+	// preserve: the deepest chain in TrainTicket (ticket booking).
+	preserve := &Op{
+		Service: svc(24), Name: "POST /preserve", Kind: 1, BaseLatMS: 8,
+		Attrs: []AttrSpec{{Key: "http.url", Kind: AttrURL, Seed: "api/v1/preserve"}},
+		Children: []*Op{
+			{
+				Service: svc(1), Name: "verifyToken", Kind: 1, BaseLatMS: 2,
+				Attrs:    []AttrSpec{{Key: "auth.token", Kind: AttrCacheKey, Seed: "tok"}},
+				Children: []*Op{dbOp(2, "users")},
+			},
+			{
+				Service: svc(7), Name: "getContacts", Kind: 1, BaseLatMS: 3,
+				Children: []*Op{dbOp(7, "contacts")},
+			},
+			{
+				Service: svc(11), Name: "getTripAllDetail", Kind: 1, BaseLatMS: 6,
+				Attrs: []AttrSpec{{Key: "code.func", Kind: AttrFunc, Seed: "travel"}},
+				Children: []*Op{
+					{
+						Service: svc(13), Name: "queryForTravel", Kind: 1, BaseLatMS: 4,
+						Children: []*Op{
+							dbOp(4, "routes"),
+							{
+								Service: svc(15), Name: "getPrice", Kind: 1, BaseLatMS: 2,
+								Children: []*Op{dbOp(15, "tickets")},
+							},
+							{
+								Service: svc(16), Name: "getLeftSeats", Kind: 1, BaseLatMS: 3,
+								Children: []*Op{dbOp(16, "inventory")},
+							},
+						},
+					},
+				},
+			},
+			{
+				Service: svc(19), Name: "getAssurance", Kind: 1, BaseLatMS: 1,
+				Children: []*Op{dbOp(19, "sessions")},
+			},
+			{
+				Service: svc(17), Name: "getFood", Kind: 1, BaseLatMS: 2,
+				Children: []*Op{dbOp(18, "products")},
+			},
+			{
+				Service: svc(8), Name: "createOrder", Kind: 1, BaseLatMS: 6,
+				Attrs: []AttrSpec{{Key: "sql.query", Kind: AttrSQLWrite, Seed: "orders"}},
+				Children: []*Op{
+					{
+						Service: svc(21), Name: "pay", Kind: 1, BaseLatMS: 8,
+						Attrs: []AttrSpec{{Key: "sql.query", Kind: AttrSQLWrite, Seed: "payments"}},
+						Children: []*Op{
+							{
+								Service: svc(22), Name: "externalPay", Kind: 1, BaseLatMS: 12,
+								Attrs: []AttrSpec{{Key: "net.peer", Kind: AttrHost}},
+							},
+						},
+					},
+					{
+						Service: svc(30), Name: "notify", Kind: 1, BaseLatMS: 2,
+						Attrs: []AttrSpec{{Key: "template.id", Kind: AttrVersion, Seed: "3"}},
+					},
+				},
+			},
+		},
+	}
+	s.AddAPI(&API{Name: "preserve", Weight: 0.20, Root: preserve})
+
+	queryTicket := &Op{
+		Service: svc(39), Name: "POST /travelPlan", Kind: 1, BaseLatMS: 6,
+		Attrs: []AttrSpec{{Key: "http.url", Kind: AttrURL, Seed: "api/v1/travelplan"}},
+		Children: []*Op{
+			{
+				Service: svc(38), Name: "searchRoutes", Kind: 1, BaseLatMS: 5,
+				Children: []*Op{
+					dbOp(10, "routes"),
+					{
+						Service: svc(11), Name: "getTrips", Kind: 1, BaseLatMS: 4,
+						Children: []*Op{dbOp(5, "routes"), dbOp(13, "tickets")},
+					},
+					{
+						Service: svc(12), Name: "getTrips2", Kind: 1, BaseLatMS: 4,
+						Children: []*Op{dbOp(5, "routes")},
+					},
+				},
+			},
+			{
+				Service: svc(4), Name: "queryStations", Kind: 1, BaseLatMS: 2,
+				Children: []*Op{dbOp(4, "routes")},
+			},
+		},
+	}
+	s.AddAPI(&API{Name: "travel-plan", Weight: 0.35, Root: queryTicket})
+
+	orderList := &Op{
+		Service: svc(8), Name: "GET /orders", Kind: 1, BaseLatMS: 4,
+		Attrs: []AttrSpec{{Key: "http.url", Kind: AttrURL, Seed: "api/v1/orders"}},
+		Children: []*Op{
+			{
+				Service: svc(1), Name: "verifyToken", Kind: 1, BaseLatMS: 2,
+				Children: []*Op{dbOp(2, "users")},
+			},
+			dbOp(8, "orders"),
+			dbOp(9, "orders"),
+		},
+	}
+	s.AddAPI(&API{Name: "order-list", Weight: 0.25, Root: orderList})
+
+	cancel := &Op{
+		Service: svc(26), Name: "POST /cancel", Kind: 1, BaseLatMS: 5,
+		Attrs: []AttrSpec{{Key: "http.url", Kind: AttrURL, Seed: "api/v1/cancel"}},
+		Children: []*Op{
+			{
+				Service: svc(8), Name: "getOrder", Kind: 1, BaseLatMS: 3,
+				Children: []*Op{dbOp(8, "orders")},
+			},
+			{
+				Service: svc(21), Name: "refund", Kind: 1, BaseLatMS: 7,
+				Attrs: []AttrSpec{{Key: "sql.query", Kind: AttrSQLWrite, Seed: "payments"}},
+			},
+			{
+				Service: svc(30), Name: "notify", Kind: 1, BaseLatMS: 2,
+			},
+		},
+	}
+	s.AddAPI(&API{Name: "cancel", Weight: 0.12, Root: cancel})
+
+	consign := &Op{
+		Service: svc(28), Name: "PUT /consign", Kind: 1, BaseLatMS: 3,
+		Attrs: []AttrSpec{{Key: "http.url", Kind: AttrURL, Seed: "api/v1/consign"}},
+		Children: []*Op{
+			{
+				Service: svc(29), Name: "getPrice", Kind: 1, BaseLatMS: 2,
+				Children: []*Op{dbOp(29, "tickets")},
+			},
+			dbOp(28, "orders"),
+		},
+	}
+	s.AddAPI(&API{Name: "consign", Weight: 0.08, Root: consign})
+	return s
+}
+
+// DatasetSpec mirrors one row of Fig. 13(b): an Alibaba sub-system with a
+// given API count and average call depth.
+type DatasetSpec struct {
+	Name     string
+	TraceNum int
+	APINum   int
+	AvgDepth int
+}
+
+// Fig13Datasets are the six Alibaba datasets used by Table 4. TraceNum is
+// scaled down 1000x from the paper so benchmarks finish in seconds; the
+// compression ratios depend on structure, not absolute counts.
+var Fig13Datasets = []DatasetSpec{
+	{Name: "A", TraceNum: 1422, APINum: 2, AvgDepth: 6},
+	{Name: "B", TraceNum: 8421, APINum: 4, AvgDepth: 11},
+	{Name: "C", TraceNum: 16522, APINum: 4, AvgDepth: 52},
+	{Name: "D", TraceNum: 2564, APINum: 6, AvgDepth: 15},
+	{Name: "E", TraceNum: 11435, APINum: 6, AvgDepth: 28},
+	{Name: "F", TraceNum: 18745, APINum: 8, AvgDepth: 23},
+}
+
+// AlibabaLike builds a synthetic production sub-system with the given API
+// count and average call depth, modeled after the Fig. 13 datasets.
+func AlibabaLike(name string, apiNum, avgDepth int, seed int64) *System {
+	s := NewSystem(name, seed)
+	r := rand.New(rand.NewSource(seed * 7919))
+	nServices := apiNum * 3
+	if nServices < 6 {
+		nServices = 6
+	}
+	var services []string
+	for i := 0; i < nServices; i++ {
+		services = append(services, fmt.Sprintf("%s-svc-%02d", name, i))
+	}
+	s.PlaceServices(services, 8)
+
+	attrPool := func(svcIdx int, opName string) []AttrSpec {
+		specs := []AttrSpec{
+			{Key: "code.func", Kind: AttrFunc, Seed: opName},
+			{Key: "resource.meta", Kind: AttrStatic, Seed: opName},
+			{Key: "code.stack", Kind: AttrStack, Seed: opName},
+		}
+		switch svcIdx % 4 {
+		case 0:
+			specs = append(specs, AttrSpec{Key: "sql.query", Kind: AttrSQL,
+				Seed: tables[svcIdx%len(tables)] + "|" + opName})
+		case 1:
+			specs = append(specs, AttrSpec{Key: "http.url", Kind: AttrURL, Seed: "api/" + opName})
+		case 2:
+			specs = append(specs, AttrSpec{Key: "sql.query", Kind: AttrSQLWrite, Seed: tables[svcIdx%len(tables)]})
+			specs = append(specs, AttrSpec{Key: "thread.name", Kind: AttrThread, Seed: opName})
+		default:
+			specs = append(specs, AttrSpec{Key: "cache.key", Kind: AttrCacheKey, Seed: opName})
+			specs = append(specs, AttrSpec{Key: "payload.bytes", Kind: AttrPayload})
+		}
+		return specs
+	}
+
+	// Production sub-services reuse a small pool of hot operations (the
+	// same DB query or cache lookup recurs at many positions across APIs):
+	// that reuse is what produces the paper's high inter-span commonality
+	// (Table 1) and small pattern counts (Table 5). Each pool entry is an
+	// operation identity; call-tree nodes instantiate fresh Op structs that
+	// share the identity but have their own children.
+	type opIdentity struct {
+		service string
+		name    string
+		attrs   []AttrSpec
+		latMS   float64
+	}
+	poolSize := apiNum + 2
+	if poolSize < 4 {
+		poolSize = 4
+	}
+	pool := make([]opIdentity, poolSize)
+	for i := range pool {
+		svcIdx := (i * 3) % nServices
+		opName := fmt.Sprintf("op%d", i+1)
+		pool[i] = opIdentity{
+			service: services[svcIdx],
+			name:    opName,
+			attrs:   attrPool(svcIdx, opName),
+			latMS:   1 + float64(i%4),
+		}
+	}
+	instantiate := func(id opIdentity) *Op {
+		return &Op{
+			Service: id.service, Name: id.name, Kind: 1,
+			BaseLatMS: id.latMS,
+			Attrs:     id.attrs,
+		}
+	}
+
+	for a := 0; a < apiNum; a++ {
+		// Depth per API varies ±30% around the average; build a chain with
+		// occasional fan-out of 2 so the average trace depth matches.
+		depth := avgDepth + r.Intn(avgDepth/3+1) - avgDepth/6
+		if depth < 2 {
+			depth = 2
+		}
+		opName := fmt.Sprintf("api%d", a+1)
+		root := &Op{
+			Service: services[a%nServices], Name: "POST /" + opName, Kind: 1,
+			BaseLatMS: 5,
+			Attrs:     attrPool(a, opName),
+		}
+		cur := root
+		for d := 1; d < depth; d++ {
+			// Hot operations dominate: zipf-ish draw over the pool.
+			idx := zipfIndex(r, poolSize)
+			child := instantiate(pool[idx])
+			cur.Children = append(cur.Children, child)
+			// Fan out a sibling leaf 30% of the time.
+			if r.Float64() < 0.3 {
+				cur.Children = append(cur.Children, instantiate(pool[(idx+1)%poolSize]))
+			}
+			cur = child
+		}
+		weight := 1.0 / float64(a+1) // zipf-ish API popularity
+		s.AddAPI(&API{Name: opName, Weight: weight, Root: root})
+	}
+	return s
+}
+
+// DatasetSystem instantiates one of the Fig. 13 datasets.
+func DatasetSystem(spec DatasetSpec, seed int64) *System {
+	return AlibabaLike("ds"+spec.Name, spec.APINum, spec.AvgDepth, seed)
+}
+
+// SubServiceSpec mirrors one row of Table 5: a sub-service with a raw trace
+// count (scaled down 100x) whose span/trace pattern counts Table 5 reports.
+type SubServiceSpec struct {
+	Name     string
+	TraceNum int
+	APINum   int
+	AvgDepth int
+}
+
+// Table5SubServices are the five Alibaba Cloud sub-services of Table 5.
+var Table5SubServices = []SubServiceSpec{
+	{Name: "S1", TraceNum: 1470, APINum: 3, AvgDepth: 5},
+	{Name: "S2", TraceNum: 1262, APINum: 3, AvgDepth: 4},
+	{Name: "S3", TraceNum: 935, APINum: 2, AvgDepth: 7},
+	{Name: "S4", TraceNum: 925, APINum: 1, AvgDepth: 4},
+	{Name: "S5", TraceNum: 792, APINum: 2, AvgDepth: 3},
+}
+
+// SubServiceSystem instantiates one of the Table 5 sub-services.
+func SubServiceSystem(spec SubServiceSpec, seed int64) *System {
+	return AlibabaLike(spec.Name, spec.APINum, spec.AvgDepth, seed)
+}
+
+// zipfIndex draws an index in [0, n) with linearly decaying weights
+// (n, n-1, ..., 1), a cheap zipf-like popularity skew.
+func zipfIndex(r *rand.Rand, n int) int {
+	pick := r.Intn(n * (n + 1) / 2)
+	for i := 0; i < n; i++ {
+		w := n - i
+		if pick < w {
+			return i
+		}
+		pick -= w
+	}
+	return n - 1
+}
+
+// GenTraces generates n traces drawn from the system's weighted API mix
+// with no faults injected.
+func GenTraces(s *System, n int) []*trace.Trace {
+	out := make([]*trace.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.GenTrace(s.PickAPI(), GenOptions{}))
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Package topo implements Mint's inter-trace level parsing (§3.3): sub-trace
+// topology encoding, the Topo Pattern Library, and Bloom-filter metadata
+// mounting.
+//
+// A sub-trace's pattern is the vector of parent→children relationships over
+// span-pattern IDs, e.g. [b1e6 → {ek35, mx7v}, ek35 → {p8sz}] in Fig. 8.
+// Every trace whose sub-trace matches a pattern has its trace ID added to
+// the pattern's Bloom filter, so the topology of millions of traces is
+// stored once per pattern plus a few bits per trace.
+package topo
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/trace"
+)
+
+// Edge is one parent→children relationship inside a topo pattern. Children
+// are ordered by invocation order (start time).
+type Edge struct {
+	Parent   string   // span pattern ID ("" for the sub-trace entry)
+	Children []string // span pattern IDs in invocation order
+}
+
+// Pattern is a sub-trace topology pattern: the ordered edges plus the entry
+// and exit span patterns used for cross-node stitching (§6.2).
+type Pattern struct {
+	ID    string
+	Node  string
+	Edges []Edge
+	// Entry is the span pattern ID of the sub-trace's entry operation;
+	// Exits are the client-side span patterns that call out to downstream
+	// nodes. Both drive upstream-downstream matching at the backend.
+	Entry string
+	Exits []string
+}
+
+// Key returns the canonical content key of the pattern.
+func (p *Pattern) Key() string {
+	var b strings.Builder
+	b.WriteString(p.Node)
+	b.WriteByte('\x1d')
+	b.WriteString(p.Entry)
+	for _, e := range p.Edges {
+		b.WriteByte('\x1d')
+		b.WriteString(e.Parent)
+		b.WriteString("->")
+		b.WriteString(strings.Join(e.Children, ","))
+	}
+	return b.String()
+}
+
+// Size returns the serialized size of the pattern in bytes.
+func (p *Pattern) Size() int {
+	n := len(p.ID) + len(p.Node) + len(p.Entry)
+	for _, e := range p.Edges {
+		n += len(e.Parent) + 2
+		for _, c := range e.Children {
+			n += len(c) + 1
+		}
+	}
+	for _, x := range p.Exits {
+		n += len(x) + 1
+	}
+	return n
+}
+
+// Encoded carries the result of parsing one sub-trace: the matched pattern
+// and the per-span parameter blocks in deterministic (encoding) order.
+type Encoded struct {
+	Pattern *Pattern
+	TraceID string
+	// Spans holds the parsed spans in pre-order of the sub-trace tree, the
+	// same order a reconstruction walks the pattern.
+	Spans []*parser.ParsedSpan
+}
+
+// Encode derives the topology pattern of a sub-trace given each span's
+// pattern ID. parsed must map span ID → ParsedSpan for every span of st.
+func Encode(st *trace.SubTrace, parsed map[string]*parser.ParsedSpan) *Encoded {
+	children := st.Children()
+	roots := st.Roots()
+
+	var edges []Edge
+	var ordered []*parser.ParsedSpan
+	var entry string
+	var exits []string
+
+	spanByID := map[string]*trace.Span{}
+	for _, s := range st.Spans {
+		spanByID[s.SpanID] = s
+	}
+
+	var walk func(s *trace.Span)
+	walk = func(s *trace.Span) {
+		ps := parsed[s.SpanID]
+		ordered = append(ordered, ps)
+		kids := children[s.SpanID]
+		if len(kids) > 0 {
+			e := Edge{Parent: ps.PatternID}
+			for _, k := range kids {
+				e.Children = append(e.Children, parsed[k.SpanID].PatternID)
+			}
+			edges = append(edges, e)
+		}
+		if s.Kind == trace.KindClient {
+			exits = append(exits, ps.PatternID)
+		}
+		for _, k := range kids {
+			walk(k)
+		}
+	}
+	for i, r := range roots {
+		if i == 0 {
+			entry = parsed[r.SpanID].PatternID
+		}
+		walk(r)
+	}
+	sort.Strings(exits)
+	return &Encoded{
+		Pattern: &Pattern{Node: st.Node, Edges: edges, Entry: entry, Exits: exits},
+		TraceID: st.TraceID,
+		Spans:   ordered,
+	}
+}
+
+// Library is the Topo Pattern Library plus the Bloom filters mounted on each
+// pattern. It tracks per-pattern match counts for the Edge-Case Sampler.
+type Library struct {
+	mu       sync.Mutex
+	byKey    map[string]*entry
+	byID     map[string]*entry
+	bufBytes int
+	fpp      float64
+	// onFull is invoked (outside locks are still held — keep it fast) when
+	// a filter reaches capacity; the collector uses it to report & reset.
+	onFull func(patternID string, snapshot *bloom.Filter)
+	total  uint64 // total sub-traces matched
+}
+
+type entry struct {
+	pattern *Pattern
+	filter  *bloom.Filter
+	matches uint64
+	dirty   bool // filter changed since the last periodic snapshot
+}
+
+// NewLibrary creates a topo pattern library whose per-pattern Bloom filters
+// use the given buffer size and false-positive probability.
+func NewLibrary(bufBytes int, fpp float64) *Library {
+	if bufBytes <= 0 {
+		bufBytes = bloom.DefaultBufferBytes
+	}
+	if fpp <= 0 {
+		fpp = bloom.DefaultFPP
+	}
+	return &Library{
+		byKey:    map[string]*entry{},
+		byID:     map[string]*entry{},
+		bufBytes: bufBytes,
+		fpp:      fpp,
+	}
+}
+
+// OnFilterFull registers the callback invoked when a pattern's Bloom filter
+// reaches capacity. The filter snapshot passed to the callback is detached;
+// the live filter is reset immediately after.
+func (l *Library) OnFilterFull(fn func(patternID string, snapshot *bloom.Filter)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onFull = fn
+}
+
+// Mount matches (or inserts) the pattern and mounts the trace ID onto its
+// Bloom filter. It returns the canonical pattern and whether it was new.
+func (l *Library) Mount(p *Pattern, traceID string) (*Pattern, bool) {
+	key := p.Key()
+	l.mu.Lock()
+	e, ok := l.byKey[key]
+	if !ok {
+		p.ID = parser.PatternID("topo:" + key)
+		e = &entry{pattern: p, filter: bloom.New(l.bufBytes, l.fpp)}
+		l.byKey[key] = e
+		l.byID[p.ID] = e
+	}
+	e.filter.Add(traceID)
+	e.matches++
+	e.dirty = true
+	l.total++
+	var full *bloom.Filter
+	var fullID string
+	if e.filter.Full() {
+		full = e.filter.Snapshot()
+		fullID = e.pattern.ID
+		e.filter.Reset()
+		e.dirty = false
+	}
+	cb := l.onFull
+	l.mu.Unlock()
+	if full != nil && cb != nil {
+		cb(fullID, full)
+	}
+	return e.pattern, !ok
+}
+
+// Get returns the pattern with the given ID.
+func (l *Library) Get(id string) (*Pattern, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.pattern, true
+}
+
+// Len returns the number of distinct topo patterns.
+func (l *Library) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byID)
+}
+
+// Matches returns how many sub-traces have matched pattern id.
+func (l *Library) Matches(id string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.byID[id]; ok {
+		return e.matches
+	}
+	return 0
+}
+
+// Total returns the total number of mounted sub-traces.
+func (l *Library) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Rarity returns the fraction of all mounted sub-traces that matched the
+// given pattern; the Edge-Case Sampler samples patterns with low rarity
+// scores more aggressively.
+func (l *Library) Rarity(id string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.byID[id]
+	if !ok || l.total == 0 {
+		return 0
+	}
+	return float64(e.matches) / float64(l.total)
+}
+
+// FilterSnapshot holds one pattern's Bloom filter for reporting.
+type FilterSnapshot struct {
+	PatternID string
+	Filter    *bloom.Filter
+}
+
+// SnapshotFilters returns copies of the live filters that changed since the
+// previous snapshot (sorted by pattern ID) for a periodic upload, without
+// resetting them. Unchanged filters are skipped: the backend already holds
+// their latest snapshot.
+func (l *Library) SnapshotFilters() []FilterSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]FilterSnapshot, 0, len(l.byID))
+	for id, e := range l.byID {
+		if e.filter.Count() == 0 || !e.dirty {
+			continue
+		}
+		e.dirty = false
+		out = append(out, FilterSnapshot{PatternID: id, Filter: e.filter.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PatternID < out[j].PatternID })
+	return out
+}
+
+// Snapshot returns all patterns sorted by ID.
+func (l *Library) Snapshot() []*Pattern {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Pattern, 0, len(l.byID))
+	for _, e := range l.byID {
+		out = append(out, e.pattern)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Size returns the serialized size of all patterns in bytes (filters are
+// accounted separately since they are reported on their own schedule).
+func (l *Library) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.byID {
+		n += e.pattern.Size()
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/trace"
+)
+
+// buildSubTrace constructs the Fig. 8 sub-trace: root -> {A, B}, A -> {C}.
+func buildSubTrace(traceID string) (*trace.SubTrace, map[string]*parser.ParsedSpan) {
+	spans := []*trace.Span{
+		{TraceID: traceID, SpanID: "r", Service: "frontend", Operation: "root", Kind: trace.KindServer, StartUnix: 1},
+		{TraceID: traceID, SpanID: "a", ParentID: "r", Service: "frontend", Operation: "A", Kind: trace.KindClient, StartUnix: 2},
+		{TraceID: traceID, SpanID: "b", ParentID: "r", Service: "frontend", Operation: "B", Kind: trace.KindInternal, StartUnix: 3},
+		{TraceID: traceID, SpanID: "c", ParentID: "a", Service: "frontend", Operation: "C", Kind: trace.KindInternal, StartUnix: 4},
+	}
+	st := &trace.SubTrace{TraceID: traceID, Node: "n1", Spans: spans}
+	parsed := map[string]*parser.ParsedSpan{}
+	for _, s := range spans {
+		parsed[s.SpanID] = &parser.ParsedSpan{
+			PatternID: "pat-" + s.Operation,
+			TraceID:   traceID, SpanID: s.SpanID, ParentID: s.ParentID,
+		}
+	}
+	return st, parsed
+}
+
+func TestEncodeTopology(t *testing.T) {
+	st, parsed := buildSubTrace("t1")
+	enc := Encode(st, parsed)
+	p := enc.Pattern
+	if p.Entry != "pat-root" {
+		t.Fatalf("entry = %q", p.Entry)
+	}
+	if len(p.Edges) != 2 {
+		t.Fatalf("edges = %+v", p.Edges)
+	}
+	// Pre-order: root -> {A, B}, then A -> {C}.
+	if p.Edges[0].Parent != "pat-root" || len(p.Edges[0].Children) != 2 {
+		t.Fatalf("edge0 = %+v", p.Edges[0])
+	}
+	if p.Edges[0].Children[0] != "pat-A" || p.Edges[0].Children[1] != "pat-B" {
+		t.Fatalf("children order = %v", p.Edges[0].Children)
+	}
+	if p.Edges[1].Parent != "pat-A" || p.Edges[1].Children[0] != "pat-C" {
+		t.Fatalf("edge1 = %+v", p.Edges[1])
+	}
+	// The client span is an exit.
+	if len(p.Exits) != 1 || p.Exits[0] != "pat-A" {
+		t.Fatalf("exits = %v", p.Exits)
+	}
+	// Spans come back in pre-order.
+	order := []string{"r", "a", "c", "b"}
+	for i, ps := range enc.Spans {
+		if ps.SpanID != order[i] {
+			t.Fatalf("span order = %v at %d, want %v", ps.SpanID, i, order)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	st, parsed := buildSubTrace("t1")
+	k1 := Encode(st, parsed).Pattern.Key()
+	k2 := Encode(st, parsed).Pattern.Key()
+	if k1 != k2 {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestMountDedupesPatterns(t *testing.T) {
+	lib := NewLibrary(512, 0.01)
+	for i := 0; i < 100; i++ {
+		st, parsed := buildSubTrace(fmt.Sprintf("t%d", i))
+		enc := Encode(st, parsed)
+		pat, isNew := lib.Mount(enc.Pattern, st.TraceID)
+		if (i == 0) != isNew {
+			t.Fatalf("i=%d isNew=%v", i, isNew)
+		}
+		if pat.ID == "" {
+			t.Fatal("mounted pattern must have ID")
+		}
+	}
+	if lib.Len() != 1 {
+		t.Fatalf("library has %d patterns, want 1", lib.Len())
+	}
+	if lib.Total() != 100 {
+		t.Fatalf("total = %d", lib.Total())
+	}
+}
+
+func TestMountedTraceIDsInFilter(t *testing.T) {
+	lib := NewLibrary(512, 0.01)
+	var patID string
+	for i := 0; i < 50; i++ {
+		st, parsed := buildSubTrace(fmt.Sprintf("t%d", i))
+		enc := Encode(st, parsed)
+		pat, _ := lib.Mount(enc.Pattern, st.TraceID)
+		patID = pat.ID
+	}
+	snaps := lib.SnapshotFilters()
+	if len(snaps) != 1 || snaps[0].PatternID != patID {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	for i := 0; i < 50; i++ {
+		if !snaps[0].Filter.Contains(fmt.Sprintf("t%d", i)) {
+			t.Fatalf("trace t%d missing from filter — no-miss property violated", i)
+		}
+	}
+}
+
+func TestSnapshotFiltersDirtyOnly(t *testing.T) {
+	lib := NewLibrary(512, 0.01)
+	st, parsed := buildSubTrace("t1")
+	lib.Mount(Encode(st, parsed).Pattern, "t1")
+	if n := len(lib.SnapshotFilters()); n != 1 {
+		t.Fatalf("first snapshot: %d filters", n)
+	}
+	// No new mounts: nothing dirty.
+	if n := len(lib.SnapshotFilters()); n != 0 {
+		t.Fatalf("second snapshot should be empty, got %d", n)
+	}
+	lib.Mount(Encode(st, parsed).Pattern, "t2")
+	if n := len(lib.SnapshotFilters()); n != 1 {
+		t.Fatalf("after new mount: %d filters", n)
+	}
+}
+
+func TestOnFilterFull(t *testing.T) {
+	lib := NewLibrary(64, 0.01) // tiny capacity
+	var fullID string
+	var snapshot *bloom.Filter
+	lib.OnFilterFull(func(id string, f *bloom.Filter) {
+		fullID = id
+		snapshot = f
+	})
+	st, parsed := buildSubTrace("seed")
+	pat, _ := lib.Mount(Encode(st, parsed).Pattern, "seed")
+	cap := bloom.New(64, 0.01).Capacity()
+	for i := 0; i < cap+5; i++ {
+		lib.Mount(Encode(st, parsed).Pattern, fmt.Sprintf("t%d", i))
+	}
+	if fullID != pat.ID {
+		t.Fatalf("full callback pattern = %q, want %q", fullID, pat.ID)
+	}
+	if snapshot == nil || snapshot.Count() == 0 {
+		t.Fatal("full callback should carry the filled filter")
+	}
+}
+
+func TestRarity(t *testing.T) {
+	lib := NewLibrary(512, 0.01)
+	stA, parsedA := buildSubTrace("a")
+	encA := Encode(stA, parsedA)
+	for i := 0; i < 99; i++ {
+		lib.Mount(encA.Pattern, fmt.Sprintf("a%d", i))
+	}
+	// A different shape: drop one span.
+	stB, parsedB := buildSubTrace("b")
+	stB.Spans = stB.Spans[:2]
+	encB := Encode(stB, parsedB)
+	patB, _ := lib.Mount(encB.Pattern, "b0")
+
+	if r := lib.Rarity(patB.ID); r >= 0.05 {
+		t.Fatalf("rare pattern share = %f, want < 0.05", r)
+	}
+	if lib.Rarity("unknown") != 0 {
+		t.Fatal("unknown pattern rarity should be 0")
+	}
+	if lib.Matches(patB.ID) != 1 {
+		t.Fatalf("matches = %d", lib.Matches(patB.ID))
+	}
+}
+
+func TestPatternSizeAndSnapshot(t *testing.T) {
+	lib := NewLibrary(512, 0.01)
+	st, parsed := buildSubTrace("t")
+	lib.Mount(Encode(st, parsed).Pattern, "t")
+	if lib.Size() <= 0 {
+		t.Fatal("pattern size should be positive")
+	}
+	if len(lib.Snapshot()) != 1 {
+		t.Fatal("snapshot should list the pattern")
+	}
+	if _, ok := lib.Get(lib.Snapshot()[0].ID); !ok {
+		t.Fatal("Get by ID failed")
+	}
+}

@@ -1,0 +1,281 @@
+// Package trace defines the distributed-trace data model used throughout the
+// Mint reproduction: spans, traces, sub-traces and attribute values.
+//
+// The model mirrors the OpenTelemetry span shape the paper assumes (Fig. 4):
+// every span has a topology part (trace/span/parent IDs), a metadata part
+// (service, operation, kind, timing, status) and an attributes part (free-form
+// key/value pairs added by instrumentation).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a span by its role in an invocation, following the
+// OpenTelemetry SpanKind enumeration.
+type Kind uint8
+
+// Span kinds.
+const (
+	KindInternal Kind = iota
+	KindServer
+	KindClient
+	KindProducer
+	KindConsumer
+)
+
+// String returns the lowercase OTel name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindServer:
+		return "server"
+	case KindClient:
+		return "client"
+	case KindProducer:
+		return "producer"
+	case KindConsumer:
+		return "consumer"
+	default:
+		return "internal"
+	}
+}
+
+// Status is the outcome of the unit of work a span represents.
+type Status uint16
+
+// Common status codes. Values above StatusOK follow HTTP conventions so that
+// symptom sampling on "status >= 500" reads naturally.
+const (
+	StatusOK    Status = 200
+	StatusError Status = 500
+)
+
+// AttrValue is a span attribute value: either a string or a float64.
+// The zero value is the empty string.
+type AttrValue struct {
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Str returns a string-typed attribute value.
+func Str(s string) AttrValue { return AttrValue{Str: s} }
+
+// Num returns a numeric attribute value.
+func Num(f float64) AttrValue { return AttrValue{Num: f, IsNum: true} }
+
+// String renders the value for serialization and display.
+func (v AttrValue) String() string {
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// Equal reports whether two attribute values are identical.
+func (v AttrValue) Equal(o AttrValue) bool {
+	if v.IsNum != o.IsNum {
+		return false
+	}
+	if v.IsNum {
+		return v.Num == o.Num
+	}
+	return v.Str == o.Str
+}
+
+// Span is a single unit of work within a trace.
+type Span struct {
+	TraceID  string
+	SpanID   string
+	ParentID string // empty for the root span
+
+	Service   string // service instance that produced the span
+	Node      string // application node (host) the service runs on
+	Operation string // span name, e.g. "GET /cart"
+	Kind      Kind
+	StartUnix int64 // virtual start time, microseconds
+	Duration  int64 // microseconds
+	Status    Status
+
+	Attributes map[string]AttrValue
+}
+
+// Clone returns a deep copy of the span.
+func (s *Span) Clone() *Span {
+	c := *s
+	c.Attributes = make(map[string]AttrValue, len(s.Attributes))
+	for k, v := range s.Attributes {
+		c.Attributes[k] = v
+	}
+	return &c
+}
+
+// AttrKeys returns the span's attribute keys in sorted order.
+func (s *Span) AttrKeys() []string {
+	keys := make([]string, 0, len(s.Attributes))
+	for k := range s.Attributes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Serialize renders the span in a stable line-oriented key=value format.
+// The length of the serialization is the span's raw wire/storage size; every
+// overhead number in the evaluation is derived from it.
+func (s *Span) Serialize() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace_id=%s span_id=%s parent_id=%s service=%s node=%s op=%s kind=%s start=%d duration=%d status=%d",
+		s.TraceID, s.SpanID, s.ParentID, s.Service, s.Node, s.Operation, s.Kind, s.StartUnix, s.Duration, s.Status)
+	for _, k := range s.AttrKeys() {
+		fmt.Fprintf(&b, " %s=%s", k, s.Attributes[k].String())
+	}
+	return b.String()
+}
+
+// Size returns the raw serialized size of the span in bytes.
+func (s *Span) Size() int { return len(s.Serialize()) }
+
+// Trace is a full end-to-end trace: a set of spans sharing one trace ID.
+type Trace struct {
+	TraceID string
+	Spans   []*Span
+}
+
+// Size returns the raw serialized size of the whole trace in bytes.
+func (t *Trace) Size() int {
+	n := 0
+	for _, s := range t.Spans {
+		n += s.Size() + 1 // newline separator
+	}
+	return n
+}
+
+// Serialize renders all spans, one per line, ordered by start time then span ID.
+func (t *Trace) Serialize() string {
+	spans := make([]*Span, len(t.Spans))
+	copy(spans, t.Spans)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUnix != spans[j].StartUnix {
+			return spans[i].StartUnix < spans[j].StartUnix
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	var b strings.Builder
+	for _, s := range spans {
+		b.WriteString(s.Serialize())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Root returns the root span (empty parent ID), or nil if the trace is
+// fragmented and no root is present.
+func (t *Trace) Root() *Span {
+	for _, s := range t.Spans {
+		if s.ParentID == "" {
+			return s
+		}
+	}
+	return nil
+}
+
+// Services returns the distinct service names touched by the trace, sorted.
+func (t *Trace) Services() []string {
+	set := map[string]struct{}{}
+	for _, s := range t.Spans {
+		set[s.Service] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for svc := range set {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByNode partitions the trace's spans by the node that produced them,
+// preserving span order. This is the agent-side view: each Mint agent only
+// sees the sub-trace generated on its own node.
+func (t *Trace) ByNode() map[string][]*Span {
+	out := map[string][]*Span{}
+	for _, s := range t.Spans {
+		out[s.Node] = append(out[s.Node], s)
+	}
+	return out
+}
+
+// SubTrace is the segment of a trace generated on a single node: a small
+// tree of spans linked by parent IDs (§3.3 of the paper).
+type SubTrace struct {
+	TraceID string
+	Node    string
+	Spans   []*Span
+}
+
+// BuildSubTraces groups spans (all from one node, possibly many traces) into
+// sub-traces keyed by trace ID.
+func BuildSubTraces(node string, spans []*Span) []*SubTrace {
+	byTrace := map[string][]*Span{}
+	var order []string
+	for _, s := range spans {
+		if _, ok := byTrace[s.TraceID]; !ok {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	out := make([]*SubTrace, 0, len(order))
+	for _, id := range order {
+		out = append(out, &SubTrace{TraceID: id, Node: node, Spans: byTrace[id]})
+	}
+	return out
+}
+
+// Roots returns the spans within the sub-trace whose parents are not present
+// on this node (the entry operations of the segment).
+func (st *SubTrace) Roots() []*Span {
+	present := map[string]bool{}
+	for _, s := range st.Spans {
+		present[s.SpanID] = true
+	}
+	var roots []*Span
+	for _, s := range st.Spans {
+		if s.ParentID == "" || !present[s.ParentID] {
+			roots = append(roots, s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].SpanID < roots[j].SpanID })
+	return roots
+}
+
+// Children maps each span ID to its child spans within the sub-trace,
+// ordered by start time then span ID for deterministic encoding.
+func (st *SubTrace) Children() map[string][]*Span {
+	out := map[string][]*Span{}
+	for _, s := range st.Spans {
+		if s.ParentID != "" {
+			out[s.ParentID] = append(out[s.ParentID], s)
+		}
+	}
+	for _, kids := range out {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].StartUnix != kids[j].StartUnix {
+				return kids[i].StartUnix < kids[j].StartUnix
+			}
+			return kids[i].SpanID < kids[j].SpanID
+		})
+	}
+	return out
+}
+
+// Size returns the raw serialized size of the sub-trace in bytes.
+func (st *SubTrace) Size() int {
+	n := 0
+	for _, s := range st.Spans {
+		n += s.Size() + 1
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		TraceID: "t1",
+		Spans: []*Span{
+			{TraceID: "t1", SpanID: "s1", Service: "frontend", Node: "n1", Operation: "GET /", Kind: KindServer, StartUnix: 100, Duration: 50, Status: StatusOK,
+				Attributes: map[string]AttrValue{"http.url": Str("/home")}},
+			{TraceID: "t1", SpanID: "s2", ParentID: "s1", Service: "frontend", Node: "n1", Operation: "call cart", Kind: KindClient, StartUnix: 110, Duration: 20, Status: StatusOK},
+			{TraceID: "t1", SpanID: "s3", ParentID: "s2", Service: "cart", Node: "n2", Operation: "GetCart", Kind: KindServer, StartUnix: 112, Duration: 15, Status: StatusOK,
+				Attributes: map[string]AttrValue{"cache.key": Str("cache:cart:1"), "payload": Num(128)}},
+		},
+	}
+}
+
+func TestAttrValue(t *testing.T) {
+	if Str("x").String() != "x" {
+		t.Fatal("Str")
+	}
+	if Num(1.5).String() != "1.5" {
+		t.Fatal("Num format")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Fatal("string equality")
+	}
+	if !Num(2).Equal(Num(2)) || Num(2).Equal(Num(3)) {
+		t.Fatal("numeric equality")
+	}
+	if Num(2).Equal(Str("2")) {
+		t.Fatal("num vs str must differ")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInternal: "internal", KindServer: "server", KindClient: "client",
+		KindProducer: "producer", KindConsumer: "consumer",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestSerializeStable(t *testing.T) {
+	s := sampleTrace().Spans[2]
+	a := s.Serialize()
+	b := s.Serialize()
+	if a != b {
+		t.Fatal("serialization must be deterministic")
+	}
+	for _, part := range []string{"trace_id=t1", "span_id=s3", "parent_id=s2", "cache.key=cache:cart:1", "payload=128"} {
+		if !strings.Contains(a, part) {
+			t.Errorf("serialization missing %q: %s", part, a)
+		}
+	}
+	if s.Size() != len(a) {
+		t.Fatal("Size must equal serialized length")
+	}
+}
+
+func TestTraceSizeAndSerialize(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Size() <= 0 {
+		t.Fatal("trace size must be positive")
+	}
+	ser := tr.Serialize()
+	if strings.Count(ser, "\n") != 3 {
+		t.Fatalf("expected 3 lines, got %q", ser)
+	}
+	// Ordered by start time.
+	if !(strings.Index(ser, "span_id=s1") < strings.Index(ser, "span_id=s2")) {
+		t.Fatal("spans must serialize in start order")
+	}
+}
+
+func TestRootAndServices(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Root().SpanID != "s1" {
+		t.Fatal("root")
+	}
+	svcs := tr.Services()
+	if len(svcs) != 2 || svcs[0] != "cart" || svcs[1] != "frontend" {
+		t.Fatalf("services = %v", svcs)
+	}
+	empty := &Trace{TraceID: "x", Spans: []*Span{{SpanID: "a", ParentID: "missing"}}}
+	if empty.Root() != nil {
+		t.Fatal("fragmented trace has no root")
+	}
+}
+
+func TestByNodeAndSubTraces(t *testing.T) {
+	tr := sampleTrace()
+	byNode := tr.ByNode()
+	if len(byNode) != 2 || len(byNode["n1"]) != 2 || len(byNode["n2"]) != 1 {
+		t.Fatalf("ByNode = %v", byNode)
+	}
+	sts := BuildSubTraces("n1", byNode["n1"])
+	if len(sts) != 1 || sts[0].TraceID != "t1" || len(sts[0].Spans) != 2 {
+		t.Fatalf("BuildSubTraces = %+v", sts)
+	}
+}
+
+func TestSubTraceRootsAndChildren(t *testing.T) {
+	tr := sampleTrace()
+	st := &SubTrace{TraceID: "t1", Node: "n1", Spans: tr.ByNode()["n1"]}
+	roots := st.Roots()
+	if len(roots) != 1 || roots[0].SpanID != "s1" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := st.Children()
+	if len(kids["s1"]) != 1 || kids["s1"][0].SpanID != "s2" {
+		t.Fatalf("children = %v", kids)
+	}
+	// n2's sub-trace root has a parent on another node.
+	st2 := &SubTrace{TraceID: "t1", Node: "n2", Spans: tr.ByNode()["n2"]}
+	if roots := st2.Roots(); len(roots) != 1 || roots[0].SpanID != "s3" {
+		t.Fatalf("cross-node root = %v", roots)
+	}
+}
+
+func TestBuildSubTracesGroupsByTraceID(t *testing.T) {
+	spans := []*Span{
+		{TraceID: "a", SpanID: "1"},
+		{TraceID: "b", SpanID: "2"},
+		{TraceID: "a", SpanID: "3"},
+	}
+	sts := BuildSubTraces("n", spans)
+	if len(sts) != 2 {
+		t.Fatalf("want 2 sub-traces, got %d", len(sts))
+	}
+	if sts[0].TraceID != "a" || len(sts[0].Spans) != 2 {
+		t.Fatalf("first sub-trace wrong: %+v", sts[0])
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := sampleTrace().Spans[0]
+	c := s.Clone()
+	c.Attributes["http.url"] = Str("/other")
+	if s.Attributes["http.url"].Str != "/home" {
+		t.Fatal("clone must not share attribute map")
+	}
+}
+
+func TestAttrKeysSorted(t *testing.T) {
+	s := &Span{Attributes: map[string]AttrValue{"z": Str("1"), "a": Str("2"), "m": Str("3")}}
+	keys := s.AttrKeys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

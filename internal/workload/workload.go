@@ -1,0 +1,81 @@
+// Package workload provides the traffic and query drivers of the
+// evaluation: a virtual clock so day-scale experiments run in milliseconds,
+// the 14 load-test profiles of Fig. 14, throughput sweeps for Fig. 11, and
+// the user-query replay model behind Fig. 3 and Fig. 12.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Clock is deterministic virtual time in microseconds.
+type Clock struct{ now int64 }
+
+// NewClock starts a clock at the given µs timestamp.
+func NewClock(start int64) *Clock { return &Clock{now: start} }
+
+// Now returns the current virtual time in µs.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d µs and returns the new time.
+func (c *Clock) Advance(d int64) int64 {
+	c.now += d
+	return c.now
+}
+
+// Microseconds per virtual time unit.
+const (
+	Second = int64(1_000_000)
+	Minute = 60 * Second
+	Hour   = 60 * Minute
+	Day    = 24 * Hour
+)
+
+// LoadTest is one of the Fig. 14 load profiles.
+type LoadTest struct {
+	Name string
+	QPS  int
+	APIs int
+}
+
+// Fig14Tests are the paper's T1–T14 load tests.
+var Fig14Tests = []LoadTest{
+	{"T1", 200, 5}, {"T2", 400, 5}, {"T3", 600, 5}, {"T4", 800, 5},
+	{"T5", 1000, 5}, {"T6", 1000, 5}, {"T7", 400, 1}, {"T8", 400, 2},
+	{"T9", 1000, 8}, {"T10", 600, 3}, {"T11", 200, 2}, {"T12", 800, 4},
+	{"T13", 200, 4}, {"T14", 400, 4},
+}
+
+// Fig11Throughputs are the request rates (req/min) swept in Fig. 11.
+var Fig11Throughputs = []int{20000, 40000, 60000, 80000, 100000}
+
+// QueryModel replays SRE query behavior: analysts query a mixture of
+// symptomatic traces (they are investigating an incident) and ordinary
+// traces (they are following a user report with a specific trace ID that
+// nothing flagged in advance — the case sampling-based frameworks miss).
+type QueryModel struct {
+	rng *rand.Rand
+	// AbnormalBias is the probability a query targets a symptomatic trace.
+	AbnormalBias float64
+}
+
+// NewQueryModel creates a query model.
+func NewQueryModel(seed int64, abnormalBias float64) *QueryModel {
+	return &QueryModel{rng: rand.New(rand.NewSource(seed)), AbnormalBias: abnormalBias}
+}
+
+// Pick selects n queried trace IDs from the day's traffic.
+func (q *QueryModel) Pick(normal, abnormal []*trace.Trace, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		fromAbnormal := q.rng.Float64() < q.AbnormalBias && len(abnormal) > 0
+		if fromAbnormal {
+			out = append(out, abnormal[q.rng.Intn(len(abnormal))].TraceID)
+		} else if len(normal) > 0 {
+			out = append(out, normal[q.rng.Intn(len(normal))].TraceID)
+		}
+	}
+	return out
+}

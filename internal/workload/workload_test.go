@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestClock(t *testing.T) {
+	c := NewClock(1000)
+	if c.Now() != 1000 {
+		t.Fatal("start")
+	}
+	if c.Advance(Minute) != 1000+Minute {
+		t.Fatal("advance return")
+	}
+	if c.Now() != 1000+Minute {
+		t.Fatal("advance state")
+	}
+	if Day != 24*Hour || Hour != 60*Minute || Minute != 60*Second {
+		t.Fatal("unit arithmetic")
+	}
+}
+
+func TestFig14TestsMatchPaper(t *testing.T) {
+	if len(Fig14Tests) != 14 {
+		t.Fatalf("want 14 load tests, got %d", len(Fig14Tests))
+	}
+	// Spot-check the paper's parameters.
+	if Fig14Tests[0].QPS != 200 || Fig14Tests[0].APIs != 5 {
+		t.Fatalf("T1 = %+v", Fig14Tests[0])
+	}
+	if Fig14Tests[8].QPS != 1000 || Fig14Tests[8].APIs != 8 {
+		t.Fatalf("T9 = %+v", Fig14Tests[8])
+	}
+}
+
+func TestFig11Throughputs(t *testing.T) {
+	want := []int{20000, 40000, 60000, 80000, 100000}
+	if len(Fig11Throughputs) != len(want) {
+		t.Fatal("sweep size")
+	}
+	for i, v := range want {
+		if Fig11Throughputs[i] != v {
+			t.Fatalf("throughput[%d] = %d", i, Fig11Throughputs[i])
+		}
+	}
+}
+
+func TestQueryModelBias(t *testing.T) {
+	normal := []*trace.Trace{{TraceID: "n1"}, {TraceID: "n2"}}
+	abnormal := []*trace.Trace{{TraceID: "a1"}}
+	m := NewQueryModel(1, 0.7)
+	picks := m.Pick(normal, abnormal, 10000)
+	if len(picks) != 10000 {
+		t.Fatal("pick count")
+	}
+	ab := 0
+	for _, id := range picks {
+		if id == "a1" {
+			ab++
+		}
+	}
+	rate := float64(ab) / float64(len(picks))
+	if rate < 0.65 || rate > 0.75 {
+		t.Fatalf("abnormal pick rate = %f, want ≈0.7", rate)
+	}
+}
+
+func TestQueryModelEmptyPools(t *testing.T) {
+	m := NewQueryModel(1, 0.5)
+	if picks := m.Pick(nil, nil, 5); len(picks) != 0 {
+		t.Fatalf("no traces to pick from, got %v", picks)
+	}
+	only := []*trace.Trace{{TraceID: "x"}}
+	picks := m.Pick(only, nil, 5)
+	for _, id := range picks {
+		if id != "x" {
+			t.Fatal("must fall back to the available pool")
+		}
+	}
+}
+
+func TestQueryModelDeterministic(t *testing.T) {
+	normal := []*trace.Trace{{TraceID: "n1"}, {TraceID: "n2"}, {TraceID: "n3"}}
+	a := NewQueryModel(9, 0.5).Pick(normal, nil, 20)
+	b := NewQueryModel(9, 0.5).Pick(normal, nil, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the query stream")
+		}
+	}
+}

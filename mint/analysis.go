@@ -1,0 +1,59 @@
+package mint
+
+import (
+	"repro/internal/backend"
+	"repro/internal/trace"
+)
+
+// Analysis surface for the production use cases of §6.3: trace exploration
+// over approximate traces (UC 1) and batch trace analysis (UC 2).
+
+// FlameNode is one frame of a trace flame graph.
+type FlameNode = backend.FlameNode
+
+// BatchStats aggregates per-service statistics over a batch of traces.
+type BatchStats = backend.BatchStats
+
+// ServiceStats summarizes one service's spans within a batch.
+type ServiceStats = backend.ServiceStats
+
+// Explore queries a trace and renders its execution flame graph — available
+// for every trace, sampled or not (UC 1). It returns the query kind, the
+// flame roots and a printable rendering; ok is false only on a miss, which
+// Mint's no-discard design makes effectively impossible for captured
+// traffic.
+func (c *Cluster) Explore(traceID string) (kind HitKind, rendered string, ok bool) {
+	res := c.backend.Query(traceID)
+	if res.Kind == Miss || res.Trace == nil {
+		return Miss, "", false
+	}
+	roots := backend.FlameGraph(res.Trace)
+	return res.Kind, backend.RenderFlame(roots), true
+}
+
+// FlameGraph builds the flame graph of an already-reconstructed trace.
+func FlameGraph(t *Trace) []*FlameNode { return backend.FlameGraph(t) }
+
+// BatchAnalyze aggregates many traces in one pass (UC 2): per-service span
+// counts, durations for scatter plots, error counts and the aggregated
+// caller→callee topology. Unsampled traces participate through their
+// approximate reconstructions, so batch analyses see all requests instead
+// of a few thousand sampled spans.
+func (c *Cluster) BatchAnalyze(traceIDs []string) (*BatchStats, int) {
+	return c.backend.BatchQuery(traceIDs)
+}
+
+// Rebuild triggers the §4.1 reconstruct interface on every agent after a
+// system change: live pattern libraries, params buffers and sampler state
+// restart, and the span parsers re-warm on the given recent traces.
+func (c *Cluster) Rebuild(recent []*Trace) {
+	byNode := map[string][]*trace.Span{}
+	for _, t := range recent {
+		for node, spans := range t.ByNode() {
+			byNode[node] = append(byNode[node], spans...)
+		}
+	}
+	for node, col := range c.collectors {
+		col.Agent().Rebuild(byNode[node])
+	}
+}

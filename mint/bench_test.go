@@ -1,0 +1,138 @@
+package mint_test
+
+// Micro-benchmarks for the per-request hot path: span parsing, sub-trace
+// ingestion and trace queries. These quantify the "lightweight enough for
+// production" claim (§5.4) independently of the figure-level harness.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func benchCluster(b *testing.B) (*sim.System, *mint.Cluster) {
+	b.Helper()
+	sys := sim.OnlineBoutique(1)
+	cluster := mint.NewCluster(sys.Nodes, mint.Defaults())
+	cluster.Warmup(sim.GenTraces(sys, 300))
+	return sys, cluster
+}
+
+// BenchmarkCaptureTrace measures end-to-end agent-side processing of one
+// trace: parsing every span, buffering params, topology encoding, Bloom
+// mounting and sampling.
+func BenchmarkCaptureTrace(b *testing.B) {
+	sys, cluster := benchCluster(b)
+	traces := sim.GenTraces(sys, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Capture(traces[i%len(traces)])
+	}
+}
+
+// BenchmarkCaptureSpan normalizes capture cost per span.
+func BenchmarkCaptureSpan(b *testing.B) {
+	sys, cluster := benchCluster(b)
+	traces := sim.GenTraces(sys, 2048)
+	spans := 0
+	for _, t := range traces {
+		spans += len(t.Spans)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; n < b.N; i++ {
+		t := traces[i%len(traces)]
+		cluster.Capture(t)
+		n += len(t.Spans)
+	}
+}
+
+// BenchmarkQueryApproximate measures the Bloom-scan plus approximate
+// reconstruction path for unsampled traces.
+func BenchmarkQueryApproximate(b *testing.B) {
+	sys, cluster := benchCluster(b)
+	traces := sim.GenTraces(sys, 1000)
+	for _, t := range traces {
+		cluster.Capture(t)
+	}
+	cluster.Flush()
+	var ids []string
+	for _, t := range traces {
+		if cluster.Query(t.TraceID).Kind == mint.PartialHit {
+			ids = append(ids, t.TraceID)
+		}
+		if len(ids) == 64 {
+			break
+		}
+	}
+	if len(ids) == 0 {
+		b.Fatal("no partial hits to query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Query(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkQueryExact measures exact reconstruction of sampled traces.
+func BenchmarkQueryExact(b *testing.B) {
+	sys, cluster := benchCluster(b)
+	services := sys.TrafficServices()
+	var ids []string
+	for i := 0; i < 600; i++ {
+		opt := sim.GenOptions{}
+		if i%10 == 9 {
+			opt.Fault = &sim.Fault{Type: sim.FaultException, Service: services[i%len(services)], Magnitude: 50}
+		}
+		t := sys.GenTrace(sys.PickAPI(), opt)
+		cluster.Capture(t)
+		if opt.Fault != nil {
+			ids = append(ids, t.TraceID)
+		}
+	}
+	cluster.Flush()
+	var exact []string
+	for _, id := range ids {
+		if cluster.Query(id).Kind == mint.ExactHit {
+			exact = append(exact, id)
+		}
+	}
+	if len(exact) == 0 {
+		b.Fatal("no exact hits to query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Query(exact[i%len(exact)])
+	}
+}
+
+// BenchmarkFlush measures the periodic pattern/Bloom upload.
+func BenchmarkFlush(b *testing.B) {
+	sys, cluster := benchCluster(b)
+	traces := sim.GenTraces(sys, 512)
+	i := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		cluster.Capture(traces[i%len(traces)])
+		i++
+		cluster.Flush()
+	}
+}
+
+// BenchmarkWarmup measures offline parser construction over the default
+// 5000-span sample size at several corpus sizes.
+func BenchmarkWarmup(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("traces=%d", n), func(b *testing.B) {
+			sys := sim.OnlineBoutique(1)
+			warm := sim.GenTraces(sys, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster := mint.NewCluster(sys.Nodes, mint.Defaults())
+				cluster.Warmup(warm)
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+// Package mint is the public API of the Mint reproduction: a cost-efficient
+// distributed tracing framework that captures all requests by splitting
+// traces into common patterns and variable parameters ("commonality +
+// variability", ASPLOS'25).
+//
+// The central type is Cluster: a set of per-node agents plus one backend.
+// Feed it traces with Capture, flush collectors with Flush, and query any
+// trace ID back with Query — sampled traces return exactly, unsampled traces
+// return approximately, and nothing is ever a total miss.
+//
+//	cluster := mint.NewCluster([]string{"node-1", "node-2"}, mint.Defaults())
+//	cluster.Warmup(warmupTraces)
+//	for _, t := range traces {
+//		cluster.Capture(t)
+//	}
+//	cluster.Flush()
+//	res := cluster.Query(traces[0].TraceID)
+package mint
+
+import (
+	"repro/internal/agent"
+	"repro/internal/backend"
+	"repro/internal/collector"
+	"repro/internal/parser"
+	"repro/internal/sampler"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Re-exported data model types so API users never import internal packages.
+type (
+	// Span is a single unit of work within a trace.
+	Span = trace.Span
+	// Trace is a set of spans sharing a trace ID.
+	Trace = trace.Trace
+	// SubTrace is a trace segment generated on one node.
+	SubTrace = trace.SubTrace
+	// AttrValue is a span attribute value.
+	AttrValue = trace.AttrValue
+	// Kind classifies a span (server/client/...).
+	Kind = trace.Kind
+	// Status is a span outcome code.
+	Status = trace.Status
+	// QueryResult is the outcome of a trace query.
+	QueryResult = backend.QueryResult
+	// HitKind classifies a query outcome (exact/partial/miss).
+	HitKind = backend.HitKind
+)
+
+// Re-exported constants.
+const (
+	KindInternal = trace.KindInternal
+	KindServer   = trace.KindServer
+	KindClient   = trace.KindClient
+	StatusOK     = trace.StatusOK
+	StatusError  = trace.StatusError
+
+	Miss       = backend.Miss
+	PartialHit = backend.PartialHit
+	ExactHit   = backend.ExactHit
+)
+
+// Str builds a string attribute value.
+func Str(s string) AttrValue { return trace.Str(s) }
+
+// Num builds a numeric attribute value.
+func Num(f float64) AttrValue { return trace.Num(f) }
+
+// Config bundles every tunable of a Mint deployment. The zero value uses
+// the paper's defaults everywhere.
+type Config struct {
+	// SimilarityThreshold for string clustering (default 0.8).
+	SimilarityThreshold float64
+	// Alpha is the numeric bucket precision (default 0.5).
+	Alpha float64
+	// WarmupSpans used by the offline stage (default 5000).
+	WarmupSpans int
+	// ParallelHAP enables concurrent attribute parsing.
+	ParallelHAP bool
+	// ParamsBufferBytes is the per-agent Params Buffer size (default 4 MB).
+	ParamsBufferBytes int
+	// BloomBufferBytes is the per-filter buffer (default 4 KB).
+	BloomBufferBytes int
+	// BloomFPP is the Bloom false-positive probability (default 0.01).
+	BloomFPP float64
+	// HeadSampleRate optionally adds hash-based head sampling (0 disables).
+	HeadSampleRate float64
+	// DisableSamplers turns off the Symptom and Edge-Case samplers
+	// (useful for pure-compression experiments).
+	DisableSamplers bool
+	// Symptom and EdgeCase tune the two paradigm-native samplers.
+	Symptom  sampler.SymptomConfig
+	EdgeCase sampler.EdgeCaseConfig
+}
+
+// Defaults returns the paper's default configuration.
+func Defaults() Config { return Config{} }
+
+func (c Config) agentConfig() agent.Config {
+	return agent.Config{
+		Parser: parser.Config{
+			SimilarityThreshold: c.SimilarityThreshold,
+			Alpha:               c.Alpha,
+			WarmupSpans:         c.WarmupSpans,
+			Parallel:            c.ParallelHAP,
+		},
+		Symptom:         c.Symptom,
+		EdgeCase:        c.EdgeCase,
+		ParamsBufBytes:  c.ParamsBufferBytes,
+		BloomBufBytes:   c.BloomBufferBytes,
+		BloomFPP:        c.BloomFPP,
+		HeadSampleRate:  c.HeadSampleRate,
+		DisableSamplers: c.DisableSamplers,
+	}
+}
+
+// Cluster is a full Mint deployment: one agent+collector per node and a
+// shared backend, with network bytes metered on every report.
+type Cluster struct {
+	cfg        Config
+	backend    *backend.Backend
+	meter      *wire.Meter
+	nodes      []string
+	collectors map[string]*collector.Collector
+}
+
+// NewCluster creates a deployment over the given node names.
+func NewCluster(nodes []string, cfg Config) *Cluster {
+	b := backend.New(cfg.Alpha)
+	m := wire.NewMeter()
+	c := &Cluster{
+		cfg:        cfg,
+		backend:    b,
+		meter:      m,
+		nodes:      append([]string(nil), nodes...),
+		collectors: map[string]*collector.Collector{},
+	}
+	for _, n := range nodes {
+		a := agent.New(n, cfg.agentConfig())
+		c.collectors[n] = collector.New(a, b, m)
+	}
+	return c
+}
+
+// Warmup trains every node's span parser offline using the spans that the
+// node would have produced for the given traces (§3.2.1).
+func (c *Cluster) Warmup(traces []*Trace) {
+	byNode := map[string][]*Span{}
+	for _, t := range traces {
+		for node, spans := range t.ByNode() {
+			byNode[node] = append(byNode[node], spans...)
+		}
+	}
+	for node, spans := range byNode {
+		if col, ok := c.collectors[node]; ok {
+			col.Agent().Warmup(spans)
+		}
+	}
+}
+
+// Capture ingests one complete trace: the spans are partitioned into per-node
+// sub-traces, parsed by each node's agent, and any sampling decision
+// triggers a cluster-wide parameter upload (trace coherence).
+func (c *Cluster) Capture(t *Trace) {
+	sampledReason := ""
+	for node, spans := range t.ByNode() {
+		col, ok := c.collectors[node]
+		if !ok {
+			continue
+		}
+		for _, st := range trace.BuildSubTraces(node, spans) {
+			res := col.Ingest(st)
+			if sampledReason == "" && len(res.Samples) > 0 {
+				sampledReason = res.Samples[0].Reason
+			}
+		}
+	}
+	if sampledReason != "" {
+		c.markSampled(t.TraceID, sampledReason)
+	}
+}
+
+// MarkSampled externally marks a trace as sampled (the head/tail adapter
+// path) and collects its parameters from every node.
+func (c *Cluster) MarkSampled(traceID, reason string) {
+	c.markSampled(traceID, reason)
+}
+
+func (c *Cluster) markSampled(traceID, reason string) {
+	c.backend.MarkSampled(traceID, reason)
+	// The backend broadcasts one notice on the collectors' control channel
+	// (counted once — it is a single multicast message), and every host
+	// reports its buffered params for the trace.
+	notice := &wire.SampleNotice{TraceID: traceID, Reason: reason}
+	c.meter.Record("backend", notice)
+	for _, node := range c.nodes {
+		c.collectors[node].ReportSampled(traceID)
+	}
+}
+
+// Flush performs the periodic pattern/Bloom upload on every collector
+// (default cadence in the paper: one minute).
+func (c *Cluster) Flush() {
+	for _, node := range c.nodes {
+		c.collectors[node].FlushPatterns()
+	}
+}
+
+// Query looks a trace ID up in the backend.
+func (c *Cluster) Query(traceID string) QueryResult { return c.backend.Query(traceID) }
+
+// NetworkBytes returns the total bytes agents and backend exchanged.
+func (c *Cluster) NetworkBytes() int64 { return c.meter.Total() }
+
+// NetworkBytesByKind returns the bytes sent for one message kind
+// ("patterns", "bloom", "params", "notice").
+func (c *Cluster) NetworkBytesByKind(kind string) int64 { return c.meter.ByKind(kind) }
+
+// StorageBytes returns the backend's persisted bytes.
+func (c *Cluster) StorageBytes() int64 {
+	total, _, _, _ := c.backend.StorageBytes()
+	return total
+}
+
+// StorageBreakdown returns the backend's storage split into pattern, Bloom
+// and parameter bytes.
+func (c *Cluster) StorageBreakdown() (patterns, blooms, params int64) {
+	_, p, bl, pa := c.backend.StorageBytes()
+	return p, bl, pa
+}
+
+// Backend exposes the backend for advanced queries.
+func (c *Cluster) Backend() *backend.Backend { return c.backend }
+
+// Nodes returns the node names.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// SpanPatternCount returns the distinct span patterns across the backend.
+func (c *Cluster) SpanPatternCount() int { return c.backend.SpanPatternCount() }
+
+// TopoPatternCount returns the distinct topo patterns across the backend.
+func (c *Cluster) TopoPatternCount() int { return c.backend.TopoPatternCount() }
+
+// ResetMeter zeroes the network meter (between experiment phases).
+func (c *Cluster) ResetMeter() { c.meter.Reset() }
+
+// AgentEvictions reports how many parameter blocks a node's Params Buffer
+// has dropped under memory pressure (diagnostics for buffer sizing).
+func (c *Cluster) AgentEvictions(node string) uint64 {
+	col, ok := c.collectors[node]
+	if !ok {
+		return 0
+	}
+	return col.Agent().Buffer().Evicted()
+}

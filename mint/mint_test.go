@@ -1,0 +1,118 @@
+package mint_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func newOBCluster(t *testing.T, cfg mint.Config) (*sim.System, *mint.Cluster) {
+	t.Helper()
+	sys := sim.OnlineBoutique(42)
+	cluster := mint.NewCluster(sys.Nodes, cfg)
+	return sys, cluster
+}
+
+func TestCaptureAndQueryPartialHit(t *testing.T) {
+	sys, cluster := newOBCluster(t, mint.Defaults())
+	warm := sim.GenTraces(sys, 200)
+	cluster.Warmup(warm)
+
+	traces := sim.GenTraces(sys, 500)
+	for _, tr := range traces {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+
+	misses := 0
+	for _, tr := range traces {
+		res := cluster.Query(tr.TraceID)
+		if res.Kind == mint.Miss {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("Mint must answer every query at least approximately; got %d misses of %d", misses, len(traces))
+	}
+}
+
+func TestSampledTraceReturnsExactHit(t *testing.T) {
+	sys, cluster := newOBCluster(t, mint.Defaults())
+	cluster.Warmup(sim.GenTraces(sys, 200))
+
+	normal := sim.GenTraces(sys, 300)
+	for _, tr := range normal {
+		cluster.Capture(tr)
+	}
+	// A faulted trace carries an error status, which the Symptom Sampler
+	// flags via the abnormal-word list (exception attribute).
+	fault := &sim.Fault{Type: sim.FaultException, Service: "payment", Magnitude: 100}
+	bad := sys.GenTrace(3, sim.GenOptions{Fault: fault}) // checkout hits payment
+	cluster.Capture(bad)
+	cluster.Flush()
+
+	res := cluster.Query(bad.TraceID)
+	if res.Kind != mint.ExactHit {
+		t.Fatalf("symptomatic trace should be an exact hit, got %v", res.Kind)
+	}
+	if len(res.Trace.Spans) != len(bad.Spans) {
+		t.Fatalf("exact reconstruction span count = %d, want %d", len(res.Trace.Spans), len(bad.Spans))
+	}
+	// Exact reconstruction must preserve the error status and exception.
+	foundErr := false
+	for _, s := range res.Trace.Spans {
+		if s.Status == mint.StatusError {
+			foundErr = true
+		}
+	}
+	if !foundErr {
+		t.Fatal("reconstructed trace lost the error status")
+	}
+}
+
+func TestStorageFarBelowRaw(t *testing.T) {
+	sys, cluster := newOBCluster(t, mint.Defaults())
+	cluster.Warmup(sim.GenTraces(sys, 200))
+
+	traces := sim.GenTraces(sys, 2000)
+	raw := int64(0)
+	for _, tr := range traces {
+		raw += int64(tr.Size())
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+
+	storage := cluster.StorageBytes()
+	if storage >= raw/5 {
+		t.Fatalf("Mint storage %d should be well under 20%% of raw %d", storage, raw)
+	}
+	network := cluster.NetworkBytes()
+	if network >= raw/2 {
+		t.Fatalf("Mint network %d should be well under 50%% of raw %d", network, raw)
+	}
+}
+
+func TestPatternCountsConverge(t *testing.T) {
+	sys, cluster := newOBCluster(t, mint.Defaults())
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	for _, tr := range sim.GenTraces(sys, 1000) {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+	before := cluster.SpanPatternCount()
+	for _, tr := range sim.GenTraces(sys, 1000) {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+	after := cluster.SpanPatternCount()
+	if before == 0 {
+		t.Fatal("no span patterns extracted")
+	}
+	if after > before+before/10 {
+		t.Fatalf("pattern library did not converge: %d -> %d", before, after)
+	}
+	if cluster.TopoPatternCount() == 0 {
+		t.Fatal("no topo patterns extracted")
+	}
+}

@@ -1,0 +1,40 @@
+package mint
+
+import (
+	"repro/internal/otlp"
+	"repro/internal/trace"
+)
+
+// CaptureOTLP ingests an OTLP/JSON export payload received on one node:
+// the payload's spans are decoded, grouped into per-trace sub-traces and
+// fed to that node's agent — the protocol-decoupled ingestion path of
+// §4.1. Sampling decisions propagate cluster-wide as with Capture.
+//
+// Unlike Capture (which sees a complete trace), an OTLP payload carries
+// whatever the local SDK exported; Mint's per-node design needs nothing
+// more.
+func (c *Cluster) CaptureOTLP(node string, payload []byte) error {
+	spans, err := otlp.Decode(payload, node)
+	if err != nil {
+		return err
+	}
+	col, ok := c.collectors[node]
+	if !ok {
+		return errUnknownNode(node)
+	}
+	for _, st := range trace.BuildSubTraces(node, spans) {
+		res := col.Ingest(st)
+		if len(res.Samples) > 0 {
+			c.markSampled(st.TraceID, res.Samples[0].Reason)
+		}
+	}
+	return nil
+}
+
+// EncodeOTLP renders spans as an OTLP/JSON export payload, for shipping
+// Mint-reconstructed traces back into OpenTelemetry tooling.
+func EncodeOTLP(spans []*Span) ([]byte, error) { return otlp.Encode(spans) }
+
+type errUnknownNode string
+
+func (e errUnknownNode) Error() string { return "mint: unknown node " + string(e) }
