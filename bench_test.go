@@ -12,9 +12,12 @@ package repro
 // reproduction target.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/mint"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -93,3 +96,35 @@ func BenchmarkAblationParamsBuffer(b *testing.B) { runExperiment(b, "abl-params"
 
 // BenchmarkAblationParallelHAP verifies parallel HAP parity.
 func BenchmarkAblationParallelHAP(b *testing.B) { runExperiment(b, "abl-hap") }
+
+// benchCapture measures end-to-end capture throughput over the Online
+// Boutique workload. workers == 0 is the serial baseline (synchronous
+// Capture, single-shard backend); workers > 0 drives the concurrent
+// pipeline (CaptureAsync onto the worker pool, sharded backend, batched
+// async reporting) and includes the final drain in the timed region.
+func benchCapture(b *testing.B, shards, workers int) {
+	b.Helper()
+	sys := sim.OnlineBoutique(1)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{Shards: shards, IngestWorkers: workers})
+	cluster.Warmup(sim.GenTraces(sys, 300))
+	traces := sim.GenTraces(sys, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.CaptureAsync(traces[i%len(traces)])
+	}
+	cluster.Flush()
+	b.StopTimer()
+	cluster.Close()
+}
+
+// BenchmarkClusterCaptureSerial is the serial ingestion baseline.
+func BenchmarkClusterCaptureSerial(b *testing.B) { benchCapture(b, 0, 0) }
+
+// BenchmarkClusterCaptureParallel runs the concurrent sharded pipeline with
+// one ingest worker per core. Compare against BenchmarkClusterCaptureSerial:
+//
+//	go test -bench='BenchmarkClusterCapture(Serial|Parallel)$' -benchtime=2s
+func BenchmarkClusterCaptureParallel(b *testing.B) {
+	w := runtime.GOMAXPROCS(0)
+	benchCapture(b, 2*w, w)
+}

@@ -7,6 +7,8 @@
 //	mintbench -run fig11      # run one experiment by ID
 //	mintbench -list           # list experiment IDs
 //	mintbench -light          # skip the heavy (multi-second) experiments
+//	mintbench -workers 8      # capture-throughput benchmark: serial vs
+//	                          # 8 ingest workers on a sharded backend
 package main
 
 import (
@@ -16,13 +18,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/mint"
 )
 
 func main() {
 	runID := flag.String("run", "", "run a single experiment by ID (e.g. fig11, tab4)")
 	list := flag.Bool("list", false, "list available experiment IDs")
 	light := flag.Bool("light", false, "skip heavy experiments")
+	workers := flag.Int("workers", 0, "measure capture throughput with N ingest workers vs the serial baseline")
+	shards := flag.Int("shards", 0, "backend shards for -workers (default 2×workers)")
+	capTraces := flag.Int("captraces", 20000, "traces captured per run in the -workers benchmark")
 	flag.Parse()
+
+	if *workers > 0 {
+		runCaptureBench(*workers, *shards, *capTraces)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -63,4 +75,40 @@ func runOne(e experiments.Entry) {
 	res := e.Run()
 	fmt.Print(res.Render())
 	fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+}
+
+// runCaptureBench compares serial capture against the concurrent sharded
+// pipeline on the Online Boutique workload and prints traces/sec for both.
+func runCaptureBench(workers, shards, n int) {
+	if n <= 0 {
+		fmt.Fprintln(os.Stderr, "mintbench: -captraces must be positive")
+		os.Exit(1)
+	}
+	if shards <= 0 {
+		shards = 2 * workers
+	}
+	sys := sim.OnlineBoutique(1)
+	warm := sim.GenTraces(sys, 300)
+	traces := sim.GenTraces(sys, n)
+
+	serial := captureRate(sys.Nodes, mint.Defaults(), warm, traces)
+	fmt.Printf("%-36s %8.0f traces/sec\n", "serial (1 goroutine, 1 shard):", serial)
+
+	cfg := mint.Config{Shards: shards, IngestWorkers: workers}
+	parallel := captureRate(sys.Nodes, cfg, warm, traces)
+	fmt.Printf("%-36s %8.0f traces/sec\n",
+		fmt.Sprintf("pipelined (%d workers, %d shards):", workers, shards), parallel)
+	fmt.Printf("speedup: %.2fx\n", parallel/serial)
+}
+
+func captureRate(nodes []string, cfg mint.Config, warm, traces []*mint.Trace) float64 {
+	cluster := mint.NewCluster(nodes, cfg)
+	defer cluster.Close()
+	cluster.Warmup(warm)
+	start := time.Now()
+	for _, t := range traces {
+		cluster.CaptureAsync(t)
+	}
+	cluster.Flush()
+	return float64(len(traces)) / time.Since(start).Seconds()
 }

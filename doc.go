@@ -5,11 +5,13 @@
 // The public API lives in the mint subpackage; the substrates (span/trace
 // parsing, Bloom filters, samplers, microservice simulators, baseline
 // tracing frameworks, RCA methods and the experiment drivers) live under
-// internal/. See README.md for the layout, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// internal/. See README.md for the package layout and a quickstart,
+// including the concurrent sharded ingestion pipeline (Config.Shards,
+// Config.IngestWorkers, Cluster.CaptureAsync/Close).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation:
+// paper's evaluation, plus capture-throughput comparisons for the serial
+// and concurrent ingest paths:
 //
 //	go test -bench=. -benchmem
 package repro

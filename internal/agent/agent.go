@@ -40,7 +40,10 @@ type IngestResult struct {
 	RawBytes      int // serialized size of the raw sub-trace
 }
 
-// Agent is one mint-agent instance on an application node.
+// Agent is one mint-agent instance on an application node. It is safe for
+// concurrent Ingest: the per-agent mutex serializes the parse/buffer/mount
+// sequence of one sub-trace, so concurrent captures on different nodes run
+// fully in parallel while captures racing on one node queue briefly.
 type Agent struct {
 	Node string
 
@@ -58,6 +61,9 @@ type Agent struct {
 	pendingSpanPat map[string]*parser.SpanPattern
 	pendingTopoPat map[string]*topo.Pattern
 
+	// cbMu guards onBloomFull separately from mu: the callback fires from
+	// inside Ingest (mu held), so it must not require mu itself.
+	cbMu        sync.RWMutex
 	onBloomFull func(patternID string, f *bloom.Filter)
 }
 
@@ -80,8 +86,11 @@ func New(node string, cfg Config) *Agent {
 		a.head = sampler.NewHead(cfg.HeadSampleRate)
 	}
 	a.topoLib.OnFilterFull(func(id string, f *bloom.Filter) {
-		if a.onBloomFull != nil {
-			a.onBloomFull(id, f)
+		a.cbMu.RLock()
+		cb := a.onBloomFull
+		a.cbMu.RUnlock()
+		if cb != nil {
+			cb(id, f)
 		}
 	})
 	return a
@@ -90,7 +99,9 @@ func New(node string, cfg Config) *Agent {
 // OnBloomFull registers the collector callback fired when a pattern's Bloom
 // filter reaches its buffer limit and must be reported immediately.
 func (a *Agent) OnBloomFull(fn func(patternID string, f *bloom.Filter)) {
+	a.cbMu.Lock()
 	a.onBloomFull = fn
+	a.cbMu.Unlock()
 }
 
 // Warmup trains the span parser offline on sampled raw spans (§3.2.1).

@@ -3,6 +3,12 @@
 // parameters are stored in a format that supports queries without
 // decompression; the querier returns exact traces for sampled trace IDs and
 // approximate traces for everything else.
+//
+// The store is sharded: pattern state (span/topo patterns, Bloom segments)
+// is partitioned by FNV hash of the pattern ID and trace state (sampled
+// marks, parameters) by FNV hash of the trace ID, each shard behind its own
+// mutex. Writers from many collectors therefore contend only within a
+// shard, while the public API is unchanged from the single-lock design.
 package backend
 
 import (
@@ -51,9 +57,11 @@ type bloomSegment struct {
 	filter    *bloom.Filter
 }
 
-// Backend is the Mint trace backend: pattern/bloom/param stores plus
-// storage-byte accounting.
-type Backend struct {
+// shard is one independently locked partition of the backend store. Pattern
+// shards hold spanPatterns/topoPatterns/segments/liveFilters; trace shards
+// hold params/sampled. With one shard both roles coincide, which reproduces
+// the original monolithic backend exactly.
+type shard struct {
 	mu sync.Mutex
 
 	spanPatterns map[string]*parser.SpanPattern
@@ -67,45 +75,103 @@ type Backend struct {
 	params  map[string]map[string][]*parser.ParsedSpan // traceID -> node -> spans
 	sampled map[string]string                          // traceID -> reason
 
-	mapper *bucket.Mapper
-
 	storagePatterns int64
 	storageBloom    int64
 	storageParams   int64
 }
 
-// New creates a backend. alpha is the numeric bucketing precision the agents
-// use (needed to reconstruct numeric attributes); 0 takes the default.
-func New(alpha float64) *Backend {
-	if alpha == 0 {
-		alpha = bucket.DefaultAlpha
-	}
-	return &Backend{
+func newShard() *shard {
+	return &shard{
 		spanPatterns: map[string]*parser.SpanPattern{},
 		topoPatterns: map[string]*topo.Pattern{},
 		liveFilters:  map[string]int{},
 		params:       map[string]map[string][]*parser.ParsedSpan{},
 		sampled:      map[string]string{},
-		mapper:       bucket.NewMapper(alpha),
 	}
+}
+
+// Backend is the Mint trace backend: a router over N shards of
+// pattern/bloom/param stores plus storage-byte accounting.
+type Backend struct {
+	shards []*shard
+	mapper *bucket.Mapper
+}
+
+// New creates a single-shard backend (the serial-equivalent configuration).
+// alpha is the numeric bucketing precision the agents use (needed to
+// reconstruct numeric attributes); 0 takes the default.
+func New(alpha float64) *Backend { return NewSharded(alpha, 1) }
+
+// NewSharded creates a backend partitioned into n independently locked
+// shards. n <= 0 takes one shard. Storage contents and byte accounting are
+// identical for every n; only lock contention changes.
+func NewSharded(alpha float64, n int) *Backend {
+	if alpha == 0 {
+		alpha = bucket.DefaultAlpha
+	}
+	if n <= 0 {
+		n = 1
+	}
+	b := &Backend{
+		shards: make([]*shard, n),
+		mapper: bucket.NewMapper(alpha),
+	}
+	for i := range b.shards {
+		b.shards[i] = newShard()
+	}
+	return b
+}
+
+// ShardCount returns the number of store partitions.
+func (b *Backend) ShardCount() int { return len(b.shards) }
+
+// fnv32 is FNV-1a inlined over the string: shard routing runs on every
+// accept/lookup, so it must not allocate.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// patternShard returns the shard owning a pattern ID.
+func (b *Backend) patternShard(patternID string) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	return b.shards[fnv32(patternID)%uint32(len(b.shards))]
+}
+
+// traceShard returns the shard owning a trace ID.
+func (b *Backend) traceShard(traceID string) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	return b.shards[fnv32(traceID)%uint32(len(b.shards))]
 }
 
 // AcceptPatterns stores a pattern report. Duplicate patterns (same content
 // hash from different nodes) are stored once — the commonality win.
 func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	for _, p := range r.SpanPatterns {
-		if _, ok := b.spanPatterns[p.ID]; !ok {
-			b.spanPatterns[p.ID] = p
-			b.storagePatterns += int64(p.Size())
+		s := b.patternShard(p.ID)
+		s.mu.Lock()
+		if _, ok := s.spanPatterns[p.ID]; !ok {
+			s.spanPatterns[p.ID] = p
+			s.storagePatterns += int64(p.Size())
 		}
+		s.mu.Unlock()
 	}
 	for _, p := range r.TopoPatterns {
-		if _, ok := b.topoPatterns[p.ID]; !ok {
-			b.topoPatterns[p.ID] = p
-			b.storagePatterns += int64(p.Size())
+		s := b.patternShard(p.ID)
+		s.mu.Lock()
+		if _, ok := s.topoPatterns[p.ID]; !ok {
+			s.topoPatterns[p.ID] = p
+			s.storagePatterns += int64(p.Size())
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -113,93 +179,142 @@ func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
 // (immutable=true) append; periodic snapshots replace the previous snapshot
 // for the same (node, pattern).
 func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	s := b.patternShard(r.PatternID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	seg := bloomSegment{node: r.Node, patternID: r.PatternID, filter: r.Filter}
 	sz := int64(r.Filter.SizeBytes())
 	if immutable {
-		b.segments = append(b.segments, seg)
-		b.storageBloom += sz
+		s.segments = append(s.segments, seg)
+		s.storageBloom += sz
 		return
 	}
 	key := r.Node + "\x1f" + r.PatternID
-	if idx, ok := b.liveFilters[key]; ok {
-		b.segments[idx] = seg
+	if idx, ok := s.liveFilters[key]; ok {
+		s.segments[idx] = seg
 		return // replacement: no storage growth
 	}
-	b.liveFilters[key] = len(b.segments)
-	b.segments = append(b.segments, seg)
-	b.storageBloom += sz
+	s.liveFilters[key] = len(s.segments)
+	s.segments = append(s.segments, seg)
+	s.storageBloom += sz
 }
 
 // AcceptParams stores the sampled parameters of one trace from one node.
 func (b *Backend) AcceptParams(r *wire.ParamsReport) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	byNode, ok := b.params[r.TraceID]
+	s := b.traceShard(r.TraceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byNode, ok := s.params[r.TraceID]
 	if !ok {
 		byNode = map[string][]*parser.ParsedSpan{}
-		b.params[r.TraceID] = byNode
+		s.params[r.TraceID] = byNode
 	}
 	byNode[r.Node] = append(byNode[r.Node], r.Spans...)
-	for _, s := range r.Spans {
-		b.storageParams += int64(s.Size())
+	for _, sp := range r.Spans {
+		s.storageParams += int64(sp.Size())
 	}
 }
 
 // MarkSampled records that a trace was marked sampled (and why).
 func (b *Backend) MarkSampled(traceID, reason string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.sampled[traceID]; !ok {
-		b.sampled[traceID] = reason
+	s := b.traceShard(traceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sampled[traceID]; !ok {
+		s.sampled[traceID] = reason
 	}
 }
 
 // Sampled reports whether a trace is marked sampled.
 func (b *Backend) Sampled(traceID string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	_, ok := b.sampled[traceID]
+	s := b.traceShard(traceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sampled[traceID]
 	return ok
 }
 
 // StorageBytes returns total storage and its three components.
 func (b *Backend) StorageBytes() (total, patterns, blooms, params int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.storagePatterns + b.storageBloom + b.storageParams,
-		b.storagePatterns, b.storageBloom, b.storageParams
+	for _, s := range b.shards {
+		s.mu.Lock()
+		patterns += s.storagePatterns
+		blooms += s.storageBloom
+		params += s.storageParams
+		s.mu.Unlock()
+	}
+	return patterns + blooms + params, patterns, blooms, params
 }
 
 // SpanPatternCount returns the number of stored span patterns.
 func (b *Backend) SpanPatternCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.spanPatterns)
+	n := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		n += len(s.spanPatterns)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // TopoPatternCount returns the number of stored topo patterns.
 func (b *Backend) TopoPatternCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.topoPatterns)
+	n := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		n += len(s.topoPatterns)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// spanPattern routes a span pattern lookup to its shard.
+func (b *Backend) spanPattern(id string) (*parser.SpanPattern, bool) {
+	s := b.patternShard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.spanPatterns[id]
+	return p, ok
+}
+
+// topoPattern routes a topo pattern lookup to its shard.
+func (b *Backend) topoPattern(id string) (*topo.Pattern, bool) {
+	s := b.patternShard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.topoPatterns[id]
+	return p, ok
 }
 
 // Query implements the paper's query logic (§4.3): check every Bloom filter
 // for the trace ID; reconstruct the matching sub-trace patterns into an
 // approximate trace; if the trace was sampled, overlay the exact parameters.
+//
+// The query takes no global lock: it visits the trace shard for sampled
+// params, then scans each pattern shard's Bloom segments under that shard's
+// lock only. Concurrent with ingestion it sees some consistent recent state;
+// after ingestion quiesces (Flush/Close) it sees everything.
 func (b *Backend) Query(traceID string) QueryResult {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
 	// Exact path: sampled traces have their parameters stored.
-	if _, ok := b.sampled[traceID]; ok {
-		if byNode, ok := b.params[traceID]; ok {
-			t := b.reconstructExact(traceID, byNode)
-			if t != nil && len(t.Spans) > 0 {
-				return QueryResult{Kind: ExactHit, Trace: t}
+	ts := b.traceShard(traceID)
+	ts.mu.Lock()
+	_, isSampled := ts.sampled[traceID]
+	var byNode map[string][]*parser.ParsedSpan
+	if isSampled {
+		if stored, ok := ts.params[traceID]; ok {
+			// Copy the node map so reconstruction can run outside the lock
+			// (span slices are append-only; our header view is stable).
+			byNode = make(map[string][]*parser.ParsedSpan, len(stored))
+			for n, spans := range stored {
+				byNode[n] = spans
 			}
+		}
+	}
+	ts.mu.Unlock()
+	if len(byNode) > 0 {
+		t := b.reconstructExact(traceID, byNode)
+		if t != nil && len(t.Spans) > 0 {
+			return QueryResult{Kind: ExactHit, Trace: t}
 		}
 	}
 
@@ -210,16 +325,20 @@ func (b *Backend) Query(traceID string) QueryResult {
 	}
 	seen := map[string]bool{}
 	var hits []hit
-	for _, seg := range b.segments {
-		if !seg.filter.Contains(traceID) {
-			continue
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for _, seg := range s.segments {
+			if !seg.filter.Contains(traceID) {
+				continue
+			}
+			key := seg.node + "\x1f" + seg.patternID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
 		}
-		key := seg.node + "\x1f" + seg.patternID
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
+		s.mu.Unlock()
 	}
 	if len(hits) == 0 {
 		return QueryResult{Kind: Miss}
@@ -238,7 +357,7 @@ func (b *Backend) Query(traceID string) QueryResult {
 	// do not stitch are dropped when at least one stitched segment exists.
 	var pats []*topo.Pattern
 	for _, h := range hits {
-		if p, ok := b.topoPatterns[h.patternID]; ok {
+		if p, ok := b.topoPattern(h.patternID); ok {
 			pats = append(pats, p)
 		}
 	}
@@ -257,7 +376,7 @@ func (b *Backend) Query(traceID string) QueryResult {
 // calleeOf returns the downstream service a client-span pattern calls, from
 // its peer.service attribute (the cross-node link of §6.2).
 func (b *Backend) calleeOf(spanPatternID string) string {
-	pat, ok := b.spanPatterns[spanPatternID]
+	pat, ok := b.spanPattern(spanPatternID)
 	if !ok {
 		return ""
 	}
@@ -271,7 +390,7 @@ func (b *Backend) calleeOf(spanPatternID string) string {
 
 // serviceOf returns the service of a span pattern.
 func (b *Backend) serviceOf(spanPatternID string) string {
-	if pat, ok := b.spanPatterns[spanPatternID]; ok {
+	if pat, ok := b.spanPattern(spanPatternID); ok {
 		return pat.Service
 	}
 	return ""
@@ -368,7 +487,7 @@ func (b *Backend) appendApproxSpans(t *trace.Trace, p *topo.Pattern, seq *int, s
 		if callee := b.calleeOf(patID); callee != "" {
 			stitch.exitSpans[callee] = append(stitch.exitSpans[callee], spanID)
 		}
-		if spat, ok := b.spanPatterns[patID]; ok {
+		if spat, ok := b.spanPattern(patID); ok {
 			sp.Service = spat.Service
 			sp.Operation = spat.Operation
 			sp.Kind = spat.Kind
@@ -457,7 +576,7 @@ func (b *Backend) reconstructExact(traceID string, byNode map[string][]*parser.P
 	sort.Strings(nodes)
 	for _, node := range nodes {
 		for _, ps := range byNode[node] {
-			pat, ok := b.spanPatterns[ps.PatternID]
+			pat, ok := b.spanPattern(ps.PatternID)
 			if !ok {
 				continue
 			}
@@ -469,11 +588,13 @@ func (b *Backend) reconstructExact(traceID string, byNode map[string][]*parser.P
 
 // DebugSpanPatterns returns the stored span patterns for diagnostics.
 func (b *Backend) DebugSpanPatterns() []*parser.SpanPattern {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]*parser.SpanPattern, 0, len(b.spanPatterns))
-	for _, p := range b.spanPatterns {
-		out = append(out, p)
+	var out []*parser.SpanPattern
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for _, p := range s.spanPatterns {
+			out = append(out, p)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

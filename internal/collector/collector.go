@@ -2,6 +2,12 @@
 // that periodically reports patterns from the Pattern Library, immediately
 // reports Bloom filters when they reach their size limit, and uploads a
 // sampled trace's parameters from every host when notified by the backend.
+//
+// A collector is safe for concurrent Ingest. Reporting runs in one of two
+// modes: synchronous (every report is metered and applied to the backend
+// inline, the seed behavior) or asynchronous (reports are enqueued to a
+// bounded Reporter that coalesces them into wire.Batch envelopes, with
+// back-pressure instead of drops).
 package collector
 
 import (
@@ -16,29 +22,51 @@ import (
 
 // Collector wires one agent to the backend and meters every byte it sends.
 type Collector struct {
-	agent   *agent.Agent
-	backend *backend.Backend
-	meter   *wire.Meter
+	agent    *agent.Agent
+	backend  *backend.Backend
+	meter    *wire.Meter
+	reporter *Reporter // nil in synchronous mode
 
 	mu       sync.Mutex
 	notified map[string]bool // traces whose params this host already reported
 }
 
-// New creates a collector for an agent. Bloom-full events are wired to
-// immediate reports, matching the paper's "immediately reports Bloom Filters
-// once they reach their size limit".
+// New creates a synchronous collector for an agent. Bloom-full events are
+// wired to immediate reports, matching the paper's "immediately reports
+// Bloom Filters once they reach their size limit".
 func New(a *agent.Agent, b *backend.Backend, m *wire.Meter) *Collector {
-	c := &Collector{agent: a, backend: b, meter: m, notified: map[string]bool{}}
+	return newCollector(a, b, m, nil)
+}
+
+// NewAsync creates a collector whose reporting runs on a Reporter worker
+// with the given queue depth and batch size (<= 0 takes the defaults).
+// Callers must Close the collector to drain the queue.
+func NewAsync(a *agent.Agent, b *backend.Backend, m *wire.Meter, queueLen, batchMax int) *Collector {
+	return newCollector(a, b, m, NewReporter(a.Node, b, m, queueLen, batchMax))
+}
+
+func newCollector(a *agent.Agent, b *backend.Backend, m *wire.Meter, rep *Reporter) *Collector {
+	c := &Collector{agent: a, backend: b, meter: m, reporter: rep, notified: map[string]bool{}}
 	a.OnBloomFull(func(patternID string, f *bloom.Filter) {
-		r := &wire.BloomReport{Node: a.Node, PatternID: patternID, Filter: f}
-		m.Record(a.Node, r)
-		b.AcceptBloom(r, true)
+		c.send(&wire.BloomReport{Node: a.Node, PatternID: patternID, Filter: f, Full: true})
 	})
 	return c
 }
 
+// send routes one report either through the async reporter (which meters the
+// amortized batch size) or inline.
+func (c *Collector) send(msg wire.Message) {
+	if c.reporter != nil {
+		c.reporter.Enqueue(msg)
+		return
+	}
+	c.meter.Record(c.agent.Node, msg)
+	deliver(c.backend, msg)
+}
+
 // Ingest passes a sub-trace to the agent and propagates any sampling
-// decisions to the backend (which notifies all collectors).
+// decisions to the backend (which notifies all collectors). Safe for
+// concurrent use.
 func (c *Collector) Ingest(st *trace.SubTrace) agent.IngestResult {
 	res := c.agent.Ingest(st)
 	for _, ev := range res.Samples {
@@ -52,14 +80,10 @@ func (c *Collector) Ingest(st *trace.SubTrace) agent.IngestResult {
 func (c *Collector) FlushPatterns() {
 	sp, tp := c.agent.DrainPatternDeltas()
 	if len(sp) > 0 || len(tp) > 0 {
-		r := &wire.PatternReport{Node: c.agent.Node, SpanPatterns: sp, TopoPatterns: tp}
-		c.meter.Record(c.agent.Node, r)
-		c.backend.AcceptPatterns(r)
+		c.send(&wire.PatternReport{Node: c.agent.Node, SpanPatterns: sp, TopoPatterns: tp})
 	}
 	for _, snap := range c.agent.SnapshotBloomFilters() {
-		r := &wire.BloomReport{Node: c.agent.Node, PatternID: snap.PatternID, Filter: snap.Filter}
-		c.meter.Record(c.agent.Node, r)
-		c.backend.AcceptBloom(r, false)
+		c.send(&wire.BloomReport{Node: c.agent.Node, PatternID: snap.PatternID, Filter: snap.Filter})
 	}
 }
 
@@ -78,9 +102,23 @@ func (c *Collector) ReportSampled(traceID string) {
 	if !ok || len(spans) == 0 {
 		return
 	}
-	r := &wire.ParamsReport{Node: c.agent.Node, TraceID: traceID, Spans: spans}
-	c.meter.Record(c.agent.Node, r)
-	c.backend.AcceptParams(r)
+	c.send(&wire.ParamsReport{Node: c.agent.Node, TraceID: traceID, Spans: spans})
+}
+
+// SyncReports blocks until every report enqueued so far has reached the
+// backend. A no-op in synchronous mode.
+func (c *Collector) SyncReports() {
+	if c.reporter != nil {
+		c.reporter.Flush()
+	}
+}
+
+// Close drains and stops the async reporter, if any. The collector remains
+// usable afterwards in degraded synchronous mode.
+func (c *Collector) Close() {
+	if c.reporter != nil {
+		c.reporter.Close()
+	}
 }
 
 // Agent returns the wrapped agent.

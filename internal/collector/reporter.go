@@ -1,0 +1,177 @@
+package collector
+
+import (
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/wire"
+)
+
+// Default sizing of the async reporting pipeline.
+const (
+	// DefaultReportQueue is the bounded depth of a reporter's inbox. A full
+	// queue blocks the enqueuing ingest goroutine (back-pressure); reports
+	// are never dropped.
+	DefaultReportQueue = 256
+	// DefaultReportBatch is the maximum number of reports coalesced into one
+	// wire.Batch envelope before it is delivered to the backend.
+	DefaultReportBatch = 32
+)
+
+// Reporter moves collector→backend reporting off the ingest path: reports
+// are enqueued on a bounded channel and a worker goroutine coalesces them
+// into wire.Batch envelopes delivered to the backend, metering the amortized
+// batch size instead of one framed message per report.
+type Reporter struct {
+	node     string
+	backend  *backend.Backend
+	meter    *wire.Meter
+	batchMax int
+
+	ch       chan wire.Message
+	flushReq chan chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewReporter starts a reporter worker for one node. queueLen and batchMax
+// fall back to the package defaults when <= 0.
+func NewReporter(node string, b *backend.Backend, m *wire.Meter, queueLen, batchMax int) *Reporter {
+	if queueLen <= 0 {
+		queueLen = DefaultReportQueue
+	}
+	if batchMax <= 0 {
+		batchMax = DefaultReportBatch
+	}
+	r := &Reporter{
+		node:     node,
+		backend:  b,
+		meter:    m,
+		batchMax: batchMax,
+		ch:       make(chan wire.Message, queueLen),
+		flushReq: make(chan chan struct{}),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// Enqueue hands a report to the worker. It blocks while the queue is full —
+// back-pressure slows ingestion instead of dropping telemetry. After Close
+// the report is delivered synchronously so nothing is ever lost.
+func (r *Reporter) Enqueue(msg wire.Message) {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		r.meter.Record(r.node, msg)
+		deliver(r.backend, msg)
+		return
+	}
+	r.ch <- msg
+	r.mu.RUnlock()
+}
+
+// Flush blocks until every report enqueued before the call has been
+// delivered to the backend.
+func (r *Reporter) Flush() {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return
+	}
+	ack := make(chan struct{})
+	r.flushReq <- ack
+	r.mu.RUnlock()
+	<-ack
+}
+
+// Close drains the queue, delivers the final batch and stops the worker.
+// Safe to call more than once.
+func (r *Reporter) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.quit)
+	<-r.done
+}
+
+func (r *Reporter) run() {
+	pending := &wire.Batch{Node: r.node}
+	emit := func() {
+		r.deliverBatch(pending)
+		pending = &wire.Batch{Node: r.node}
+	}
+	for {
+		select {
+		case msg := <-r.ch:
+			pending.Append(msg)
+			if pending.Len() >= r.batchMax {
+				emit()
+			}
+		case ack := <-r.flushReq:
+			pending = r.drain(pending)
+			emit()
+			close(ack)
+		case <-r.quit:
+			pending = r.drain(pending)
+			emit()
+			close(r.done)
+			return
+		}
+	}
+}
+
+// drain moves whatever is buffered in the queue into the pending batch
+// without blocking, delivering full envelopes along the way so batchMax
+// stays the per-envelope cap even on flush/close.
+func (r *Reporter) drain(pending *wire.Batch) *wire.Batch {
+	for {
+		select {
+		case msg := <-r.ch:
+			pending.Append(msg)
+			if pending.Len() >= r.batchMax {
+				r.deliverBatch(pending)
+				pending = &wire.Batch{Node: r.node}
+			}
+		default:
+			return pending
+		}
+	}
+}
+
+// deliverBatch meters and applies one coalesced envelope. A batch of one is
+// sent (and metered) as the bare message: the envelope only pays off when it
+// amortizes framing over several reports.
+func (r *Reporter) deliverBatch(b *wire.Batch) {
+	switch b.Len() {
+	case 0:
+		return
+	case 1:
+		r.meter.Record(r.node, b.Reports[0])
+	default:
+		r.meter.RecordBatch(r.node, b)
+	}
+	for _, msg := range b.Reports {
+		deliver(r.backend, msg)
+	}
+}
+
+// deliver applies one report to the backend.
+func deliver(b *backend.Backend, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.PatternReport:
+		b.AcceptPatterns(m)
+	case *wire.BloomReport:
+		b.AcceptBloom(m, m.Full)
+	case *wire.ParamsReport:
+		b.AcceptParams(m)
+	}
+}

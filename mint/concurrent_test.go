@@ -1,0 +1,209 @@
+package mint_test
+
+// Parity tests for the concurrent ingestion pipeline: capturing a workload
+// from many goroutines (and through the async worker pool) must yield the
+// same query results and the same storage/network accounting as the serial
+// run. Run with -race to exercise the locking.
+//
+// The parity runs disable the Symptom/Edge-Case samplers and mark a fixed
+// subset of traces sampled explicitly: the samplers' streaming estimators
+// (P² quantiles, rarity-at-arrival) are order-dependent by design, so their
+// decisions legitimately differ under concurrent interleaving. Everything
+// else — pattern stores, Bloom segments, params, byte meters — must match.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func parityConfig() mint.Config {
+	return mint.Config{DisableSamplers: true}
+}
+
+// markEveryTenth marks a deterministic subset sampled, standing in for the
+// samplers' decisions.
+func markEveryTenth(cluster *mint.Cluster, traces []*mint.Trace) {
+	for i, tr := range traces {
+		if i%10 == 0 {
+			cluster.MarkSampled(tr.TraceID, "parity-test")
+		}
+	}
+}
+
+// queryRenders runs every trace ID through the cluster and renders each
+// result — kind plus the full reconstructed span list (IDs, parents,
+// service/operation, status, duration) — so parity checks catch ordering or
+// stitching divergence, not just hit-kind agreement.
+func queryRenders(cluster *mint.Cluster, traces []*mint.Trace) []string {
+	out := make([]string, len(traces))
+	for i, tr := range traces {
+		res := cluster.Query(tr.TraceID)
+		var b strings.Builder
+		b.WriteString(res.Kind.String())
+		if res.Trace != nil {
+			for _, s := range res.Trace.Spans {
+				fmt.Fprintf(&b, "|%s<-%s %s/%s st=%d dur=%d",
+					s.SpanID, s.ParentID, s.Service, s.Operation, s.Status, s.Duration)
+			}
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// serialReference captures the workload one trace at a time on a
+// single-shard synchronous cluster — the seed behavior all modes must match.
+func serialReference(warm, traces []*mint.Trace) (*mint.Cluster, []string) {
+	sys := sim.OnlineBoutique(42)
+	cluster := mint.NewCluster(sys.Nodes, parityConfig())
+	cluster.Warmup(warm)
+	for _, tr := range traces {
+		cluster.Capture(tr)
+	}
+	markEveryTenth(cluster, traces)
+	cluster.Flush()
+	return cluster, queryRenders(cluster, traces)
+}
+
+func TestConcurrentCaptureMatchesSerial(t *testing.T) {
+	sys := sim.OnlineBoutique(42)
+	warm := sim.GenTraces(sys, 200)
+	traces := sim.GenTraces(sys, 800)
+	serial, wantRenders := serialReference(warm, traces)
+	wantStorage := serial.StorageBytes()
+	wantNetwork := serial.NetworkBytes()
+
+	// Same workload, many goroutines calling the synchronous Capture on a
+	// sharded backend. The stores are content-addressed, so ingestion order
+	// must not change them: results match the serial run exactly.
+	cfg := parityConfig()
+	cfg.Shards = 8
+	shardedSys := sim.OnlineBoutique(42)
+	sharded := mint.NewCluster(shardedSys.Nodes, cfg)
+	sharded.Warmup(warm)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(traces); i += goroutines {
+				sharded.Capture(traces[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	markEveryTenth(sharded, traces)
+	sharded.Flush()
+
+	if got := sharded.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+	gotRenders := queryRenders(sharded, traces)
+	for i := range wantRenders {
+		if gotRenders[i] != wantRenders[i] {
+			t.Fatalf("trace %d (%s): concurrent result %q, serial %q",
+				i, traces[i].TraceID, gotRenders[i], wantRenders[i])
+		}
+	}
+	if got := sharded.StorageBytes(); got != wantStorage {
+		t.Errorf("concurrent storage = %d, serial = %d", got, wantStorage)
+	}
+	if got := sharded.NetworkBytes(); got != wantNetwork {
+		t.Errorf("concurrent network = %d, serial = %d", got, wantNetwork)
+	}
+}
+
+func TestCaptureAsyncMatchesSerial(t *testing.T) {
+	sys := sim.OnlineBoutique(42)
+	warm := sim.GenTraces(sys, 200)
+	traces := sim.GenTraces(sys, 800)
+	serial, wantRenders := serialReference(warm, traces)
+	wantStorage := serial.StorageBytes()
+	wantNetwork := serial.NetworkBytes()
+
+	cfg := parityConfig()
+	cfg.Shards = 4
+	cfg.IngestWorkers = 4
+	asyncSys := sim.OnlineBoutique(42)
+	async := mint.NewCluster(asyncSys.Nodes, cfg)
+	async.Warmup(warm)
+	for _, tr := range traces {
+		async.CaptureAsync(tr)
+	}
+	async.Flush() // drain the worker pool so every params block is buffered
+	markEveryTenth(async, traces)
+	if err := async.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	gotRenders := queryRenders(async, traces)
+	for i := range wantRenders {
+		if gotRenders[i] != wantRenders[i] {
+			t.Fatalf("trace %d (%s): async result %q, serial %q",
+				i, traces[i].TraceID, gotRenders[i], wantRenders[i])
+		}
+	}
+	// Storage is payload-only and must match exactly; the network total
+	// differs only by the batching envelope, which amortizes per-message
+	// framing and so can only shrink it.
+	if got := async.StorageBytes(); got != wantStorage {
+		t.Errorf("async storage = %d, serial = %d", got, wantStorage)
+	}
+	gotNetwork := async.NetworkBytes()
+	if gotNetwork > wantNetwork {
+		t.Errorf("async network = %d exceeds serial %d: batching should amortize framing", gotNetwork, wantNetwork)
+	}
+	if gotNetwork < wantNetwork*9/10 {
+		t.Errorf("async network = %d implausibly far below serial %d", gotNetwork, wantNetwork)
+	}
+}
+
+// TestAsyncPipelineWithSamplers drives the full pipeline — samplers on,
+// worker pool, batched reporters, mid-stream flush — and asserts the
+// paradigm invariants that hold under any interleaving: no query misses, no
+// deadlocks, Close idempotent and the cluster queryable afterwards.
+func TestAsyncPipelineWithSamplers(t *testing.T) {
+	sys := sim.OnlineBoutique(7)
+	cluster := mint.NewCluster(sys.Nodes, mint.Config{Shards: 4, IngestWorkers: 4})
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	traces := sim.GenTraces(sys, 400)
+	for i, tr := range traces {
+		cluster.CaptureAsync(tr)
+		if i == len(traces)/2 {
+			cluster.Flush() // mid-stream drain must not deadlock or drop
+		}
+	}
+	cluster.Flush()
+	for _, tr := range traces {
+		if res := cluster.Query(tr.TraceID); res.Kind == mint.Miss {
+			t.Fatalf("trace %s missed after mid-stream flush", tr.TraceID)
+		}
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is idempotent and the cluster stays queryable.
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if res := cluster.Query(traces[0].TraceID); res.Kind == mint.Miss {
+		t.Fatal("query after Close missed")
+	}
+	// Post-Close captures — sync and async — degrade to synchronous
+	// ingestion instead of panicking on the closed queue.
+	extra := sim.GenTraces(sys, 2)
+	cluster.Capture(extra[0])
+	cluster.CaptureAsync(extra[1])
+	cluster.Flush()
+	for _, tr := range extra {
+		if res := cluster.Query(tr.TraceID); res.Kind == mint.Miss {
+			t.Fatalf("post-Close capture of %s missed", tr.TraceID)
+		}
+	}
+}

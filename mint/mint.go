@@ -15,9 +15,40 @@
 //	}
 //	cluster.Flush()
 //	res := cluster.Query(traces[0].TraceID)
+//
+// # Concurrent ingestion
+//
+// The ingest path is a concurrent pipeline. Config.Shards partitions the
+// backend store into independently locked shards (hash-routed by pattern ID
+// and trace ID) and Config.IngestWorkers starts a capture worker pool plus
+// per-node async reporters that coalesce pattern/Bloom/params reports into
+// batched wire envelopes (bounded queues with back-pressure; nothing is
+// dropped). Capture stays synchronous and goroutine-safe in every mode;
+// CaptureAsync enqueues instead of waiting. Flush drains the pipeline, and
+// Close drains and stops it:
+//
+//	cluster := mint.NewCluster(nodes, mint.Config{Shards: 8, IngestWorkers: 8})
+//	cluster.Warmup(warmupTraces)
+//	for _, t := range traces {
+//		cluster.CaptureAsync(t)
+//	}
+//	cluster.Close() // drain workers and batched reporters
+//	res := cluster.Query(traces[0].TraceID)
+//
+// For a fixed set of sampling decisions, storage contents, query results
+// and byte accounting are identical to the serial configuration, up to the
+// batching envelope's amortized framing (the stores are content-addressed,
+// so ingestion order cannot change them). The one order-sensitive part is
+// the samplers themselves: the Symptom and Edge-Case samplers use streaming
+// estimators (P² quantiles, rarity at arrival), so under concurrent
+// interleavings their decisions — which traces become exact hits — can
+// differ slightly from a serial run.
 package mint
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/agent"
 	"repro/internal/backend"
 	"repro/internal/collector"
@@ -91,6 +122,16 @@ type Config struct {
 	// Symptom and EdgeCase tune the two paradigm-native samplers.
 	Symptom  sampler.SymptomConfig
 	EdgeCase sampler.EdgeCaseConfig
+	// Shards partitions the backend store into independently locked shards
+	// (pattern state by pattern-ID hash, trace state by trace-ID hash).
+	// 0 or 1 keeps the single-shard serial-equivalent backend. Storage
+	// contents and byte accounting are identical for every value.
+	Shards int
+	// IngestWorkers enables the concurrent ingestion pipeline: N goroutines
+	// drain CaptureAsync's bounded queue, and collectors report to the
+	// backend through async batched reporters. 0 keeps every path fully
+	// synchronous (the seed behavior). When enabled, call Close to drain.
+	IngestWorkers int
 }
 
 // Defaults returns the paper's default configuration.
@@ -115,18 +156,31 @@ func (c Config) agentConfig() agent.Config {
 }
 
 // Cluster is a full Mint deployment: one agent+collector per node and a
-// shared backend, with network bytes metered on every report.
+// shared (optionally sharded) backend, with network bytes metered on every
+// report. Capture, CaptureAsync, MarkSampled and Query are safe for
+// concurrent use; Warmup, Flush and Close are coordination points that must
+// not race with captures.
 type Cluster struct {
 	cfg        Config
 	backend    *backend.Backend
 	meter      *wire.Meter
 	nodes      []string
 	collectors map[string]*collector.Collector
+
+	ingestCh  chan *Trace    // nil when IngestWorkers == 0
+	ingestWG  sync.WaitGroup // worker goroutines
+	pending   sync.WaitGroup // traces enqueued but not yet fully ingested
+	closed    atomic.Bool    // set by Close before the queue shuts
+	closeOnce sync.Once
 }
 
 // NewCluster creates a deployment over the given node names.
 func NewCluster(nodes []string, cfg Config) *Cluster {
-	b := backend.New(cfg.Alpha)
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	b := backend.NewSharded(cfg.Alpha, shards)
 	m := wire.NewMeter()
 	c := &Cluster{
 		cfg:        cfg,
@@ -135,9 +189,27 @@ func NewCluster(nodes []string, cfg Config) *Cluster {
 		nodes:      append([]string(nil), nodes...),
 		collectors: map[string]*collector.Collector{},
 	}
+	async := cfg.IngestWorkers > 0
 	for _, n := range nodes {
 		a := agent.New(n, cfg.agentConfig())
-		c.collectors[n] = collector.New(a, b, m)
+		if async {
+			c.collectors[n] = collector.NewAsync(a, b, m, 0, 0)
+		} else {
+			c.collectors[n] = collector.New(a, b, m)
+		}
+	}
+	if async {
+		c.ingestCh = make(chan *Trace, 2*cfg.IngestWorkers)
+		c.ingestWG.Add(cfg.IngestWorkers)
+		for i := 0; i < cfg.IngestWorkers; i++ {
+			go func() {
+				defer c.ingestWG.Done()
+				for t := range c.ingestCh {
+					c.captureOne(t)
+					c.pending.Done()
+				}
+			}()
+		}
 	}
 	return c
 }
@@ -160,10 +232,35 @@ func (c *Cluster) Warmup(traces []*Trace) {
 
 // Capture ingests one complete trace: the spans are partitioned into per-node
 // sub-traces, parsed by each node's agent, and any sampling decision
-// triggers a cluster-wide parameter upload (trace coherence).
-func (c *Cluster) Capture(t *Trace) {
+// triggers a cluster-wide parameter upload (trace coherence). Capture is the
+// synchronous entry point — the trace is fully ingested when it returns —
+// and is safe to call from many goroutines at once.
+func (c *Cluster) Capture(t *Trace) { c.captureOne(t) }
+
+// CaptureAsync hands a trace to the ingest worker pool and returns once it
+// is enqueued, blocking when the bounded queue is full (back-pressure, never
+// dropping). Without IngestWorkers — or after Close — it degrades to
+// synchronous Capture. Call Flush or Close before querying for the results.
+func (c *Cluster) CaptureAsync(t *Trace) {
+	if c.ingestCh == nil || c.closed.Load() {
+		c.captureOne(t)
+		return
+	}
+	c.pending.Add(1)
+	c.ingestCh <- t
+}
+
+func (c *Cluster) captureOne(t *Trace) {
 	sampledReason := ""
-	for node, spans := range t.ByNode() {
+	byNode := t.ByNode()
+	// Walk nodes in cluster order, not map order: the first sampling node's
+	// reason is recorded on the notice, and byte accounting must be
+	// deterministic across runs.
+	for _, node := range c.nodes {
+		spans, ok := byNode[node]
+		if !ok {
+			continue
+		}
 		col, ok := c.collectors[node]
 		if !ok {
 			continue
@@ -199,11 +296,50 @@ func (c *Cluster) markSampled(traceID, reason string) {
 }
 
 // Flush performs the periodic pattern/Bloom upload on every collector
-// (default cadence in the paper: one minute).
+// (default cadence in the paper: one minute) and, in async mode, waits for
+// the in-flight ingest queue and report batches to reach the backend, so
+// queries issued after Flush see every capture enqueued before it.
 func (c *Cluster) Flush() {
+	c.drainIngest()
 	for _, node := range c.nodes {
 		c.collectors[node].FlushPatterns()
 	}
+	for _, node := range c.nodes {
+		c.collectors[node].SyncReports()
+	}
+}
+
+// drainIngest waits until every trace enqueued by CaptureAsync so far has
+// been fully ingested by the worker pool. Per the Cluster contract, callers
+// must not race CaptureAsync with Flush/Close: the WaitGroup protocol
+// forbids Add calls concurrent with Wait once the counter reaches zero.
+// Enqueue-then-Flush from one goroutine is always safe.
+func (c *Cluster) drainIngest() {
+	if c.ingestCh == nil {
+		return
+	}
+	c.pending.Wait()
+}
+
+// Close drains the ingest pool and every async reporter, then stops them.
+// The cluster remains queryable after Close; further captures (Capture or
+// CaptureAsync) run synchronously. Captures must not race with Close
+// itself. Safe to call more than once.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		if c.ingestCh != nil {
+			close(c.ingestCh)
+			c.ingestWG.Wait()
+		}
+		for _, node := range c.nodes {
+			c.collectors[node].FlushPatterns()
+		}
+		for _, node := range c.nodes {
+			c.collectors[node].Close()
+		}
+	})
+	return nil
 }
 
 // Query looks a trace ID up in the backend.
@@ -234,6 +370,9 @@ func (c *Cluster) Backend() *backend.Backend { return c.backend }
 
 // Nodes returns the node names.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// Shards returns the backend shard count.
+func (c *Cluster) Shards() int { return c.backend.ShardCount() }
 
 // SpanPatternCount returns the distinct span patterns across the backend.
 func (c *Cluster) SpanPatternCount() int { return c.backend.SpanPatternCount() }
