@@ -117,6 +117,60 @@ func benchCapture(b *testing.B, shards, workers int) {
 	cluster.Close()
 }
 
+// benchQueryCluster captures a fixed workload and returns the cluster plus
+// the captured trace IDs, for the query-path benchmarks.
+func benchQueryCluster(b *testing.B, cfg mint.Config) (*mint.Cluster, []string) {
+	b.Helper()
+	sys := sim.OnlineBoutique(1)
+	cluster := mint.NewCluster(sys.Nodes, cfg)
+	cluster.Warmup(sim.GenTraces(sys, 300))
+	traces := sim.GenTraces(sys, 2048)
+	ids := make([]string, len(traces))
+	for i, t := range traces {
+		ids[i] = t.TraceID
+		cluster.Capture(t)
+	}
+	cluster.Flush()
+	return cluster, ids
+}
+
+// BenchmarkQueryCold measures uncached single-ID lookups: every query runs
+// the full engine — segment-index Bloom probe, stitching, reconstruction.
+func BenchmarkQueryCold(b *testing.B) {
+	cluster, ids := benchQueryCluster(b, mint.Config{QueryCacheSize: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cluster.Query(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkQueryWarm measures repeated lookups of unchanged traces with the
+// epoch-validated result cache: reconstruction is skipped entirely. Compare
+// against BenchmarkQueryCold:
+//
+//	go test -bench='BenchmarkQuery(Cold|Warm)$' -benchtime=2s
+func BenchmarkQueryWarm(b *testing.B) {
+	cluster, ids := benchQueryCluster(b, mint.Config{})
+	for _, id := range ids {
+		_ = cluster.Query(id) // populate the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cluster.Query(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkQueryBatch measures BatchAnalyze over 1024-ID batches fanned out
+// on the query worker pool (one worker per core).
+func BenchmarkQueryBatch(b *testing.B) {
+	cluster, ids := benchQueryCluster(b, mint.Config{QueryWorkers: runtime.GOMAXPROCS(0)})
+	batch := ids[:1024]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = cluster.BatchAnalyze(batch)
+	}
+}
+
 // BenchmarkClusterCaptureSerial is the serial ingestion baseline.
 func BenchmarkClusterCaptureSerial(b *testing.B) { benchCapture(b, 0, 0) }
 

@@ -7,6 +7,13 @@
 //	minttrace -system ob -traces 2000              # capture and print stats
 //	minttrace -system tt -traces 1000 -query all   # query every trace ID
 //	minttrace -system ob -inject payment           # fault a service, query it
+//
+// Trace search (FindTraces) over the captured workload:
+//
+//	minttrace -find-service checkout               # traces touching a service
+//	minttrace -inject payment -find-errors         # traces with error spans
+//	minttrace -find-op "HTTP GET /cart" -find-min-ms 50
+//	minttrace -find-reason symptom-sampler         # sampled for a reason
 package main
 
 import (
@@ -25,6 +32,13 @@ func main() {
 	query := flag.String("query", "sampled", "which traces to query back: sampled | all | none")
 	inject := flag.String("inject", "", "inject a code-exception fault at this service")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	findService := flag.String("find-service", "", "FindTraces: require a span of this service")
+	findOp := flag.String("find-op", "", "FindTraces: require a span with this operation")
+	findErrors := flag.Bool("find-errors", false, "FindTraces: require an error span (status >= 400)")
+	findMinMS := flag.Int64("find-min-ms", 0, "FindTraces: minimum span duration in ms")
+	findMaxMS := flag.Int64("find-max-ms", 0, "FindTraces: maximum span duration in ms")
+	findReason := flag.String("find-reason", "", "FindTraces: require this sampling reason")
+	findLimit := flag.Int("find-limit", 20, "FindTraces: cap on printed matches")
 	flag.Parse()
 
 	var sys *sim.System
@@ -72,7 +86,44 @@ func main() {
 		fmt.Printf("\ninjected %d faulted traces at %q; querying them back:\n", len(faulted), *inject)
 		for _, id := range faulted {
 			res := cluster.Query(id)
-			fmt.Printf("  %s -> %s (%d spans)\n", id, res.Kind, spanCount(res))
+			reason := ""
+			if res.Reason != "" {
+				reason = " sampled: " + res.Reason
+			}
+			fmt.Printf("  %s -> %s (%d spans)%s\n", id, res.Kind, spanCount(res), reason)
+		}
+	}
+
+	if *findService != "" || *findOp != "" || *findErrors || *findMinMS > 0 || *findMaxMS > 0 || *findReason != "" {
+		f := mint.Filter{
+			Service:       *findService,
+			Operation:     *findOp,
+			ErrorsOnly:    *findErrors,
+			MinDurationUS: *findMinMS * 1000,
+			MaxDurationUS: *findMaxMS * 1000,
+			Reason:        *findReason,
+			Candidates:    capturedIDs(sys, len(warm), *nTraces),
+		}
+		stats, found := cluster.FindAnalyze(f)
+		fmt.Printf("\nFindTraces matched %d traces:\n", len(found))
+		for i, ft := range found {
+			if i == *findLimit {
+				fmt.Printf("  ... and %d more\n", len(found)-i)
+				break
+			}
+			reason := ""
+			if ft.Reason != "" {
+				reason = " sampled: " + ft.Reason
+			}
+			fmt.Printf("  %s -> %s (%d spans)%s\n", ft.TraceID, ft.Kind, ft.Spans, reason)
+		}
+		if len(found) > 0 {
+			fmt.Printf("batch stats over matches: %d traces, %d spans; top services:\n", stats.Traces, stats.Spans)
+			for _, svc := range stats.TopServices(5) {
+				st := stats.ByService[svc]
+				fmt.Printf("  %-18s %5d spans  %4d errors  avg %.1fms\n",
+					svc, st.Spans, st.Errors, float64(st.TotalDurUS)/float64(st.Spans)/1e3)
+			}
 		}
 	}
 

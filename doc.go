@@ -7,11 +7,16 @@
 // tracing frameworks, RCA methods and the experiment drivers) live under
 // internal/. See README.md for the package layout and a quickstart,
 // including the concurrent sharded ingestion pipeline (Config.Shards,
-// Config.IngestWorkers, Cluster.CaptureAsync/Close).
+// Config.IngestWorkers, Cluster.CaptureAsync/Close) and the indexed
+// parallel query engine: per-shard Bloom segment indexes, an
+// epoch-invalidated query-result cache (Config.QueryCacheSize), batch
+// lookups on a bounded worker pool (Config.QueryWorkers,
+// Cluster.QueryMany/BatchAnalyze) and predicate trace search
+// (Cluster.FindTraces/FindAnalyze).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation, plus capture-throughput comparisons for the serial
-// and concurrent ingest paths:
+// and concurrent ingest paths and cold/warm/batch query-latency runs:
 //
 //	go test -bench=. -benchmem
 package repro

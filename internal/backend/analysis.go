@@ -2,8 +2,11 @@ package backend
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -102,23 +105,94 @@ type ServiceStats struct {
 	DurationsUS []int64 // scatter-diagram material (per UC 2)
 }
 
+// SetQueryWorkers bounds the worker pool QueryMany and BatchQuery fan out
+// over. n == 0 (the default) sizes the pool to GOMAXPROCS; n < 0 forces
+// serial queries. Configure before serving queries: it is not synchronized
+// with concurrent QueryMany calls.
+func (b *Backend) SetQueryWorkers(n int) {
+	if n < 0 {
+		n = 1
+	}
+	b.queryWorkers = n
+}
+
+// queryPoolSize resolves the configured worker bound against the host.
+func (b *Backend) queryPoolSize() int {
+	if b.queryWorkers > 0 {
+		return b.queryWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// QueryMany answers one query per trace ID, fanning out over the bounded
+// worker pool (SetQueryWorkers). Results are positional: out[i] answers
+// traceIDs[i], identical to len(traceIDs) serial Query calls. Shard locks
+// are only held inside individual probes, so workers interleave freely with
+// concurrent ingestion.
+func (b *Backend) QueryMany(traceIDs []string) []QueryResult {
+	out := make([]QueryResult, len(traceIDs))
+	workers := b.queryPoolSize()
+	if workers > len(traceIDs) {
+		workers = len(traceIDs)
+	}
+	if workers <= 1 {
+		for i, id := range traceIDs {
+			out[i] = b.Query(id)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(traceIDs) {
+					return
+				}
+				out[i] = b.Query(traceIDs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// batchQueryChunk bounds how many reconstructed traces BatchQuery holds at
+// once: queries fan out per chunk, aggregation drains the chunk, and the
+// traces become collectable before the next chunk starts.
+const batchQueryChunk = 1024
+
 // BatchQuery runs the querier over many trace IDs and aggregates whatever
 // comes back. Misses are counted but contribute nothing (with Mint there
 // are none; with '1 or 0' baselines this is where batch analysis starves).
+//
+// The queries fan out over the worker pool in bounded chunks; aggregation
+// walks each chunk in input order, so the returned stats are byte-identical
+// to a serial run regardless of completion order, with peak memory bounded
+// by the chunk size rather than the batch size.
 func (b *Backend) BatchQuery(traceIDs []string) (*BatchStats, int) {
 	stats := &BatchStats{
 		ByService: map[string]*ServiceStats{},
 		Edges:     map[string]int{},
 	}
 	misses := 0
-	for _, id := range traceIDs {
-		res := b.Query(id)
-		if res.Kind == Miss || res.Trace == nil {
-			misses++
-			continue
+	for start := 0; start < len(traceIDs); start += batchQueryChunk {
+		end := start + batchQueryChunk
+		if end > len(traceIDs) {
+			end = len(traceIDs)
 		}
-		stats.Traces++
-		accumulate(stats, res.Trace)
+		for _, res := range b.QueryMany(traceIDs[start:end]) {
+			if res.Kind == Miss || res.Trace == nil {
+				misses++
+				continue
+			}
+			stats.Traces++
+			accumulate(stats, res.Trace)
+		}
 	}
 	return stats, misses
 }

@@ -9,11 +9,20 @@
 // marks, parameters) by FNV hash of the trace ID, each shard behind its own
 // mutex. Writers from many collectors therefore contend only within a
 // shard, while the public API is unchanged from the single-lock design.
+//
+// The read path is a query engine in its own right: Bloom probing runs over
+// a per-shard (node, pattern)-keyed segment index instead of a flat scan
+// (index.go), reconstructed results are cached in an LRU invalidated by
+// per-shard write epochs (cache.go), BatchQuery/QueryMany fan out over a
+// bounded worker pool (analysis.go), and FindTraces answers predicate
+// searches from patterns and sampled parameters (search.go).
 package backend
 
 import (
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bloom"
 	"repro/internal/bucket"
@@ -45,10 +54,15 @@ func (k HitKind) String() string {
 	}
 }
 
-// QueryResult is what the querier returns for a trace ID.
+// QueryResult is what the querier returns for a trace ID. Reason is the
+// sampling reason when the trace was marked sampled (always set on exact
+// hits; also set on the rare sampled trace whose parameters never arrived
+// and therefore answers approximately), so callers no longer need a
+// Sampled() + Query() double lookup.
 type QueryResult struct {
-	Kind  HitKind
-	Trace *trace.Trace
+	Kind   HitKind
+	Trace  *trace.Trace
+	Reason string
 }
 
 type bloomSegment struct {
@@ -64,6 +78,11 @@ type bloomSegment struct {
 type shard struct {
 	mu sync.Mutex
 
+	// epoch counts writes that could change a query answer routed to this
+	// shard (new pattern, new/replaced Bloom segment, new params, new
+	// sampled mark). Read lock-free by the cache's consistency check.
+	epoch atomic.Uint64
+
 	spanPatterns map[string]*parser.SpanPattern
 	topoPatterns map[string]*topo.Pattern
 	segments     []bloomSegment
@@ -71,6 +90,10 @@ type shard struct {
 	// so storage reflects the live filter state, while full filters append
 	// immutable segments.
 	liveFilters map[string]int // key -> index into segments
+	// segment index (index.go): every segment position per (node, pattern)
+	// key, plus the keys belonging to each pattern ID for targeted probes.
+	segIndex map[string][]int
+	patKeys  map[string][]string
 
 	params  map[string]map[string][]*parser.ParsedSpan // traceID -> node -> spans
 	sampled map[string]string                          // traceID -> reason
@@ -85,16 +108,25 @@ func newShard() *shard {
 		spanPatterns: map[string]*parser.SpanPattern{},
 		topoPatterns: map[string]*topo.Pattern{},
 		liveFilters:  map[string]int{},
+		segIndex:     map[string][]int{},
+		patKeys:      map[string][]string{},
 		params:       map[string]map[string][]*parser.ParsedSpan{},
 		sampled:      map[string]string{},
 	}
 }
 
 // Backend is the Mint trace backend: a router over N shards of
-// pattern/bloom/param stores plus storage-byte accounting.
+// pattern/bloom/param stores plus storage-byte accounting and the query
+// engine (segment index, result cache, batch worker pool, trace search).
 type Backend struct {
 	shards []*shard
 	mapper *bucket.Mapper
+
+	// cache is the optional epoch-validated result LRU (cache.go); nil means
+	// every query reconstructs.
+	cache *queryCache
+	// queryWorkers bounds QueryMany/BatchQuery fan-out; 0 means GOMAXPROCS.
+	queryWorkers int
 }
 
 // New creates a single-shard backend (the serial-equivalent configuration).
@@ -161,6 +193,7 @@ func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
 		if _, ok := s.spanPatterns[p.ID]; !ok {
 			s.spanPatterns[p.ID] = p
 			s.storagePatterns += int64(p.Size())
+			s.epoch.Add(1)
 		}
 		s.mu.Unlock()
 	}
@@ -170,6 +203,7 @@ func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
 		if _, ok := s.topoPatterns[p.ID]; !ok {
 			s.topoPatterns[p.ID] = p
 			s.storagePatterns += int64(p.Size())
+			s.epoch.Add(1)
 		}
 		s.mu.Unlock()
 	}
@@ -182,20 +216,21 @@ func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
 	s := b.patternShard(r.PatternID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.epoch.Add(1)
 	seg := bloomSegment{node: r.Node, patternID: r.PatternID, filter: r.Filter}
 	sz := int64(r.Filter.SizeBytes())
 	if immutable {
-		s.segments = append(s.segments, seg)
+		s.addSegment(seg)
 		s.storageBloom += sz
 		return
 	}
-	key := r.Node + "\x1f" + r.PatternID
+	key := segKey(r.Node, r.PatternID)
 	if idx, ok := s.liveFilters[key]; ok {
 		s.segments[idx] = seg
-		return // replacement: no storage growth
+		return // replacement: no storage growth, index position unchanged
 	}
 	s.liveFilters[key] = len(s.segments)
-	s.segments = append(s.segments, seg)
+	s.addSegment(seg)
 	s.storageBloom += sz
 }
 
@@ -213,6 +248,7 @@ func (b *Backend) AcceptParams(r *wire.ParamsReport) {
 	for _, sp := range r.Spans {
 		s.storageParams += int64(sp.Size())
 	}
+	s.epoch.Add(1)
 }
 
 // MarkSampled records that a trace was marked sampled (and why).
@@ -222,6 +258,7 @@ func (b *Backend) MarkSampled(traceID, reason string) {
 	defer s.mu.Unlock()
 	if _, ok := s.sampled[traceID]; !ok {
 		s.sampled[traceID] = reason
+		s.epoch.Add(1)
 	}
 }
 
@@ -286,19 +323,41 @@ func (b *Backend) topoPattern(id string) (*topo.Pattern, bool) {
 	return p, ok
 }
 
-// Query implements the paper's query logic (§4.3): check every Bloom filter
-// for the trace ID; reconstruct the matching sub-trace patterns into an
-// approximate trace; if the trace was sampled, overlay the exact parameters.
+// Query implements the paper's query logic (§4.3): check the Bloom segment
+// index for the trace ID; reconstruct the matching sub-trace patterns into
+// an approximate trace; if the trace was sampled, overlay the exact
+// parameters.
 //
 // The query takes no global lock: it visits the trace shard for sampled
-// params, then scans each pattern shard's Bloom segments under that shard's
+// params, then probes each pattern shard's segment index under that shard's
 // lock only. Concurrent with ingestion it sees some consistent recent state;
 // after ingestion quiesces (Flush/Close) it sees everything.
+//
+// With EnableQueryCache, repeated lookups of an unchanged trace are served
+// from the epoch-validated LRU without reconstruction; the returned Trace
+// is then shared and must be treated as read-only.
 func (b *Backend) Query(traceID string) QueryResult {
+	c := b.cache
+	if c == nil {
+		return b.queryUncached(traceID)
+	}
+	// Snapshot the epoch vector before reading any store state: if a write
+	// lands anywhere during reconstruction, the entry we record is already
+	// stale under the current vector and will be discarded, never served.
+	ev := b.epochVector()
+	if res, ok := c.get(traceID, ev); ok {
+		return res
+	}
+	res := b.queryUncached(traceID)
+	c.put(traceID, res, ev)
+	return res
+}
+
+func (b *Backend) queryUncached(traceID string) QueryResult {
 	// Exact path: sampled traces have their parameters stored.
 	ts := b.traceShard(traceID)
 	ts.mu.Lock()
-	_, isSampled := ts.sampled[traceID]
+	reason, isSampled := ts.sampled[traceID]
 	var byNode map[string][]*parser.ParsedSpan
 	if isSampled {
 		if stored, ok := ts.params[traceID]; ok {
@@ -314,34 +373,21 @@ func (b *Backend) Query(traceID string) QueryResult {
 	if len(byNode) > 0 {
 		t := b.reconstructExact(traceID, byNode)
 		if t != nil && len(t.Spans) > 0 {
-			return QueryResult{Kind: ExactHit, Trace: t}
+			return QueryResult{Kind: ExactHit, Trace: t, Reason: reason}
 		}
 	}
 
-	// Approximate path: find the patterns whose filters contain the ID.
-	type hit struct {
-		node      string
-		patternID string
-	}
-	seen := map[string]bool{}
+	// Approximate path: probe each shard's segment index for the patterns
+	// whose filters contain the ID. The index yields each (node, pattern)
+	// candidate at most once, so no cross-shard dedup pass is needed.
 	var hits []hit
 	for _, s := range b.shards {
 		s.mu.Lock()
-		for _, seg := range s.segments {
-			if !seg.filter.Contains(traceID) {
-				continue
-			}
-			key := seg.node + "\x1f" + seg.patternID
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
-		}
+		hits = s.probeAll(traceID, hits)
 		s.mu.Unlock()
 	}
 	if len(hits) == 0 {
-		return QueryResult{Kind: Miss}
+		return QueryResult{Kind: Miss, Reason: reason}
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].node != hits[j].node {
@@ -368,9 +414,9 @@ func (b *Backend) Query(traceID string) QueryResult {
 		b.appendApproxSpans(t, p, &seq, st)
 	}
 	if len(t.Spans) == 0 {
-		return QueryResult{Kind: Miss}
+		return QueryResult{Kind: Miss, Reason: reason}
 	}
-	return QueryResult{Kind: PartialHit, Trace: t}
+	return QueryResult{Kind: PartialHit, Trace: t, Reason: reason}
 }
 
 // calleeOf returns the downstream service a client-span pattern calls, from
@@ -398,13 +444,18 @@ func (b *Backend) serviceOf(spanPatternID string) string {
 
 // stitch orders candidate sub-trace patterns so that upstream segments come
 // before the downstream segments they call into, and drops candidates that
-// neither start a trace nor are called by another candidate when stitched
-// segments exist (Bloom false-positive mitigation).
+// neither call nor are called by another candidate when at least one
+// stitched pair exists (Bloom false-positive mitigation, §6.2: a filter that
+// claims the trace ID but whose segment cannot be attached anywhere in the
+// verified call chain is a false positive). When no candidate links to any
+// other — single-segment traces, or systems without recorded cross-node
+// exits — every candidate is kept: there is no chain to verify against.
 func (b *Backend) stitch(pats []*topo.Pattern) []*topo.Pattern {
 	if len(pats) <= 1 {
 		return pats
 	}
 	called := map[string]bool{}
+	callsOut := map[string]bool{}
 	for _, p := range pats {
 		for _, q := range pats {
 			if p == q {
@@ -412,15 +463,20 @@ func (b *Backend) stitch(pats []*topo.Pattern) []*topo.Pattern {
 			}
 			if b.linksTo(p, q) {
 				called[q.ID] = true
+				callsOut[p.ID] = true
 			}
 		}
 	}
 	var roots, linked []*topo.Pattern
 	for _, p := range pats {
-		if called[p.ID] {
+		switch {
+		case called[p.ID]:
 			linked = append(linked, p)
-		} else {
+		case callsOut[p.ID] || len(called) == 0:
 			roots = append(roots, p)
+		default:
+			// Unstitchable while other candidates form a verified chain:
+			// dropped as a Bloom false positive.
 		}
 	}
 	return append(roots, linked...)
@@ -550,21 +606,7 @@ func (b *Backend) appendApproxSpans(t *trace.Trace, p *topo.Pattern, seq *int, s
 }
 
 func approxID(traceID string, seq int) string {
-	return traceID + "-approx-" + itoa(seq)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
+	return traceID + "-approx-" + strconv.Itoa(seq)
 }
 
 func (b *Backend) reconstructExact(traceID string, byNode map[string][]*parser.ParsedSpan) *trace.Trace {

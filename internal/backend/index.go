@@ -1,0 +1,95 @@
+package backend
+
+// Segment indexing and write epochs for the query engine.
+//
+// Every pattern shard keeps, next to its flat segment slice, an index keyed
+// by (node, patternID): all Bloom segments that ever carried that pair. The
+// querier probes per key and stops at the first containing segment, so a
+// lookup touches each live (node, pattern) candidate once instead of
+// re-probing every historical full segment and deduplicating afterwards —
+// the partitioned read-mostly organization McKenney's "Is Parallel
+// Programming Hard" prescribes for scan-heavy paths.
+//
+// Every shard also carries a write epoch: a lock-free counter bumped by any
+// mutation that could change a query answer (new pattern, new/replaced Bloom
+// segment, new params, new sampled mark). The vector of all shard epochs is
+// a consistency token: a snapshot (for example a cached QueryResult) taken
+// at epoch vector E is still exact iff the current vector equals E.
+
+// hit identifies one (node, pattern) pair whose Bloom filter claimed a trace
+// ID during a probe.
+type hit struct {
+	node      string
+	patternID string
+}
+
+// segKey builds the (node, patternID) index key.
+func segKey(node, patternID string) string { return node + "\x1f" + patternID }
+
+// addSegment appends a segment to the shard's flat slice and indexes it
+// under its (node, pattern) key. Caller holds s.mu.
+func (s *shard) addSegment(seg bloomSegment) {
+	key := segKey(seg.node, seg.patternID)
+	if _, seen := s.segIndex[key]; !seen {
+		s.patKeys[seg.patternID] = append(s.patKeys[seg.patternID], key)
+	}
+	s.segIndex[key] = append(s.segIndex[key], len(s.segments))
+	s.segments = append(s.segments, seg)
+}
+
+// probeAll checks every indexed (node, pattern) candidate of the shard for
+// the trace ID, short-circuiting each candidate at its first containing
+// segment. Caller holds s.mu. Results are unordered (the querier sorts).
+func (s *shard) probeAll(traceID string, hits []hit) []hit {
+	for _, idxs := range s.segIndex {
+		for _, i := range idxs {
+			if s.segments[i].filter.Contains(traceID) {
+				seg := s.segments[i]
+				hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
+				break
+			}
+		}
+	}
+	return hits
+}
+
+// probePatterns reports whether any Bloom segment belonging to one of the
+// given topo patterns contains the trace ID — the targeted probe FindTraces
+// uses to discard candidates without reconstructing them. Caller holds s.mu.
+func (s *shard) probePatterns(traceID string, patternIDs map[string]bool) bool {
+	for pid := range patternIDs {
+		for _, key := range s.patKeys[pid] {
+			for _, i := range s.segIndex[key] {
+				if s.segments[i].filter.Contains(traceID) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// epochVector snapshots every shard's write epoch without taking locks.
+func (b *Backend) epochVector() []uint64 {
+	ev := make([]uint64, len(b.shards))
+	for i, s := range b.shards {
+		ev[i] = s.epoch.Load()
+	}
+	return ev
+}
+
+// Epochs exposes the current per-shard write-epoch vector (diagnostics and
+// cache-consistency tests).
+func (b *Backend) Epochs() []uint64 { return b.epochVector() }
+
+func epochsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

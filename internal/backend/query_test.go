@@ -1,0 +1,432 @@
+package backend
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// dumpTrace renders a trace deterministically for byte-level comparisons.
+func dumpTrace(t *trace.Trace) string {
+	if t == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", t.TraceID)
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, "%s|%s|%s|%s|%s|%s|%d|%d|%d",
+			s.SpanID, s.ParentID, s.Service, s.Node, s.Operation, s.Kind, s.StartUnix, s.Duration, s.Status)
+		keys := make([]string, 0, len(s.Attributes))
+		for k := range s.Attributes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|%s=%s", k, s.Attributes[k].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func dumpResult(r QueryResult) string {
+	return fmt.Sprintf("kind=%s reason=%q\n%s", r.Kind, r.Reason, dumpTrace(r.Trace))
+}
+
+// twoNodeWorkload drives a cross-node workload (service A on n1 calling
+// service B on n2) through real agents and collects the resulting reports.
+// Traces t0..t{n-1}; even-numbered traces get params + a sampled mark.
+type workload struct {
+	patterns []*wire.PatternReport
+	blooms   []*wire.BloomReport
+	params   []*wire.ParamsReport
+	sampled  map[string]string // traceID -> reason
+	ids      []string
+}
+
+func twoNodeWorkload(n int) *workload {
+	a1 := agent.New("n1", agent.Config{DisableSamplers: true})
+	a2 := agent.New("n2", agent.Config{DisableSamplers: true})
+	w := &workload{sampled: map[string]string{}}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%03d", i)
+		w.ids = append(w.ids, id)
+		sub1 := &trace.SubTrace{TraceID: id, Node: "n1", Spans: []*trace.Span{
+			{TraceID: id, SpanID: id + "-a", Service: "A", Node: "n1",
+				Operation: "handle", Kind: trace.KindServer, StartUnix: 1,
+				Duration: int64(2000 + 10*i), Status: trace.StatusOK,
+				Attributes: map[string]trace.AttrValue{
+					"sql.query": trace.Str(fmt.Sprintf("SELECT * FROM t WHERE id=%d", i)),
+				}},
+			{TraceID: id, SpanID: id + "-a2", ParentID: id + "-a", Service: "A", Node: "n1",
+				Operation: "call-b", Kind: trace.KindClient, StartUnix: 2,
+				Duration: int64(1000 + 10*i), Status: trace.StatusOK,
+				Attributes: map[string]trace.AttrValue{"peer.service": trace.Str("B")}},
+		}}
+		status := trace.StatusOK
+		if i%5 == 0 {
+			status = trace.StatusError
+		}
+		sub2 := &trace.SubTrace{TraceID: id, Node: "n2", Spans: []*trace.Span{
+			{TraceID: id, SpanID: id + "-b", Service: "B", Node: "n2",
+				Operation: "serve", Kind: trace.KindServer, StartUnix: 3,
+				Duration: int64(500 + 10*i), Status: status,
+				Attributes: map[string]trace.AttrValue{
+					"user": trace.Str(fmt.Sprintf("user-%d", i)),
+				}},
+		}}
+		a1.Ingest(sub1)
+		a2.Ingest(sub2)
+		if i%2 == 0 {
+			reason := "symptom"
+			if i%4 == 0 {
+				reason = "edge-case"
+			}
+			w.sampled[id] = reason
+		}
+	}
+	for _, a := range []*agent.Agent{a1, a2} {
+		sp, tp := a.DrainPatternDeltas()
+		w.patterns = append(w.patterns, &wire.PatternReport{Node: a.Node, SpanPatterns: sp, TopoPatterns: tp})
+		for _, snap := range a.SnapshotBloomFilters() {
+			w.blooms = append(w.blooms, &wire.BloomReport{Node: a.Node, PatternID: snap.PatternID, Filter: snap.Filter})
+		}
+		for id := range w.sampled {
+			spans, _ := a.TakeParams(id)
+			if len(spans) > 0 {
+				w.params = append(w.params, &wire.ParamsReport{Node: a.Node, TraceID: id, Spans: spans})
+			}
+		}
+	}
+	return w
+}
+
+func (w *workload) applyTo(b *Backend) {
+	for _, r := range w.patterns {
+		b.AcceptPatterns(r)
+	}
+	for _, r := range w.blooms {
+		b.AcceptBloom(r, false)
+	}
+	for _, r := range w.params {
+		b.AcceptParams(r)
+	}
+	ids := make([]string, 0, len(w.sampled))
+	for id := range w.sampled {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b.MarkSampled(id, w.sampled[id])
+	}
+}
+
+// TestQueryParityCachedVsUncached: hit kinds, reasons, reconstructed spans
+// and byte accounting are byte-identical with the cache and index enabled
+// vs. a fresh uncached backend — on cold queries and on warm (cached)
+// re-queries.
+func TestQueryParityCachedVsUncached(t *testing.T) {
+	w := twoNodeWorkload(40)
+
+	plain := New(0)
+	w.applyTo(plain)
+
+	cached := NewSharded(0, 4)
+	cached.EnableQueryCache(64) // smaller than the ID set: exercises eviction
+	cached.SetQueryWorkers(4)
+	w.applyTo(cached)
+
+	ids := append(append([]string{}, w.ids...), "absent-1", "absent-2")
+	want := make(map[string]string, len(ids))
+	for _, id := range ids {
+		want[id] = dumpResult(plain.Query(id))
+	}
+	for pass := 0; pass < 3; pass++ { // pass 0 cold, 1-2 warm
+		for _, id := range ids {
+			if got := dumpResult(cached.Query(id)); got != want[id] {
+				t.Fatalf("pass %d: query %s diverged\ncached: %sreference: %s", pass, id, got, want[id])
+			}
+		}
+	}
+	hits, _, _, ok := cached.QueryCacheStats()
+	if !ok || hits == 0 {
+		t.Fatalf("warm passes should be served from cache (hits=%d ok=%v)", hits, ok)
+	}
+
+	ct, cp, cb, cpa := cached.StorageBytes()
+	pt, pp, pb, ppa := plain.StorageBytes()
+	if ct != pt || cp != pp || cb != pb || cpa != ppa {
+		t.Fatalf("storage accounting diverged: cached=(%d,%d,%d,%d) plain=(%d,%d,%d,%d)",
+			ct, cp, cb, cpa, pt, pp, pb, ppa)
+	}
+
+	// BatchQuery on the worker pool aggregates identically too.
+	cs, cm := cached.BatchQuery(ids)
+	ps, pm := plain.BatchQuery(ids)
+	if cm != pm || !reflect.DeepEqual(cs, ps) {
+		t.Fatalf("batch stats diverged: misses %d vs %d", cm, pm)
+	}
+}
+
+// TestQueryCacheEpochInvalidation: a cached result is never served after a
+// write that affects it — params arriving, a sampled mark, or a new Bloom
+// segment all flip the answer immediately.
+func TestQueryCacheEpochInvalidation(t *testing.T) {
+	w := twoNodeWorkload(10)
+	b := NewSharded(0, 4)
+	b.EnableQueryCache(0)
+
+	for _, r := range w.patterns {
+		b.AcceptPatterns(r)
+	}
+	for _, r := range w.blooms {
+		b.AcceptBloom(r, false)
+	}
+
+	const id = "t001" // odd: no params/mark yet
+	r1 := b.Query(id)
+	if r1.Kind != PartialHit || r1.Reason != "" {
+		t.Fatalf("pre-write query: got %s reason=%q", r1.Kind, r1.Reason)
+	}
+	if r2 := b.Query(id); dumpResult(r2) != dumpResult(r1) {
+		t.Fatal("warm re-query diverged")
+	}
+
+	// Now the writes arrive: params for the trace plus the sampled mark.
+	for _, r := range w.params {
+		b.AcceptParams(r)
+	}
+	// t001 had no buffered params (only even IDs were taken), so mark it and
+	// feed params directly through a fresh report to flip it to exact.
+	ps := &parser.ParsedSpan{TraceID: id, SpanID: id + "-x"}
+	if sp := firstSpanPattern(b); sp != "" {
+		ps.PatternID = sp
+	}
+	b.AcceptParams(&wire.ParamsReport{Node: "n1", TraceID: id, Spans: []*parser.ParsedSpan{ps}})
+	b.MarkSampled(id, "incident")
+
+	r3 := b.Query(id)
+	if r3.Kind != ExactHit {
+		t.Fatalf("post-write query should see the exact overlay, got %s (stale cache?)", r3.Kind)
+	}
+	if r3.Reason != "incident" {
+		t.Fatalf("QueryResult.Reason = %q, want incident", r3.Reason)
+	}
+	_, _, stale, _ := b.QueryCacheStats()
+	if stale == 0 {
+		t.Fatal("epoch validation should have discarded the pre-write entry")
+	}
+
+	// An unrelated write invalidates conservatively but re-queries still
+	// converge to the same bytes.
+	before := dumpResult(b.Query("t003"))
+	b.MarkSampled("unrelated-trace", "noise")
+	if after := dumpResult(b.Query("t003")); after != before {
+		t.Fatalf("unaffected query changed after unrelated write:\n%s vs %s", after, before)
+	}
+}
+
+func firstSpanPattern(b *Backend) string {
+	pats := b.DebugSpanPatterns()
+	if len(pats) == 0 {
+		return ""
+	}
+	ids := make([]string, len(pats))
+	for i, p := range pats {
+		ids[i] = p.ID
+	}
+	sort.Strings(ids)
+	return ids[0]
+}
+
+// stitchFixture installs three candidate segments: A links to B via its
+// exit's peer.service; C is isolated. All three Bloom-claim traceID.
+func stitchFixture(b *Backend, traceID string, withLink bool) {
+	spanPats := []*parser.SpanPattern{
+		{ID: "sa-entry", Service: "A", Operation: "handle", Kind: trace.KindServer},
+		{ID: "sa-exit", Service: "A", Operation: "call-b", Kind: trace.KindClient,
+			Attrs: []parser.AttrPattern{{Key: "peer.service", Pattern: "B"}}},
+		{ID: "sb-entry", Service: "B", Operation: "serve", Kind: trace.KindServer},
+		{ID: "sc-entry", Service: "C", Operation: "lurk", Kind: trace.KindServer},
+	}
+	topoPats := []*topo.Pattern{
+		{ID: "tb", Node: "n2", Entry: "sb-entry"},
+		{ID: "tc", Node: "n3", Entry: "sc-entry"},
+	}
+	if withLink {
+		topoPats = append(topoPats, &topo.Pattern{
+			ID: "ta", Node: "n1", Entry: "sa-entry",
+			Edges: []topo.Edge{{Parent: "sa-entry", Children: []string{"sa-exit"}}},
+			Exits: []string{"sa-exit"},
+		})
+	}
+	b.AcceptPatterns(&wire.PatternReport{Node: "nx", SpanPatterns: spanPats, TopoPatterns: topoPats})
+	for _, tp := range topoPats {
+		f := bloom.New(256, 0.01)
+		f.Add(traceID)
+		b.AcceptBloom(&wire.BloomReport{Node: tp.Node, PatternID: tp.ID, Filter: f}, false)
+	}
+}
+
+func services(t *trace.Trace) map[string]int {
+	m := map[string]int{}
+	for _, s := range t.Spans {
+		m[s.Service]++
+	}
+	return m
+}
+
+// TestStitchDropsUnstitchableCandidates: when candidates form a verified
+// upstream→downstream chain, a candidate that neither calls nor is called
+// is a Bloom false positive and is dropped from the reconstruction.
+func TestStitchDropsUnstitchableCandidates(t *testing.T) {
+	b := New(0)
+	stitchFixture(b, "vic-1", true)
+	r := b.Query("vic-1")
+	if r.Kind != PartialHit {
+		t.Fatalf("expected partial hit, got %s", r.Kind)
+	}
+	got := services(r.Trace)
+	if got["A"] == 0 || got["B"] == 0 {
+		t.Fatalf("stitched chain should survive, got services %v", got)
+	}
+	if got["C"] != 0 {
+		t.Fatalf("unstitchable candidate C should be dropped, got services %v", got)
+	}
+	// The downstream segment's entry is parented under the upstream exit.
+	var exitID string
+	for _, s := range r.Trace.Spans {
+		if s.Operation == "call-b" {
+			exitID = s.SpanID
+		}
+	}
+	linked := false
+	for _, s := range r.Trace.Spans {
+		if s.Service == "B" && s.ParentID == exitID && exitID != "" {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("B's entry span should attach under A's exit span")
+	}
+}
+
+// TestStitchKeepsAllWithoutLinks: with no verified chain there is nothing to
+// verify against, so every candidate is kept (no false-positive dropping).
+func TestStitchKeepsAllWithoutLinks(t *testing.T) {
+	b := New(0)
+	stitchFixture(b, "vic-2", false)
+	r := b.Query("vic-2")
+	if r.Kind != PartialHit {
+		t.Fatalf("expected partial hit, got %s", r.Kind)
+	}
+	got := services(r.Trace)
+	if got["B"] == 0 || got["C"] == 0 {
+		t.Fatalf("without any link all candidates must be kept, got %v", got)
+	}
+}
+
+// TestLinksToDirectEntryMatch: linksTo also stitches when an exit pattern
+// *is* the downstream entry pattern (same pattern on both sides).
+func TestLinksToDirectEntryMatch(t *testing.T) {
+	b := New(0)
+	a := &topo.Pattern{ID: "ta", Entry: "p-root", Exits: []string{"p-shared"}}
+	c := &topo.Pattern{ID: "tc", Entry: "p-shared"}
+	if !b.linksTo(a, c) {
+		t.Fatal("exit == entry should link without any span-pattern lookup")
+	}
+	if b.linksTo(c, a) {
+		t.Fatal("no reverse link expected")
+	}
+}
+
+// TestBatchQueryWorkerPoolParity: BatchQuery over >=1000 IDs on an 8-worker
+// pool aggregates byte-identically to the serial path (run under -race this
+// also exercises pool safety against the shared cache).
+func TestBatchQueryWorkerPoolParity(t *testing.T) {
+	w := twoNodeWorkload(30)
+	serial := NewSharded(0, 4)
+	serial.SetQueryWorkers(-1)
+	w.applyTo(serial)
+	pooled := NewSharded(0, 4)
+	pooled.SetQueryWorkers(8)
+	pooled.EnableQueryCache(0)
+	w.applyTo(pooled)
+
+	ids := make([]string, 0, 1200)
+	for i := 0; i < 1200; i++ {
+		if i%3 == 0 {
+			ids = append(ids, fmt.Sprintf("absent-%d", i))
+		} else {
+			ids = append(ids, w.ids[i%len(w.ids)])
+		}
+	}
+	ss, sm := serial.BatchQuery(ids)
+	ps, pm := pooled.BatchQuery(ids)
+	if sm != pm {
+		t.Fatalf("miss counts diverged: serial %d pooled %d", sm, pm)
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Fatal("pooled BatchQuery stats diverged from serial")
+	}
+	// Positional QueryMany parity.
+	sr := serial.QueryMany(ids[:200])
+	pr := pooled.QueryMany(ids[:200])
+	for i := range sr {
+		if dumpResult(sr[i]) != dumpResult(pr[i]) {
+			t.Fatalf("QueryMany[%d] diverged", i)
+		}
+	}
+}
+
+// TestConcurrentQueryCaptureWithCache races writers (patterns, blooms,
+// params, sampled marks) against readers (Query, BatchQuery) on a cached
+// backend; meant for -race. After the writers quiesce, every answer must
+// match a fresh uncached backend fed the same reports.
+func TestConcurrentQueryCaptureWithCache(t *testing.T) {
+	w := twoNodeWorkload(40)
+	b := NewSharded(0, 4)
+	b.EnableQueryCache(128)
+	b.SetQueryWorkers(4)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		w.applyTo(b)
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) { // readers
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := w.ids[(i+r)%len(w.ids)]
+				res := b.Query(id)
+				if res.Kind == ExactHit && res.Trace == nil {
+					t.Error("exact hit without trace")
+					return
+				}
+			}
+			b.BatchQuery(w.ids)
+		}(r)
+	}
+	wg.Wait()
+
+	ref := New(0)
+	w.applyTo(ref)
+	for _, id := range w.ids {
+		if got, want := dumpResult(b.Query(id)), dumpResult(ref.Query(id)); got != want {
+			t.Fatalf("post-quiesce %s diverged\ngot: %swant: %s", id, got, want)
+		}
+	}
+}

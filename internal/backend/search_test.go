@@ -1,0 +1,139 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+)
+
+// searchBackend builds a cached, sharded backend over the two-node workload
+// (service A on n1 calling service B on n2; see query_test.go): 30 traces,
+// even IDs sampled ("edge-case" when i%4==0, else "symptom"), B erroring on
+// every fifth trace, A.handle durations 2000+10i µs.
+func searchBackend() (*Backend, *workload) {
+	w := twoNodeWorkload(30)
+	b := NewSharded(0, 4)
+	b.EnableQueryCache(0)
+	w.applyTo(b)
+	return b, w
+}
+
+func foundIDs(found []FoundTrace) []string {
+	ids := make([]string, len(found))
+	for i, f := range found {
+		ids[i] = f.TraceID
+	}
+	return ids
+}
+
+// TestFindTracesByService: a service predicate reaches every trace — the
+// sampled half exactly, the rest approximately through candidates.
+func TestFindTracesByService(t *testing.T) {
+	b, w := searchBackend()
+	found := b.FindTraces(Filter{Service: "B", Candidates: w.ids})
+	if len(found) != len(w.ids) {
+		t.Fatalf("every trace touches B: got %d of %d", len(found), len(w.ids))
+	}
+	exact, partial := 0, 0
+	for i, f := range found {
+		if i > 0 && found[i-1].TraceID >= f.TraceID {
+			t.Fatal("results must be sorted by trace ID")
+		}
+		switch f.Kind {
+		case ExactHit:
+			exact++
+			if f.Reason == "" {
+				t.Fatalf("exact match %s should carry its sampling reason", f.TraceID)
+			}
+		case PartialHit:
+			partial++
+		default:
+			t.Fatalf("unexpected kind %s", f.Kind)
+		}
+	}
+	if exact != 15 || partial != 15 {
+		t.Fatalf("want 15 exact + 15 partial, got %d + %d", exact, partial)
+	}
+
+	// A service nothing exports: the pattern prefilter answers without
+	// touching a single candidate.
+	if found := b.FindTraces(Filter{Service: "Z", Candidates: w.ids}); len(found) != 0 {
+		t.Fatalf("unknown service should match nothing, got %v", foundIDs(found))
+	}
+}
+
+// TestFindTracesErrors: ErrorsOnly reaches the sampled error traces exactly
+// and never returns an error-free trace.
+func TestFindTracesErrors(t *testing.T) {
+	b, w := searchBackend()
+	found := b.FindTraces(Filter{ErrorsOnly: true, Candidates: w.ids})
+	got := map[string]HitKind{}
+	for _, f := range found {
+		got[f.TraceID] = f.Kind
+	}
+	for _, i := range []int{0, 10, 20} { // sampled error traces
+		id := fmt.Sprintf("t%03d", i)
+		if got[id] != ExactHit {
+			t.Fatalf("sampled error trace %s should be an exact match, got %v", id, got[id])
+		}
+	}
+	for id := range got {
+		var i int
+		fmt.Sscanf(id, "t%03d", &i)
+		if i%5 != 0 {
+			t.Fatalf("trace %s has no error span but matched ErrorsOnly", id)
+		}
+	}
+}
+
+// TestFindTracesByReason: the sampling-reason predicate enumerates exactly
+// the traces sampled for that reason.
+func TestFindTracesByReason(t *testing.T) {
+	b, _ := searchBackend()
+	found := b.FindTraces(Filter{Reason: "edge-case"})
+	if len(found) != 8 { // i%4==0 among 30
+		t.Fatalf("want 8 edge-case traces, got %d: %v", len(found), foundIDs(found))
+	}
+	for _, f := range found {
+		if f.Reason != "edge-case" || f.Kind != ExactHit {
+			t.Fatalf("bad reason match: %+v", f)
+		}
+	}
+}
+
+// TestFindTracesDurationExact: duration bounds are precise on the exact
+// (sampled) side.
+func TestFindTracesDurationExact(t *testing.T) {
+	b, _ := searchBackend()
+	found := b.FindTraces(Filter{
+		Service: "A", Operation: "handle",
+		MinDurationUS: 2155, SampledOnly: true,
+	})
+	// A.handle duration is 2000+10i; sampled IDs are even; 2000+10i >= 2155
+	// leaves i in {16, 18, ..., 28}.
+	want := []string{"t016", "t018", "t020", "t022", "t024", "t026", "t028"}
+	got := foundIDs(found)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("duration search: got %v want %v", got, want)
+	}
+
+	upper := b.FindTraces(Filter{
+		Service: "A", Operation: "handle",
+		MinDurationUS: 2155, MaxDurationUS: 2215, SampledOnly: true,
+	})
+	want = []string{"t016", "t018", "t020"}
+	if fmt.Sprint(foundIDs(upper)) != fmt.Sprint(want) {
+		t.Fatalf("bounded duration search: got %v want %v", foundIDs(upper), want)
+	}
+}
+
+// TestFindTracesLimitAndDedup: Limit caps deterministically (by trace ID)
+// and sampled candidates are not reported twice.
+func TestFindTracesLimitAndDedup(t *testing.T) {
+	b, w := searchBackend()
+	dup := append(append([]string{}, w.ids...), w.ids...) // every ID twice
+	found := b.FindTraces(Filter{Service: "A", Candidates: dup, Limit: 5})
+	want := []string{"t000", "t001", "t002", "t003", "t004"}
+	if fmt.Sprint(foundIDs(found)) != fmt.Sprint(want) {
+		t.Fatalf("limit: got %v want %v", foundIDs(found), want)
+	}
+}

@@ -17,6 +17,14 @@ type BatchStats = backend.BatchStats
 // ServiceStats summarizes one service's spans within a batch.
 type ServiceStats = backend.ServiceStats
 
+// Filter selects traces in FindTraces: predicates over service, operation,
+// errors, duration bounds and sampling reason, plus candidate IDs for
+// approximate matching.
+type Filter = backend.Filter
+
+// FoundTrace is one FindTraces answer.
+type FoundTrace = backend.FoundTrace
+
 // Explore queries a trace and renders its execution flame graph — available
 // for every trace, sampled or not (UC 1). It returns the query kind, the
 // flame roots and a printable rendering; ok is false only on a miss, which
@@ -41,6 +49,23 @@ func FlameGraph(t *Trace) []*FlameNode { return backend.FlameGraph(t) }
 // of a few thousand sampled spans.
 func (c *Cluster) BatchAnalyze(traceIDs []string) (*BatchStats, int) {
 	return c.backend.BatchQuery(traceIDs)
+}
+
+// FindTraces searches the backend for traces matching the filter: sampled
+// traces answer exactly from their stored parameters; unsampled traces are
+// reachable through Filter.Candidates and answer approximately from
+// patterns, pre-screened by a targeted Bloom probe of only the topo
+// patterns the filter could match. Results are sorted by trace ID.
+func (c *Cluster) FindTraces(f Filter) []FoundTrace {
+	return c.backend.FindTraces(f)
+}
+
+// FindAnalyze runs FindTraces and batch-analyzes the matches in one call:
+// the found traces plus their aggregated BatchStats (per-service span and
+// error counts, durations, caller→callee topology). Each match is
+// reconstructed once, feeding both the answer list and the aggregation.
+func (c *Cluster) FindAnalyze(f Filter) (*BatchStats, []FoundTrace) {
+	return c.backend.FindAnalyze(f)
 }
 
 // Rebuild triggers the §4.1 reconstruct interface on every agent after a

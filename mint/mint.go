@@ -43,6 +43,33 @@
 // estimators (P² quantiles, rarity at arrival), so under concurrent
 // interleavings their decisions — which traces become exact hits — can
 // differ slightly from a serial run.
+//
+// # The query engine
+//
+// The read path mirrors the ingest path's scalability. Bloom probing runs
+// over per-shard segment indexes keyed by (node, pattern), so a lookup
+// touches each live candidate once instead of scanning every historical
+// segment. Reconstructed results land in an LRU cache keyed by trace ID
+// and stamped with the backend's per-shard write-epoch vector: a cached
+// result is served only while no shard has accepted a write since it was
+// computed, so hot-trace re-queries and repeated BatchAnalyze sets skip
+// reconstruction entirely without ever returning stale data
+// (Config.QueryCacheSize; cached Traces are shared — treat them as
+// read-only). QueryMany and BatchAnalyze fan out over a bounded worker
+// pool (Config.QueryWorkers) with positional, deterministic results.
+//
+// Beyond lookup-by-ID, FindTraces answers predicate searches — service,
+// operation, errors, duration bounds, sampling reason — from what the
+// backend already stores: sampled traces exactly from their parameters,
+// candidate IDs approximately from span/topo patterns after a targeted
+// Bloom probe of only the patterns the filter could match:
+//
+//	found := cluster.FindTraces(mint.Filter{
+//		Service:    "checkout",
+//		ErrorsOnly: true,
+//		Candidates: windowIDs, // unsampled traces are reachable via candidates
+//	})
+//	stats, _ := cluster.FindAnalyze(mint.Filter{Service: "payment"})
 package mint
 
 import (
@@ -132,6 +159,16 @@ type Config struct {
 	// backend through async batched reporters. 0 keeps every path fully
 	// synchronous (the seed behavior). When enabled, call Close to drain.
 	IngestWorkers int
+	// QueryWorkers bounds the worker pool QueryMany/BatchAnalyze fan out
+	// over. 0 sizes the pool to GOMAXPROCS; negative forces serial queries.
+	QueryWorkers int
+	// QueryCacheSize is the capacity (entries) of the backend's query-result
+	// LRU, which serves repeated lookups of unchanged traces without
+	// reconstruction and is invalidated by per-shard write epochs. 0 takes
+	// the default (backend.DefaultQueryCacheSize); negative disables
+	// caching. With the cache enabled, returned Traces are shared — treat
+	// them as read-only.
+	QueryCacheSize int
 }
 
 // Defaults returns the paper's default configuration.
@@ -181,6 +218,14 @@ func NewCluster(nodes []string, cfg Config) *Cluster {
 		shards = 1
 	}
 	b := backend.NewSharded(cfg.Alpha, shards)
+	if cfg.QueryCacheSize >= 0 {
+		size := cfg.QueryCacheSize
+		if size == 0 {
+			size = backend.DefaultQueryCacheSize
+		}
+		b.EnableQueryCache(size)
+	}
+	b.SetQueryWorkers(cfg.QueryWorkers)
 	m := wire.NewMeter()
 	c := &Cluster{
 		cfg:        cfg,
@@ -342,8 +387,18 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
-// Query looks a trace ID up in the backend.
+// Query looks a trace ID up in the backend. Sampled traces answer exactly
+// (QueryResult.Reason carries the sampling reason), everything else answers
+// approximately. Repeated lookups of unchanged traces are served from the
+// epoch-validated result cache (Config.QueryCacheSize).
 func (c *Cluster) Query(traceID string) QueryResult { return c.backend.Query(traceID) }
+
+// QueryMany answers one query per trace ID, fanning the lookups out over
+// the bounded query worker pool (Config.QueryWorkers). Results are
+// positional: out[i] answers traceIDs[i], identical to serial Query calls.
+func (c *Cluster) QueryMany(traceIDs []string) []QueryResult {
+	return c.backend.QueryMany(traceIDs)
+}
 
 // NetworkBytes returns the total bytes agents and backend exchanged.
 func (c *Cluster) NetworkBytes() int64 { return c.meter.Total() }
