@@ -5,14 +5,32 @@
 // The public API lives in the mint subpackage; the substrates (span/trace
 // parsing, Bloom filters, samplers, microservice simulators, baseline
 // tracing frameworks, RCA methods and the experiment drivers) live under
-// internal/. See README.md for the package layout and a quickstart,
-// including the concurrent sharded ingestion pipeline (Config.Shards,
-// Config.IngestWorkers, Cluster.CaptureAsync/Close) and the indexed
-// parallel query engine: per-shard Bloom segment indexes, an
+// internal/. See README.md for the package layout and a quickstart, and
+// ARCHITECTURE.md for the end-to-end pipeline walkthrough.
+//
+// # Scaling the pipeline
+//
+// The ingest path is a concurrent sharded pipeline (Config.Shards,
+// Config.IngestWorkers, Cluster.CaptureAsync/Close) and the read path is an
+// indexed parallel query engine: per-shard Bloom segment indexes, an
 // epoch-invalidated query-result cache (Config.QueryCacheSize), batch
 // lookups on a bounded worker pool (Config.QueryWorkers,
 // Cluster.QueryMany/BatchAnalyze) and predicate trace search
 // (Cluster.FindTraces/FindAnalyze).
+//
+// # Persistence and operations
+//
+// Setting Config.DataDir attaches a durable storage engine under the
+// backend: each shard persists to a versioned binary snapshot plus an
+// append-only write-ahead log, replayed on mint.Open, so a reopened
+// cluster answers Query/FindTraces byte-identically to the one that wrote
+// the directory. Cluster.Flush makes everything captured so far
+// crash-durable; Cluster.Close drains the pipeline and flushes
+// (close-is-flush). Config.RetentionTTL ages out stored trace data
+// (patterns are kept — they are the tiny, deduplicated commonality) and
+// Config.SnapshotEveryBytes bounds WAL growth via shard-local compaction.
+// Operational details — on-disk layout, recovery guarantees, retention
+// tuning — are in README.md's "Durability & operations" section.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation, plus capture-throughput comparisons for the serial

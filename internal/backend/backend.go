@@ -16,6 +16,15 @@
 // per-shard write epochs (cache.go), BatchQuery/QueryMany fan out over a
 // bounded worker pool (analysis.go), and FindTraces answers predicate
 // searches from patterns and sampled parameters (search.go).
+//
+// The store is optionally durable: OpenPersistence attaches a storage engine
+// that snapshots each shard to a versioned binary file and logs mutations
+// between snapshots to a per-shard write-ahead log, replayed on open
+// (snapshot.go, persist.go). A background loop applies TTL retention and
+// rewrites snapshots when a shard's WAL grows past a threshold. Persistence
+// is shard-local end to end — each shard owns its files and its WAL appends
+// happen under that shard's lock only — so durability never serializes the
+// concurrent ingest path across shards.
 package backend
 
 import (
@@ -23,6 +32,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bloom"
 	"repro/internal/bucket"
@@ -69,6 +79,7 @@ type bloomSegment struct {
 	node      string
 	patternID string
 	filter    *bloom.Filter
+	at        int64 // arrival time (UnixNano), drives TTL retention
 }
 
 // shard is one independently locked partition of the backend store. Pattern
@@ -97,6 +108,10 @@ type shard struct {
 
 	params  map[string]map[string][]*parser.ParsedSpan // traceID -> node -> spans
 	sampled map[string]string                          // traceID -> reason
+	// arrival times (UnixNano) per trace, driving TTL retention of the
+	// trace-keyed state. Refreshed whenever new data for the trace arrives.
+	paramsAt  map[string]int64
+	sampledAt map[string]int64
 
 	storagePatterns int64
 	storageBloom    int64
@@ -112,6 +127,8 @@ func newShard() *shard {
 		patKeys:      map[string][]string{},
 		params:       map[string]map[string][]*parser.ParsedSpan{},
 		sampled:      map[string]string{},
+		paramsAt:     map[string]int64{},
+		sampledAt:    map[string]int64{},
 	}
 }
 
@@ -127,6 +144,15 @@ type Backend struct {
 	cache *queryCache
 	// queryWorkers bounds QueryMany/BatchQuery fan-out; 0 means GOMAXPROCS.
 	queryWorkers int
+
+	// persist is the optional durable storage engine (persist.go); nil means
+	// the store is memory-only.
+	persist *persister
+	// retentionTTL bounds the age of trace-keyed state and Bloom segments in
+	// nanoseconds; 0 keeps everything forever. See SweepExpired.
+	retentionTTL int64
+	// now stamps mutations for retention; injectable for tests.
+	now func() int64
 }
 
 // New creates a single-shard backend (the serial-equivalent configuration).
@@ -147,12 +173,18 @@ func NewSharded(alpha float64, n int) *Backend {
 	b := &Backend{
 		shards: make([]*shard, n),
 		mapper: bucket.NewMapper(alpha),
+		now:    func() int64 { return time.Now().UnixNano() },
 	}
 	for i := range b.shards {
 		b.shards[i] = newShard()
 	}
 	return b
 }
+
+// SetTimeSource replaces the clock that stamps mutations for TTL retention
+// (UnixNano). Configure before serving traffic — it is not synchronized with
+// concurrent writes. Tests use it to make retention deterministic.
+func (b *Backend) SetTimeSource(now func() int64) { b.now = now }
 
 // ShardCount returns the number of store partitions.
 func (b *Backend) ShardCount() int { return len(b.shards) }
@@ -168,44 +200,83 @@ func fnv32(s string) uint32 {
 	return h
 }
 
+// patternShardIdx returns the shard (and its index) owning a pattern ID.
+func (b *Backend) patternShardIdx(patternID string) (*shard, int) {
+	if len(b.shards) == 1 {
+		return b.shards[0], 0
+	}
+	i := int(fnv32(patternID) % uint32(len(b.shards)))
+	return b.shards[i], i
+}
+
+// traceShardIdx returns the shard (and its index) owning a trace ID.
+func (b *Backend) traceShardIdx(traceID string) (*shard, int) {
+	if len(b.shards) == 1 {
+		return b.shards[0], 0
+	}
+	i := int(fnv32(traceID) % uint32(len(b.shards)))
+	return b.shards[i], i
+}
+
 // patternShard returns the shard owning a pattern ID.
 func (b *Backend) patternShard(patternID string) *shard {
-	if len(b.shards) == 1 {
-		return b.shards[0]
-	}
-	return b.shards[fnv32(patternID)%uint32(len(b.shards))]
+	s, _ := b.patternShardIdx(patternID)
+	return s
 }
 
 // traceShard returns the shard owning a trace ID.
 func (b *Backend) traceShard(traceID string) *shard {
-	if len(b.shards) == 1 {
-		return b.shards[0]
-	}
-	return b.shards[fnv32(traceID)%uint32(len(b.shards))]
+	s, _ := b.traceShardIdx(traceID)
+	return s
 }
+
+// The apply* functions below are the single write path into a shard: the
+// public Accept*/MarkSampled entry points call them with log=true (stamping
+// the mutation with the current time and appending a WAL record when
+// persistence is attached), and WAL/snapshot replay calls them with
+// log=false and the recorded timestamp. Logging happens under the shard
+// lock so the WAL order of records for one key always matches the order
+// their effects were applied in.
 
 // AcceptPatterns stores a pattern report. Duplicate patterns (same content
 // hash from different nodes) are stored once — the commonality win.
 func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
+	at := b.now()
 	for _, p := range r.SpanPatterns {
-		s := b.patternShard(p.ID)
-		s.mu.Lock()
-		if _, ok := s.spanPatterns[p.ID]; !ok {
-			s.spanPatterns[p.ID] = p
-			s.storagePatterns += int64(p.Size())
-			s.epoch.Add(1)
-		}
-		s.mu.Unlock()
+		b.applySpanPattern(p, at, true)
 	}
 	for _, p := range r.TopoPatterns {
-		s := b.patternShard(p.ID)
-		s.mu.Lock()
-		if _, ok := s.topoPatterns[p.ID]; !ok {
-			s.topoPatterns[p.ID] = p
-			s.storagePatterns += int64(p.Size())
-			s.epoch.Add(1)
-		}
-		s.mu.Unlock()
+		b.applyTopoPattern(p, at, true)
+	}
+}
+
+func (b *Backend) applySpanPattern(p *parser.SpanPattern, at int64, log bool) {
+	s, idx := b.patternShardIdx(p.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.spanPatterns[p.ID]; ok {
+		return
+	}
+	s.spanPatterns[p.ID] = p
+	s.storagePatterns += int64(p.Size())
+	s.epoch.Add(1)
+	if log && b.persist != nil {
+		b.persist.logLocked(idx, s, recSpanPattern, at, wire.MarshalSpanPattern(p))
+	}
+}
+
+func (b *Backend) applyTopoPattern(p *topo.Pattern, at int64, log bool) {
+	s, idx := b.patternShardIdx(p.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.topoPatterns[p.ID]; ok {
+		return
+	}
+	s.topoPatterns[p.ID] = p
+	s.storagePatterns += int64(p.Size())
+	s.epoch.Add(1)
+	if log && b.persist != nil {
+		b.persist.logLocked(idx, s, recTopoPattern, at, wire.MarshalTopoPattern(p))
 	}
 }
 
@@ -213,30 +284,42 @@ func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
 // (immutable=true) append; periodic snapshots replace the previous snapshot
 // for the same (node, pattern).
 func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
-	s := b.patternShard(r.PatternID)
+	b.applyBloom(r.Node, r.PatternID, r.Filter, immutable, b.now(), true)
+}
+
+func (b *Backend) applyBloom(node, patternID string, f *bloom.Filter, immutable bool, at int64, log bool) {
+	s, idx := b.patternShardIdx(patternID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.epoch.Add(1)
-	seg := bloomSegment{node: r.Node, patternID: r.PatternID, filter: r.Filter}
-	sz := int64(r.Filter.SizeBytes())
-	if immutable {
+	seg := bloomSegment{node: node, patternID: patternID, filter: f, at: at}
+	switch {
+	case immutable:
 		s.addSegment(seg)
-		s.storageBloom += sz
-		return
+		s.storageBloom += int64(f.SizeBytes())
+	default:
+		key := segKey(node, patternID)
+		if i, ok := s.liveFilters[key]; ok {
+			s.segments[i] = seg // replacement: no storage growth, index position unchanged
+		} else {
+			s.liveFilters[key] = len(s.segments)
+			s.addSegment(seg)
+			s.storageBloom += int64(f.SizeBytes())
+		}
 	}
-	key := segKey(r.Node, r.PatternID)
-	if idx, ok := s.liveFilters[key]; ok {
-		s.segments[idx] = seg
-		return // replacement: no storage growth, index position unchanged
+	if log && b.persist != nil {
+		rep := &wire.BloomReport{Node: node, PatternID: patternID, Filter: f, Full: immutable}
+		b.persist.logLocked(idx, s, recBloom, at, wire.MarshalBloomReport(rep))
 	}
-	s.liveFilters[key] = len(s.segments)
-	s.addSegment(seg)
-	s.storageBloom += sz
 }
 
 // AcceptParams stores the sampled parameters of one trace from one node.
 func (b *Backend) AcceptParams(r *wire.ParamsReport) {
-	s := b.traceShard(r.TraceID)
+	b.applyParams(r, b.now(), true)
+}
+
+func (b *Backend) applyParams(r *wire.ParamsReport, at int64, log bool) {
+	s, idx := b.traceShardIdx(r.TraceID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byNode, ok := s.params[r.TraceID]
@@ -248,17 +331,30 @@ func (b *Backend) AcceptParams(r *wire.ParamsReport) {
 	for _, sp := range r.Spans {
 		s.storageParams += int64(sp.Size())
 	}
+	s.paramsAt[r.TraceID] = at
 	s.epoch.Add(1)
+	if log && b.persist != nil {
+		b.persist.logLocked(idx, s, recParams, at, wire.MarshalParamsReport(r))
+	}
 }
 
 // MarkSampled records that a trace was marked sampled (and why).
 func (b *Backend) MarkSampled(traceID, reason string) {
-	s := b.traceShard(traceID)
+	b.applyMark(traceID, reason, b.now(), true)
+}
+
+func (b *Backend) applyMark(traceID, reason string, at int64, log bool) {
+	s, idx := b.traceShardIdx(traceID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.sampled[traceID]; !ok {
-		s.sampled[traceID] = reason
-		s.epoch.Add(1)
+	if _, ok := s.sampled[traceID]; ok {
+		return
+	}
+	s.sampled[traceID] = reason
+	s.sampledAt[traceID] = at
+	s.epoch.Add(1)
+	if log && b.persist != nil {
+		b.persist.logLocked(idx, s, recMark, at, marshalMark(traceID, reason))
 	}
 }
 

@@ -1,0 +1,335 @@
+package wire
+
+// Binary codecs for the report payloads. The in-memory reports carry live
+// pointers (patterns, filters, parsed spans); these routines define their
+// canonical wire encoding, used by the backend's durable storage engine to
+// write snapshot and WAL records. The encoding is self-delimiting — varint
+// lengths, no framing — so callers can wrap it in whatever envelope they
+// need (the backend adds a length/CRC frame per record).
+//
+// Layout conventions: strings and byte slices are uvarint-length-prefixed,
+// signed integers use zigzag varints, and repeated fields are preceded by a
+// uvarint count. Field order is fixed; there are no tags. Versioning happens
+// at the container level (the backend's snapshot header), not per payload.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// ErrCodec reports a malformed payload handed to one of the Unmarshal
+// functions. Decoding errors wrap it, so callers can errors.Is against it.
+var ErrCodec = errors.New("wire: malformed payload")
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends a uvarint-length-prefixed byte slice.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// appendBool appends a bool as one byte.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decoder is a cursor over an encoded payload. The first malformed read
+// latches err; subsequent reads return zero values, so decode functions can
+// read a whole payload and check the error once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCodec, what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string length")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("bytes length")
+		return nil
+	}
+	p := d.b[:n:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+// count reads a repeated-field count and sanity-bounds it against the bytes
+// remaining, so a corrupt length cannot drive a huge allocation.
+func (d *decoder) count() int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("count exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+// done verifies the payload was consumed exactly.
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.b))
+	}
+	return nil
+}
+
+// MarshalSpanPattern encodes one span pattern.
+func MarshalSpanPattern(p *parser.SpanPattern) []byte {
+	b := appendString(nil, p.ID)
+	b = appendString(b, p.Service)
+	b = appendString(b, p.Operation)
+	b = append(b, byte(p.Kind))
+	b = binary.AppendUvarint(b, uint64(len(p.Attrs)))
+	for _, a := range p.Attrs {
+		b = appendString(b, a.Key)
+		b = appendBool(b, a.IsNum)
+		b = appendString(b, a.Pattern)
+		b = binary.AppendVarint(b, int64(a.NumIndex))
+	}
+	return b
+}
+
+// UnmarshalSpanPattern decodes a payload written by MarshalSpanPattern.
+func UnmarshalSpanPattern(payload []byte) (*parser.SpanPattern, error) {
+	d := &decoder{b: payload}
+	p := &parser.SpanPattern{
+		ID:        d.str(),
+		Service:   d.str(),
+		Operation: d.str(),
+	}
+	if len(d.b) < 1 {
+		d.fail("kind")
+	} else {
+		p.Kind = trace.Kind(d.b[0])
+		d.b = d.b[1:]
+	}
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		a := parser.AttrPattern{
+			Key:     d.str(),
+			IsNum:   d.bool(),
+			Pattern: d.str(),
+		}
+		a.NumIndex = int(d.varint())
+		p.Attrs = append(p.Attrs, a)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MarshalTopoPattern encodes one topology pattern.
+func MarshalTopoPattern(p *topo.Pattern) []byte {
+	b := appendString(nil, p.ID)
+	b = appendString(b, p.Node)
+	b = appendString(b, p.Entry)
+	b = binary.AppendUvarint(b, uint64(len(p.Edges)))
+	for _, e := range p.Edges {
+		b = appendString(b, e.Parent)
+		b = binary.AppendUvarint(b, uint64(len(e.Children)))
+		for _, c := range e.Children {
+			b = appendString(b, c)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Exits)))
+	for _, x := range p.Exits {
+		b = appendString(b, x)
+	}
+	return b
+}
+
+// UnmarshalTopoPattern decodes a payload written by MarshalTopoPattern.
+func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
+	d := &decoder{b: payload}
+	p := &topo.Pattern{
+		ID:    d.str(),
+		Node:  d.str(),
+		Entry: d.str(),
+	}
+	nEdges := d.count()
+	for i := 0; i < nEdges && d.err == nil; i++ {
+		e := topo.Edge{Parent: d.str()}
+		nc := d.count()
+		for j := 0; j < nc && d.err == nil; j++ {
+			e.Children = append(e.Children, d.str())
+		}
+		p.Edges = append(p.Edges, e)
+	}
+	nExits := d.count()
+	for i := 0; i < nExits && d.err == nil; i++ {
+		p.Exits = append(p.Exits, d.str())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MarshalBloomReport encodes a Bloom filter report, including its Full flag
+// (which rides in the framing on the simulated network and so is not part of
+// Size(), but must survive a round-trip through storage).
+func MarshalBloomReport(r *BloomReport) []byte {
+	b := appendString(nil, r.Node)
+	b = appendString(b, r.PatternID)
+	b = appendBool(b, r.Full)
+	return appendBytes(b, r.Filter.Marshal())
+}
+
+// UnmarshalBloomReport decodes a payload written by MarshalBloomReport.
+func UnmarshalBloomReport(payload []byte) (*BloomReport, error) {
+	d := &decoder{b: payload}
+	r := &BloomReport{
+		Node:      d.str(),
+		PatternID: d.str(),
+		Full:      d.bool(),
+	}
+	raw := d.bytes()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	f, err := bloom.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	r.Filter = f
+	return r, nil
+}
+
+// MarshalParamsReport encodes one sampled trace's parameter report from one
+// node. The trace ID is carried once; each span's TraceID is restored from
+// it on decode.
+func MarshalParamsReport(r *ParamsReport) []byte {
+	b := appendString(nil, r.Node)
+	b = appendString(b, r.TraceID)
+	b = binary.AppendUvarint(b, uint64(len(r.Spans)))
+	for _, s := range r.Spans {
+		b = appendString(b, s.PatternID)
+		b = appendString(b, s.SpanID)
+		b = appendString(b, s.ParentID)
+		b = binary.AppendVarint(b, s.StartUnix)
+		b = binary.AppendVarint(b, int64(s.RawSize))
+		b = binary.AppendUvarint(b, uint64(len(s.AttrParams)))
+		for _, params := range s.AttrParams {
+			b = binary.AppendUvarint(b, uint64(len(params)))
+			for _, p := range params {
+				b = appendString(b, p)
+			}
+		}
+	}
+	return b
+}
+
+// UnmarshalParamsReport decodes a payload written by MarshalParamsReport.
+func UnmarshalParamsReport(payload []byte) (*ParamsReport, error) {
+	d := &decoder{b: payload}
+	r := &ParamsReport{
+		Node:    d.str(),
+		TraceID: d.str(),
+	}
+	nSpans := d.count()
+	for i := 0; i < nSpans && d.err == nil; i++ {
+		s := &parser.ParsedSpan{
+			PatternID: d.str(),
+			TraceID:   r.TraceID,
+			SpanID:    d.str(),
+			ParentID:  d.str(),
+			StartUnix: d.varint(),
+		}
+		s.RawSize = int(d.varint())
+		nAttrs := d.count()
+		for j := 0; j < nAttrs && d.err == nil; j++ {
+			np := d.count()
+			params := make([]string, 0, np)
+			for k := 0; k < np && d.err == nil; k++ {
+				params = append(params, d.str())
+			}
+			s.AttrParams = append(s.AttrParams, params)
+		}
+		r.Spans = append(r.Spans, s)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -70,11 +70,33 @@
 //		Candidates: windowIDs, // unsampled traces are reachable via candidates
 //	})
 //	stats, _ := cluster.FindAnalyze(mint.Filter{Service: "payment"})
+//
+// # Durability
+//
+// Config.DataDir attaches a durable storage engine: every backend shard
+// persists to a versioned binary snapshot plus an append-only write-ahead
+// log, and Open replays the directory so a reopened cluster answers
+// Query/BatchAnalyze/FindTraces byte-identically to the one that wrote it.
+// Flush makes everything captured so far crash-durable; Close drains the
+// pipeline and then flushes, so nothing enqueued before Close is lost. Torn
+// WAL tails from a crash mid-append are truncated to the last intact
+// record on reopen. Config.RetentionTTL ages out stored trace data and
+// Config.SnapshotEveryBytes bounds WAL growth through shard-local
+// compaction:
+//
+//	cluster, err := mint.Open(nodes, mint.Config{
+//		DataDir:      "/var/lib/mint",
+//		RetentionTTL: 7 * 24 * time.Hour,
+//	})
+//	// capture ... Flush ... crash
+//	reopened, err := mint.Open(nodes, mint.Config{DataDir: "/var/lib/mint"})
+//	res := reopened.Query(id) // identical to the pre-crash answer
 package mint
 
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/backend"
@@ -169,6 +191,23 @@ type Config struct {
 	// caching. With the cache enabled, returned Traces are shared — treat
 	// them as read-only.
 	QueryCacheSize int
+	// DataDir enables the durable storage engine: each backend shard
+	// snapshots to a versioned binary file under this directory and logs
+	// mutations between snapshots to a per-shard write-ahead log. On Open
+	// the directory is replayed — a cluster reopened from a DataDir answers
+	// Query/FindTraces identically to the one that wrote it, including
+	// after a crash (torn WAL tails are truncated to the last intact
+	// record). Empty keeps the store memory-only.
+	DataDir string
+	// RetentionTTL drops stored Bloom segments, sampled marks and
+	// parameters older than this age (pattern libraries are kept — they are
+	// the tiny, deduplicated commonality). Applied by a background sweep
+	// and at reopen. 0 keeps everything forever. Requires DataDir.
+	RetentionTTL time.Duration
+	// SnapshotEveryBytes rewrites a shard's snapshot and resets its WAL
+	// once the WAL exceeds this size. 0 takes
+	// backend.DefaultSnapshotEveryBytes. Requires DataDir.
+	SnapshotEveryBytes int64
 }
 
 // Defaults returns the paper's default configuration.
@@ -209,10 +248,26 @@ type Cluster struct {
 	pending   sync.WaitGroup // traces enqueued but not yet fully ingested
 	closed    atomic.Bool    // set by Close before the queue shuts
 	closeOnce sync.Once
+	closeErr  error // the durable store's close error, set once by Close
 }
 
-// NewCluster creates a deployment over the given node names.
+// NewCluster creates a deployment over the given node names. It panics if
+// cfg.DataDir is set and the durable store cannot be opened — use Open to
+// handle that error instead.
 func NewCluster(nodes []string, cfg Config) *Cluster {
+	c, err := Open(nodes, cfg)
+	if err != nil {
+		panic("mint: " + err.Error())
+	}
+	return c
+}
+
+// Open creates a deployment over the given node names. When cfg.DataDir is
+// set it also attaches the durable storage engine, replaying any state a
+// previous cluster persisted there — the reopen-from-disk half of crash
+// recovery. The only error paths are persistence I/O, so Open without a
+// DataDir never fails.
+func Open(nodes []string, cfg Config) (*Cluster, error) {
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 1
@@ -226,6 +281,16 @@ func NewCluster(nodes []string, cfg Config) *Cluster {
 		b.EnableQueryCache(size)
 	}
 	b.SetQueryWorkers(cfg.QueryWorkers)
+	if cfg.DataDir != "" {
+		err := b.OpenPersistence(backend.PersistConfig{
+			Dir:                cfg.DataDir,
+			RetentionTTL:       cfg.RetentionTTL,
+			SnapshotEveryBytes: cfg.SnapshotEveryBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	m := wire.NewMeter()
 	c := &Cluster{
 		cfg:        cfg,
@@ -256,7 +321,7 @@ func NewCluster(nodes []string, cfg Config) *Cluster {
 			}()
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Warmup trains every node's span parser offline using the spans that the
@@ -343,7 +408,10 @@ func (c *Cluster) markSampled(traceID, reason string) {
 // Flush performs the periodic pattern/Bloom upload on every collector
 // (default cadence in the paper: one minute) and, in async mode, waits for
 // the in-flight ingest queue and report batches to reach the backend, so
-// queries issued after Flush see every capture enqueued before it.
+// queries issued after Flush see every capture enqueued before it. With
+// DataDir set, Flush then forces the write-ahead logs to durable storage:
+// everything queryable after Flush survives a crash and reopen. A
+// persistence I/O error is sticky and surfaces from Close.
 func (c *Cluster) Flush() {
 	c.drainIngest()
 	for _, node := range c.nodes {
@@ -352,6 +420,7 @@ func (c *Cluster) Flush() {
 	for _, node := range c.nodes {
 		c.collectors[node].SyncReports()
 	}
+	_ = c.backend.FlushPersistence() // sticky; surfaced by Close
 }
 
 // drainIngest waits until every trace enqueued by CaptureAsync so far has
@@ -367,9 +436,13 @@ func (c *Cluster) drainIngest() {
 }
 
 // Close drains the ingest pool and every async reporter, then stops them.
-// The cluster remains queryable after Close; further captures (Capture or
-// CaptureAsync) run synchronously. Captures must not race with Close
-// itself. Safe to call more than once.
+// With DataDir set it then flushes the write-ahead logs and detaches the
+// durable store, so everything captured before Close is on disk when it
+// returns — close-is-flush. The cluster remains queryable after Close;
+// further captures (Capture or CaptureAsync) run synchronously and are no
+// longer persisted. Captures must not race with Close itself. Safe to call
+// more than once: the second and later calls are no-ops returning the same
+// error, which is the durable store's first I/O error, if any.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
@@ -383,8 +456,9 @@ func (c *Cluster) Close() error {
 		for _, node := range c.nodes {
 			c.collectors[node].Close()
 		}
+		c.closeErr = c.backend.ClosePersistence()
 	})
-	return nil
+	return c.closeErr
 }
 
 // Query looks a trace ID up in the backend. Sampled traces answer exactly

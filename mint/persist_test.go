@@ -1,0 +1,215 @@
+package mint_test
+
+// Crash-recovery tests for the durable storage engine: a cluster reopened
+// from a DataDir must answer Query/BatchAnalyze/FindTraces byte-identically
+// to the cluster that wrote it, whether it was closed cleanly or abandoned
+// after a Flush (the simulated crash). Run with -race: captures fan out
+// over the ingest worker pool while the WAL appends under shard locks.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func writeFile(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+// renderQueries renders every query result fully — kind, sampling reason,
+// and the canonical serialization of the reconstructed trace — so parity is
+// byte-level, not just hit-kind agreement.
+func renderQueries(cluster *mint.Cluster, ids []string) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		res := cluster.Query(id)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s reason=%q\n", res.Kind, res.Reason)
+		if res.Trace != nil {
+			b.WriteString(res.Trace.Serialize())
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+func captureWorkload(t *testing.T, dir string) (*mint.Cluster, []string) {
+	t.Helper()
+	sys := sim.OnlineBoutique(21)
+	cluster, err := mint.Open(sys.Nodes, mint.Config{
+		Shards:        4,
+		IngestWorkers: 4,
+		DataDir:       dir,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	traces := sim.GenTraces(sys, 500)
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		ids[i] = tr.TraceID
+		cluster.CaptureAsync(tr)
+	}
+	cluster.Flush()
+	return cluster, ids
+}
+
+// assertRecoveryParity compares the live cluster against one reopened from
+// the same DataDir across all three read paths the acceptance criteria
+// name: Query, BatchQuery (via BatchAnalyze) and FindTraces.
+func assertRecoveryParity(t *testing.T, live, reopened *mint.Cluster, ids []string) {
+	t.Helper()
+	wantRenders := renderQueries(live, ids)
+	gotRenders := renderQueries(reopened, ids)
+	for i := range wantRenders {
+		if gotRenders[i] != wantRenders[i] {
+			t.Fatalf("trace %s diverged after reopen:\nlive:\n%s\nreopened:\n%s",
+				ids[i], wantRenders[i], gotRenders[i])
+		}
+	}
+
+	wantStats, wantMiss := live.BatchAnalyze(ids)
+	gotStats, gotMiss := reopened.BatchAnalyze(ids)
+	if wantMiss != gotMiss || !reflect.DeepEqual(wantStats, gotStats) {
+		t.Fatalf("BatchAnalyze diverged after reopen: live (%+v, %d) vs reopened (%+v, %d)",
+			wantStats, wantMiss, gotStats, gotMiss)
+	}
+
+	filters := []mint.Filter{
+		{Service: "checkout", Candidates: ids},
+		{ErrorsOnly: true, Candidates: ids},
+		{MinDurationUS: 50_000, Candidates: ids, Limit: 50},
+		{SampledOnly: true},
+	}
+	for _, f := range filters {
+		want := live.FindTraces(f)
+		got := reopened.FindTraces(f)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("FindTraces(%+v) diverged after reopen:\nlive: %v\nreopened: %v", f, want, got)
+		}
+	}
+
+	if w, g := live.StorageBytes(), reopened.StorageBytes(); w != g {
+		t.Fatalf("storage bytes diverged after reopen: live %d, reopened %d", w, g)
+	}
+}
+
+func TestCrashRecoveryParityAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	live, ids := captureWorkload(t, dir)
+	if err := live.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// live remains queryable after Close — it is the parity reference.
+	reopened, err := mint.Open(live.Nodes(), mint.Config{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	assertRecoveryParity(t, live, reopened, ids)
+}
+
+func TestCrashRecoveryParityAfterFlushOnly(t *testing.T) {
+	dir := t.TempDir()
+	// The simulated crash: Flush makes the WAL durable, then the cluster is
+	// abandoned without Close. Reopen with a different shard count for good
+	// measure — the data directory is layout-independent.
+	live, ids := captureWorkload(t, dir)
+	reopened, err := mint.Open(live.Nodes(), mint.Config{Shards: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	assertRecoveryParity(t, live, reopened, ids)
+}
+
+// TestCloseFlushesPendingAsyncBatches is the regression test for
+// close-is-flush: captures still sitting in the async ingest queue and the
+// reporters' batch buffers when Close is called must reach disk, and Close
+// must stay idempotent around it.
+func TestCloseFlushesPendingAsyncBatches(t *testing.T) {
+	dir := t.TempDir()
+	sys := sim.OnlineBoutique(9)
+	cluster, err := mint.Open(sys.Nodes, mint.Config{Shards: 2, IngestWorkers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cluster.Warmup(sim.GenTraces(sys, 100))
+	traces := sim.GenTraces(sys, 200)
+	for _, tr := range traces {
+		cluster.CaptureAsync(tr) // no Flush: Close alone must drain and persist
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	reopened, err := mint.Open(sys.Nodes, mint.Config{Shards: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	for _, tr := range traces {
+		if res := reopened.Query(tr.TraceID); res.Kind == mint.Miss {
+			t.Fatalf("trace %s enqueued before Close was not persisted", tr.TraceID)
+		}
+	}
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		ids[i] = tr.TraceID
+	}
+	assertRecoveryParity(t, cluster, reopened, ids)
+}
+
+func TestRetentionTTLDropsOldTraces(t *testing.T) {
+	dir := t.TempDir()
+	sys := sim.OnlineBoutique(5)
+	cluster, err := mint.Open(sys.Nodes, mint.Config{DataDir: dir, RetentionTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cluster.Warmup(sim.GenTraces(sys, 100))
+	traces := sim.GenTraces(sys, 50)
+	for _, tr := range traces {
+		cluster.Capture(tr)
+	}
+	cluster.Flush()
+	if res := cluster.Query(traces[0].TraceID); res.Kind == mint.Miss {
+		t.Fatal("trace missed before TTL elapsed")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if n := cluster.Backend().SweepExpired(); n == 0 {
+		t.Fatal("sweep after TTL dropped nothing")
+	}
+	if res := cluster.Query(traces[0].TraceID); res.Kind != mint.Miss {
+		t.Fatalf("expired trace still answers %v", res.Kind)
+	}
+	if cluster.SpanPatternCount() == 0 {
+		t.Fatal("retention must keep pattern libraries")
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestOpenSurfacesPersistenceErrors(t *testing.T) {
+	// A DataDir that collides with an existing file cannot be created.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "not-a-dir")
+	if err := writeFile(blocked, "occupied"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mint.Open([]string{"n1"}, mint.Config{DataDir: blocked}); err == nil {
+		t.Fatal("Open with an unusable DataDir must fail")
+	}
+}
