@@ -57,6 +57,11 @@ type Agent struct {
 	cfg      Config
 	ingested uint64
 
+	// Per-agent scratch reused across Ingest calls (guarded by mu): the
+	// topology encoder and the span-ID → parsed-span index.
+	enc    *topo.Encoder
+	parsed map[string]*parser.ParsedSpan
+
 	// unreported pattern deltas since the last collector flush
 	pendingSpanPat map[string]*parser.SpanPattern
 	pendingTopoPat map[string]*topo.Pattern
@@ -77,6 +82,8 @@ func New(node string, cfg Config) *Agent {
 		cfg:            cfg,
 		pendingSpanPat: map[string]*parser.SpanPattern{},
 		pendingTopoPat: map[string]*topo.Pattern{},
+		enc:            topo.NewEncoder(),
+		parsed:         map[string]*parser.ParsedSpan{},
 	}
 	if !cfg.DisableSamplers {
 		a.symptom = sampler.NewSymptom(cfg.Symptom)
@@ -115,14 +122,16 @@ func (a *Agent) Ingest(st *trace.SubTrace) IngestResult {
 	a.ingested++
 
 	res := IngestResult{RawBytes: st.Size()}
-	parsed := make(map[string]*parser.ParsedSpan, len(st.Spans))
+	clear(a.parsed)
+	parsed := a.parsed
 	var samples []SampleEvent
-	seen := map[string]bool{}
 	mark := func(reason string) {
-		if !seen[reason] {
-			seen[reason] = true
-			samples = append(samples, SampleEvent{TraceID: st.TraceID, Reason: reason})
+		for _, ev := range samples {
+			if ev.Reason == reason {
+				return
+			}
 		}
+		samples = append(samples, SampleEvent{TraceID: st.TraceID, Reason: reason})
 	}
 
 	for _, s := range st.Spans {
@@ -144,7 +153,7 @@ func (a *Agent) Ingest(st *trace.SubTrace) IngestResult {
 		}
 	}
 
-	enc := topo.Encode(st, parsed)
+	enc := a.enc.Encode(st, parsed)
 	pat, isNew := a.topoLib.Mount(enc.Pattern, st.TraceID)
 	res.TopoPatternID = pat.ID
 	res.NewTopo = isNew

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/bucket"
+	"repro/internal/intern"
 	"repro/internal/parser"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -76,8 +77,10 @@ type QueryResult struct {
 }
 
 type bloomSegment struct {
-	node      string
-	patternID string
+	node      string // resolved form of nodeSym (persistence/output boundary)
+	patternID string // resolved form of patSym
+	nodeSym   intern.Sym
+	patSym    intern.Sym
 	filter    *bloom.Filter
 	at        int64 // arrival time (UnixNano), drives TTL retention
 }
@@ -86,6 +89,12 @@ type bloomSegment struct {
 // shards hold spanPatterns/topoPatterns/segments/liveFilters; trace shards
 // hold params/sampled. With one shard both roles coincide, which reproduces
 // the original monolithic backend exactly.
+//
+// Pattern-keyed state is keyed by interned symbols (the backend's dict), so
+// the accept and probe hot loops hash and compare a uint32 — and pack
+// (node, pattern) composite keys into a uint64 — instead of hashing and
+// concatenating ID strings. Trace-keyed state stays string-keyed: trace IDs
+// are unbounded-cardinality and interning them would only grow the dict.
 type shard struct {
 	mu sync.Mutex
 
@@ -94,17 +103,17 @@ type shard struct {
 	// sampled mark). Read lock-free by the cache's consistency check.
 	epoch atomic.Uint64
 
-	spanPatterns map[string]*parser.SpanPattern
-	topoPatterns map[string]*topo.Pattern
+	spanPatterns map[intern.Sym]*parser.SpanPattern
+	topoPatterns map[intern.Sym]*topo.Pattern
 	segments     []bloomSegment
-	// latest periodic snapshot per (node, patternID); replaced on re-upload
-	// so storage reflects the live filter state, while full filters append
-	// immutable segments.
-	liveFilters map[string]int // key -> index into segments
+	// latest periodic snapshot per (node, pattern) pair; replaced on
+	// re-upload so storage reflects the live filter state, while full
+	// filters append immutable segments.
+	liveFilters map[uint64]int // intern.Pair key -> index into segments
 	// segment index (index.go): every segment position per (node, pattern)
-	// key, plus the keys belonging to each pattern ID for targeted probes.
-	segIndex map[string][]int
-	patKeys  map[string][]string
+	// pair, plus the pairs belonging to each pattern for targeted probes.
+	segIndex map[uint64][]int
+	patKeys  map[intern.Sym][]uint64
 
 	params  map[string]map[string][]*parser.ParsedSpan // traceID -> node -> spans
 	sampled map[string]string                          // traceID -> reason
@@ -120,11 +129,11 @@ type shard struct {
 
 func newShard() *shard {
 	return &shard{
-		spanPatterns: map[string]*parser.SpanPattern{},
-		topoPatterns: map[string]*topo.Pattern{},
-		liveFilters:  map[string]int{},
-		segIndex:     map[string][]int{},
-		patKeys:      map[string][]string{},
+		spanPatterns: map[intern.Sym]*parser.SpanPattern{},
+		topoPatterns: map[intern.Sym]*topo.Pattern{},
+		liveFilters:  map[uint64]int{},
+		segIndex:     map[uint64][]int{},
+		patKeys:      map[intern.Sym][]uint64{},
 		params:       map[string]map[string][]*parser.ParsedSpan{},
 		sampled:      map[string]string{},
 		paramsAt:     map[string]int64{},
@@ -138,6 +147,11 @@ func newShard() *shard {
 type Backend struct {
 	shards []*shard
 	mapper *bucket.Mapper
+	// syms is the backend's intern dictionary for pattern IDs and node
+	// names. It is backend-local: symbols never cross the wire, and the
+	// dictionary's internal sharding keeps concurrent accepts from
+	// serializing on it.
+	syms *intern.Dict
 
 	// cache is the optional epoch-validated result LRU (cache.go); nil means
 	// every query reconstructs.
@@ -173,6 +187,7 @@ func NewSharded(alpha float64, n int) *Backend {
 	b := &Backend{
 		shards: make([]*shard, n),
 		mapper: bucket.NewMapper(alpha),
+		syms:   intern.NewDict(),
 		now:    func() int64 { return time.Now().UnixNano() },
 	}
 	for i := range b.shards {
@@ -189,39 +204,42 @@ func (b *Backend) SetTimeSource(now func() int64) { b.now = now }
 // ShardCount returns the number of store partitions.
 func (b *Backend) ShardCount() int { return len(b.shards) }
 
-// fnv32 is FNV-1a inlined over the string: shard routing runs on every
-// accept/lookup, so it must not allocate.
-func fnv32(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
+// Shard routing hashes with 32-bit FNV-1a (intern.HashString), the same
+// function the intern dictionary caches per symbol — so an interned pattern
+// routes without re-walking its ID, and routing is stable across runs and
+// shard layouts regardless of intern order.
+
+// routeIdx maps a route hash to a shard index.
+func (b *Backend) routeIdx(route uint32) int {
+	if len(b.shards) == 1 {
+		return 0
 	}
-	return h
+	return int(route % uint32(len(b.shards)))
 }
 
-// patternShardIdx returns the shard (and its index) owning a pattern ID.
-func (b *Backend) patternShardIdx(patternID string) (*shard, int) {
-	if len(b.shards) == 1 {
-		return b.shards[0], 0
+// patternRoute returns the route hash of a pattern ID, preferring the
+// cached value when the pattern carries one (zero means "not cached" —
+// recomputing is always consistent since both are FNV-1a of the ID).
+func patternRoute(id string, cached uint32) uint32 {
+	if cached != 0 {
+		return cached
 	}
-	i := int(fnv32(patternID) % uint32(len(b.shards)))
-	return b.shards[i], i
+	return intern.HashString(id)
+}
+
+// patternShardSym returns the shard owning an interned pattern ID, routed
+// by the dictionary's cached hash.
+func (b *Backend) patternShardSym(sym intern.Sym) *shard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	return b.shards[b.routeIdx(b.syms.Hash(sym))]
 }
 
 // traceShardIdx returns the shard (and its index) owning a trace ID.
 func (b *Backend) traceShardIdx(traceID string) (*shard, int) {
-	if len(b.shards) == 1 {
-		return b.shards[0], 0
-	}
-	i := int(fnv32(traceID) % uint32(len(b.shards)))
+	i := b.routeIdx(intern.HashString(traceID))
 	return b.shards[i], i
-}
-
-// patternShard returns the shard owning a pattern ID.
-func (b *Backend) patternShard(patternID string) *shard {
-	s, _ := b.patternShardIdx(patternID)
-	return s
 }
 
 // traceShard returns the shard owning a trace ID.
@@ -251,32 +269,36 @@ func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
 }
 
 func (b *Backend) applySpanPattern(p *parser.SpanPattern, at int64, log bool) {
-	s, idx := b.patternShardIdx(p.ID)
+	sym := b.syms.Intern(p.ID)
+	idx := b.routeIdx(patternRoute(p.ID, p.Route))
+	s := b.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.spanPatterns[p.ID]; ok {
+	if _, ok := s.spanPatterns[sym]; ok {
 		return
 	}
-	s.spanPatterns[p.ID] = p
+	s.spanPatterns[sym] = p
 	s.storagePatterns += int64(p.Size())
 	s.epoch.Add(1)
 	if log && b.persist != nil {
-		b.persist.logLocked(idx, s, recSpanPattern, at, wire.MarshalSpanPattern(p))
+		b.persist.logLocked(idx, s, recSpanPattern, at, func(dst []byte) []byte { return wire.AppendSpanPattern(dst, p) })
 	}
 }
 
 func (b *Backend) applyTopoPattern(p *topo.Pattern, at int64, log bool) {
-	s, idx := b.patternShardIdx(p.ID)
+	sym := b.syms.Intern(p.ID)
+	idx := b.routeIdx(patternRoute(p.ID, p.Route))
+	s := b.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.topoPatterns[p.ID]; ok {
+	if _, ok := s.topoPatterns[sym]; ok {
 		return
 	}
-	s.topoPatterns[p.ID] = p
+	s.topoPatterns[sym] = p
 	s.storagePatterns += int64(p.Size())
 	s.epoch.Add(1)
 	if log && b.persist != nil {
-		b.persist.logLocked(idx, s, recTopoPattern, at, wire.MarshalTopoPattern(p))
+		b.persist.logLocked(idx, s, recTopoPattern, at, func(dst []byte) []byte { return wire.AppendTopoPattern(dst, p) })
 	}
 }
 
@@ -288,17 +310,23 @@ func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
 }
 
 func (b *Backend) applyBloom(node, patternID string, f *bloom.Filter, immutable bool, at int64, log bool) {
-	s, idx := b.patternShardIdx(patternID)
+	nodeSym := b.syms.Intern(node)
+	patSym := b.syms.Intern(patternID)
+	idx := b.routeIdx(b.syms.Hash(patSym))
+	s := b.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.epoch.Add(1)
-	seg := bloomSegment{node: node, patternID: patternID, filter: f, at: at}
+	seg := bloomSegment{
+		node: b.syms.Str(nodeSym), patternID: b.syms.Str(patSym),
+		nodeSym: nodeSym, patSym: patSym, filter: f, at: at,
+	}
 	switch {
 	case immutable:
 		s.addSegment(seg)
 		s.storageBloom += int64(f.SizeBytes())
 	default:
-		key := segKey(node, patternID)
+		key := intern.Pair(nodeSym, patSym)
 		if i, ok := s.liveFilters[key]; ok {
 			s.segments[i] = seg // replacement: no storage growth, index position unchanged
 		} else {
@@ -308,8 +336,8 @@ func (b *Backend) applyBloom(node, patternID string, f *bloom.Filter, immutable 
 		}
 	}
 	if log && b.persist != nil {
-		rep := &wire.BloomReport{Node: node, PatternID: patternID, Filter: f, Full: immutable}
-		b.persist.logLocked(idx, s, recBloom, at, wire.MarshalBloomReport(rep))
+		rep := wire.BloomReport{Node: node, PatternID: patternID, Filter: f, Full: immutable}
+		b.persist.logLocked(idx, s, recBloom, at, func(dst []byte) []byte { return wire.AppendBloomReport(dst, &rep) })
 	}
 }
 
@@ -334,7 +362,7 @@ func (b *Backend) applyParams(r *wire.ParamsReport, at int64, log bool) {
 	s.paramsAt[r.TraceID] = at
 	s.epoch.Add(1)
 	if log && b.persist != nil {
-		b.persist.logLocked(idx, s, recParams, at, wire.MarshalParamsReport(r))
+		b.persist.logLocked(idx, s, recParams, at, func(dst []byte) []byte { return wire.AppendParamsReport(dst, r) })
 	}
 }
 
@@ -354,7 +382,7 @@ func (b *Backend) applyMark(traceID, reason string, at int64, log bool) {
 	s.sampledAt[traceID] = at
 	s.epoch.Add(1)
 	if log && b.persist != nil {
-		b.persist.logLocked(idx, s, recMark, at, marshalMark(traceID, reason))
+		b.persist.logLocked(idx, s, recMark, at, func(dst []byte) []byte { return appendMark(dst, traceID, reason) })
 	}
 }
 
@@ -401,21 +429,35 @@ func (b *Backend) TopoPatternCount() int {
 	return n
 }
 
-// spanPattern routes a span pattern lookup to its shard.
+// spanPattern routes a span pattern lookup to its shard. An ID the dict has
+// never seen cannot be stored anywhere.
 func (b *Backend) spanPattern(id string) (*parser.SpanPattern, bool) {
-	s := b.patternShard(id)
+	sym, ok := b.syms.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	s := b.patternShardSym(sym)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.spanPatterns[id]
+	p, ok := s.spanPatterns[sym]
 	return p, ok
 }
 
 // topoPattern routes a topo pattern lookup to its shard.
 func (b *Backend) topoPattern(id string) (*topo.Pattern, bool) {
-	s := b.patternShard(id)
+	sym, ok := b.syms.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return b.topoPatternSym(sym)
+}
+
+// topoPatternSym looks a topo pattern up by its interned handle.
+func (b *Backend) topoPatternSym(sym intern.Sym) (*topo.Pattern, bool) {
+	s := b.patternShardSym(sym)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.topoPatterns[id]
+	p, ok := s.topoPatterns[sym]
 	return p, ok
 }
 
@@ -499,7 +541,7 @@ func (b *Backend) queryUncached(traceID string) QueryResult {
 	// do not stitch are dropped when at least one stitched segment exists.
 	var pats []*topo.Pattern
 	for _, h := range hits {
-		if p, ok := b.topoPattern(h.patternID); ok {
+		if p, ok := b.topoPatternSym(h.patSym); ok {
 			pats = append(pats, p)
 		}
 	}

@@ -1,5 +1,7 @@
 package backend
 
+import "repro/internal/intern"
+
 // Segment indexing and write epochs for the query engine.
 //
 // Every pattern shard keeps, next to its flat segment slice, an index keyed
@@ -17,21 +19,20 @@ package backend
 // at epoch vector E is still exact iff the current vector equals E.
 
 // hit identifies one (node, pattern) pair whose Bloom filter claimed a trace
-// ID during a probe.
+// ID during a probe. It carries both the resolved strings (for the querier's
+// deterministic sort) and the pattern's symbol (for direct store lookups).
 type hit struct {
 	node      string
 	patternID string
+	patSym    intern.Sym
 }
 
-// segKey builds the (node, patternID) index key.
-func segKey(node, patternID string) string { return node + "\x1f" + patternID }
-
 // addSegment appends a segment to the shard's flat slice and indexes it
-// under its (node, pattern) key. Caller holds s.mu.
+// under its packed (node, pattern) key. Caller holds s.mu.
 func (s *shard) addSegment(seg bloomSegment) {
-	key := segKey(seg.node, seg.patternID)
+	key := intern.Pair(seg.nodeSym, seg.patSym)
 	if _, seen := s.segIndex[key]; !seen {
-		s.patKeys[seg.patternID] = append(s.patKeys[seg.patternID], key)
+		s.patKeys[seg.patSym] = append(s.patKeys[seg.patSym], key)
 	}
 	s.segIndex[key] = append(s.segIndex[key], len(s.segments))
 	s.segments = append(s.segments, seg)
@@ -45,7 +46,7 @@ func (s *shard) probeAll(traceID string, hits []hit) []hit {
 		for _, i := range idxs {
 			if s.segments[i].filter.Contains(traceID) {
 				seg := s.segments[i]
-				hits = append(hits, hit{node: seg.node, patternID: seg.patternID})
+				hits = append(hits, hit{node: seg.node, patternID: seg.patternID, patSym: seg.patSym})
 				break
 			}
 		}
@@ -56,9 +57,9 @@ func (s *shard) probeAll(traceID string, hits []hit) []hit {
 // probePatterns reports whether any Bloom segment belonging to one of the
 // given topo patterns contains the trace ID — the targeted probe FindTraces
 // uses to discard candidates without reconstructing them. Caller holds s.mu.
-func (s *shard) probePatterns(traceID string, patternIDs map[string]bool) bool {
-	for pid := range patternIDs {
-		for _, key := range s.patKeys[pid] {
+func (s *shard) probePatterns(traceID string, patterns map[intern.Sym]bool) bool {
+	for sym := range patterns {
+		for _, key := range s.patKeys[sym] {
 			for _, i := range s.segIndex[key] {
 				if s.segments[i].filter.Contains(traceID) {
 					return true

@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseManifestStrict pins the strict field parser: the fmt.Sscanf
+// parser it replaced silently ignored trailing garbage, which let a
+// corrupted or concatenated MANIFEST half-parse and open the wrong layout.
+func TestParseManifestStrict(t *testing.T) {
+	good := fmt.Sprintf("mint-data %d\nlayout 3\nshards 8\n", snapshotVersion)
+	v, l, s, err := parseManifest(good)
+	if err != nil || v != snapshotVersion || l != 3 || s != 8 {
+		t.Fatalf("good manifest: (%d, %d, %d, %v)", v, l, s, err)
+	}
+
+	bad := []string{
+		"",
+		good + "garbage",               // trailing garbage after valid fields
+		good + "\n",                    // trailing blank line
+		strings.TrimSuffix(good, "\n"), // missing final newline
+		"mint-data 1\nlayout 3\n",      // missing shards line
+		"mint-data x\nlayout 3\nshards 8\n",
+		"mint-data 1\nlayout -3\nshards 8\n", // sign is not a digit
+		"mint-data 1\nlayout 3\nshards 8x\n",
+		"mint-data  1\nlayout 3\nshards 8\n", // double space
+		"MINT-DATA 1\nlayout 3\nshards 8\n",
+		"mint-data 99999999999999999999\nlayout 3\nshards 8\n", // overflow
+	}
+	for _, body := range bad {
+		if _, _, _, err := parseManifest(body); err == nil {
+			t.Errorf("parseManifest(%q) accepted a malformed manifest", body)
+		}
+	}
+}
+
+// TestOpenRejectsCorruptManifest verifies the strictness end to end: a
+// manifest with trailing garbage must fail the open loudly instead of being
+// half-read.
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	a := New(0)
+	if err := a.OpenPersistence(PersistConfig{Dir: dir}); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	a.MarkSampled("m1", "r1")
+	if err := a.ClosePersistence(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, "shards 999\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(0)
+	if err := b.OpenPersistence(PersistConfig{Dir: dir}); err == nil {
+		b.ClosePersistence()
+		t.Fatal("open accepted a manifest with trailing garbage")
+	} else if !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestParseShardFileName pins the strict shard filename parser against the
+// path builders and rejects foreign names.
+func TestParseShardFileName(t *testing.T) {
+	for _, c := range []struct{ layout, shard int }{{1, 0}, {42, 7}, {9999, 9999}, {12345, 3}} {
+		name := filepath.Base(snapPath(".", c.layout, c.shard))
+		l, s, ok := parseShardFileName(name)
+		if !ok || l != c.layout || s != c.shard {
+			t.Errorf("parseShardFileName(%q) = (%d, %d, %v)", name, l, s, ok)
+		}
+	}
+	for _, name := range []string{
+		"l0001-shard-.snap", "l-shard-0001.snap", "x0001-shard-0001.wal",
+		"l0001-shard-0001x.snap", "l001-shard-0001.snap", "l0001_shard_0001.snap",
+		"notes.snap",
+	} {
+		if _, _, ok := parseShardFileName(name); ok {
+			t.Errorf("parseShardFileName(%q) accepted a foreign name", name)
+		}
+	}
+}

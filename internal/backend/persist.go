@@ -37,12 +37,15 @@ package backend
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/intern"
 )
 
 // DefaultSnapshotEveryBytes is the WAL size that triggers a shard's
@@ -74,6 +77,16 @@ type PersistConfig struct {
 	SweepInterval time.Duration
 }
 
+// Group-commit sizing: a pending group seals — one frame, one CRC — once it
+// holds this many records or this many payload bytes. Sealing also happens
+// on every explicit flush, compaction and close, so durability points are
+// unchanged; the thresholds only bound how much framing work the steady
+// state amortizes.
+const (
+	walGroupRecords = 128
+	walGroupBytes   = 32 << 10
+)
+
 // walFile is one shard's append-side WAL state. Appends run under the
 // owning shard's lock, so mu only arbitrates appends against the background
 // flush loop and compaction.
@@ -92,6 +105,16 @@ type walFile struct {
 	// fabricate durability — recovery discards old-generation WALs — so
 	// appends first retry the reset and drop the record if it still fails.
 	needsReset bool
+
+	// Group-commit state (guarded by mu). Records accumulate as length-
+	// prefixed bodies in group; sealGroupLocked frames them as one recGroup
+	// record with a single CRC and hands the frame to the buffered writer.
+	// Both buffers are reused for the life of the WAL, so steady-state
+	// logging allocates nothing.
+	group   []byte
+	groupN  int
+	groupAt int64  // timestamp of the group's first record
+	scratch []byte // reusable body/frame encode buffer
 }
 
 // persister is the attached storage engine: one WAL per shard plus the
@@ -141,6 +164,50 @@ func renameSync(tmp, final string) error {
 	return fsyncDir(filepath.Dir(final))
 }
 
+// manifestField parses one "<name> <decimal>\n" line at the head of rest,
+// returning the value and the remainder. Strict: the label, the single
+// space, the all-digit value and the trailing newline must match exactly.
+func manifestField(rest, name string) (val int, tail string, ok bool) {
+	if len(rest) < len(name)+1 || rest[:len(name)] != name || rest[len(name)] != ' ' {
+		return 0, "", false
+	}
+	rest = rest[len(name)+1:]
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		val = val*10 + int(rest[i]-'0')
+		i++
+		if val > 1<<30 {
+			return 0, "", false
+		}
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '\n' {
+		return 0, "", false
+	}
+	return val, rest[i+1:], true
+}
+
+// parseManifest strictly decodes a MANIFEST body. Unlike the fmt.Sscanf
+// parser it replaces, it rejects trailing garbage and malformed fields
+// instead of silently ignoring them — a manifest is tiny, hand-editable
+// state whose corruption must fail loudly, not be half-read.
+func parseManifest(body string) (version, layout, shards int, err error) {
+	rest := body
+	var ok bool
+	if version, rest, ok = manifestField(rest, "mint-data"); !ok {
+		return 0, 0, 0, errors.New("bad version line")
+	}
+	if layout, rest, ok = manifestField(rest, "layout"); !ok {
+		return 0, 0, 0, errors.New("bad layout line")
+	}
+	if shards, rest, ok = manifestField(rest, "shards"); !ok {
+		return 0, 0, 0, errors.New("bad shards line")
+	}
+	if rest != "" {
+		return 0, 0, 0, fmt.Errorf("%d trailing bytes", len(rest))
+	}
+	return version, layout, shards, nil
+}
+
 // readManifest parses dir's MANIFEST. ok is false when none exists yet.
 func readManifest(dir string) (layout, shards int, ok bool, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -150,9 +217,9 @@ func readManifest(dir string) (layout, shards int, ok bool, err error) {
 	if err != nil {
 		return 0, 0, false, err
 	}
-	var version int
-	if _, err := fmt.Sscanf(string(data), "mint-data %d\nlayout %d\nshards %d\n", &version, &layout, &shards); err != nil {
-		return 0, 0, false, fmt.Errorf("backend: malformed %s: %v", manifestName, err)
+	version, layout, shards, perr := parseManifest(string(data))
+	if perr != nil {
+		return 0, 0, false, fmt.Errorf("backend: malformed %s: %v", manifestName, perr)
 	}
 	if version != snapshotVersion {
 		return 0, 0, false, fmt.Errorf("%w: manifest version %d (want %d)", ErrBadSnapshot, version, snapshotVersion)
@@ -175,6 +242,42 @@ func writeManifest(dir string, layout, shards int) error {
 	return renameSync(tmp, final)
 }
 
+// parseShardFileName strictly decodes a "l<layout>-shard-<shard>.<ext>"
+// shard filename (the ext still attached by the caller's filepath.Ext).
+// Foreign files in the data directory must never match.
+func parseShardFileName(name string) (layout, shard int, ok bool) {
+	base := name[:len(name)-len(filepath.Ext(name))]
+	if len(base) < 1 || base[0] != 'l' {
+		return 0, 0, false
+	}
+	rest := base[1:]
+	digits := func(s string) (int, int, bool) {
+		v, i := 0, 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			v = v*10 + int(s[i]-'0')
+			i++
+			if v > 1<<30 {
+				return 0, 0, false
+			}
+		}
+		return v, i, i >= 4 // %04d renders at least four digits
+	}
+	var n int
+	if layout, n, ok = digits(rest); !ok {
+		return 0, 0, false
+	}
+	rest = rest[n:]
+	const sep = "-shard-"
+	if len(rest) < len(sep) || rest[:len(sep)] != sep {
+		return 0, 0, false
+	}
+	rest = rest[len(sep):]
+	if shard, n, ok = digits(rest); !ok || n != len(rest) {
+		return 0, 0, false
+	}
+	return layout, shard, true
+}
+
 // sweepStaleLayouts removes shard files that do not belong to the committed
 // layout: older layouts a finished re-layout left behind, or newer ones a
 // crashed re-layout never committed.
@@ -184,13 +287,13 @@ func sweepStaleLayouts(dir string, keep int) {
 		return
 	}
 	for _, e := range entries {
-		var layout, shard int
 		name := e.Name()
 		ext := filepath.Ext(name)
 		if ext != ".snap" && ext != ".wal" && ext != ".tmp" {
 			continue
 		}
-		if _, err := fmt.Sscanf(name, "l%04d-shard-%04d", &layout, &shard); err != nil {
+		layout, _, ok := parseShardFileName(name)
+		if !ok {
 			continue
 		}
 		if layout != keep || ext == ".tmp" {
@@ -210,13 +313,12 @@ func orphanedShardData(dir string) (string, bool) {
 		return "", false
 	}
 	for _, e := range entries {
-		var layout, shard int
 		name := e.Name()
 		ext := filepath.Ext(name)
 		if ext != ".snap" && ext != ".wal" {
 			continue
 		}
-		if _, err := fmt.Sscanf(name, "l%04d-shard-%04d", &layout, &shard); err != nil {
+		if _, _, ok := parseShardFileName(name); !ok {
 			continue
 		}
 		if st, err := e.Info(); err == nil && st.Size() > fileHeaderLen {
@@ -425,13 +527,14 @@ func (p *persister) firstErr() error {
 	return p.err
 }
 
-// logLocked appends one record to shard idx's WAL and, when the WAL has
-// outgrown the snapshot threshold, compacts the shard in place. The caller
-// holds s.mu — which is what guarantees the WAL's record order matches the
-// order mutations were applied to the shard.
-func (p *persister) logLocked(idx int, s *shard, typ byte, at int64, payload []byte) {
+// logLocked appends one record to shard idx's WAL group and, when the WAL
+// has outgrown the snapshot threshold, compacts the shard in place. The
+// payload is encoded by enc straight into the WAL's reused scratch buffer —
+// no per-record allocation. The caller holds s.mu — which is what
+// guarantees the WAL's record order matches the order mutations were
+// applied to the shard.
+func (p *persister) logLocked(idx int, s *shard, typ byte, at int64, enc func(dst []byte) []byte) {
 	w := p.wals[idx]
-	rec := appendRecord(nil, typ, at, payload)
 	w.mu.Lock()
 	if w.needsReset {
 		// The WAL's generation is behind its snapshot's (a failed reset
@@ -445,8 +548,23 @@ func (p *persister) logLocked(idx int, s *shard, typ byte, at int64, payload []b
 			return
 		}
 	}
-	_, err := w.w.Write(rec)
-	w.bytes += int64(len(rec))
+	// Encode the record body ([type][varint at][payload]) into scratch,
+	// then append it length-prefixed to the pending group.
+	body := append(w.scratch[:0], typ)
+	body = binary.AppendVarint(body, at)
+	body = enc(body)
+	w.scratch = body
+	if w.groupN == 0 {
+		w.groupAt = at
+	}
+	w.group = binary.AppendUvarint(w.group, uint64(len(body)))
+	w.group = append(w.group, body...)
+	w.groupN++
+	w.bytes += int64(len(body)) + 2 // body plus its share of group framing
+	var err error
+	if w.groupN >= walGroupRecords || len(w.group) >= walGroupBytes {
+		err = p.sealGroupLocked(w)
+	}
 	full := p.threshold > 0 && w.bytes >= w.nextCompact
 	if full {
 		w.nextCompact = w.bytes + p.threshold // back off if the attempt fails
@@ -461,10 +579,28 @@ func (p *persister) logLocked(idx int, s *shard, typ byte, at int64, payload []b
 	}
 }
 
+// sealGroupLocked frames the pending group as one recGroup record — one
+// length prefix, one CRC, one buffered write — and clears it. Caller holds
+// w.mu. A no-op when nothing is pending.
+func (p *persister) sealGroupLocked(w *walFile) error {
+	if w.groupN == 0 {
+		return nil
+	}
+	w.scratch = appendRecord(w.scratch[:0], recGroup, w.groupAt, w.group)
+	_, err := w.w.Write(w.scratch)
+	w.group = w.group[:0]
+	w.groupN = 0
+	return err
+}
+
 // resetWALLocked truncates a WAL and starts it over at the given
-// generation. Caller holds w.mu.
+// generation. The pending group is discarded with the buffered records —
+// the snapshot that triggered the reset already contains them. Caller
+// holds w.mu.
 func (p *persister) resetWALLocked(w *walFile, gen uint64) error {
 	w.w.Reset(w.f) // discard buffered records; they are in the snapshot
+	w.group = w.group[:0]
+	w.groupN = 0
 	if err := w.f.Truncate(0); err != nil {
 		w.needsReset = true
 		return err
@@ -531,11 +667,14 @@ func writeFileSync(path string, data []byte) error {
 	return f.Close()
 }
 
-// flush pushes every WAL buffer to disk and fsyncs.
+// flush seals every WAL's pending group, pushes the buffers to disk and
+// fsyncs — the durability point group commit preserves.
 func (p *persister) flush() {
 	for _, w := range p.wals {
 		w.mu.Lock()
-		if err := w.w.Flush(); err != nil {
+		if err := p.sealGroupLocked(w); err != nil {
+			p.setErr(err)
+		} else if err := w.w.Flush(); err != nil {
 			p.setErr(err)
 		} else if err := w.f.Sync(); err != nil {
 			p.setErr(err)
@@ -682,15 +821,15 @@ func (s *shard) sweepLocked(cutoff int64) int {
 		}
 	}
 	if expired {
-		liveByIdx := make(map[int]string, len(s.liveFilters))
+		liveByIdx := make(map[int]uint64, len(s.liveFilters))
 		for key, i := range s.liveFilters {
 			liveByIdx[i] = key
 		}
 		old := s.segments
 		s.segments = nil
-		s.segIndex = map[string][]int{}
-		s.patKeys = map[string][]string{}
-		s.liveFilters = map[string]int{}
+		s.segIndex = map[uint64][]int{}
+		s.patKeys = map[intern.Sym][]uint64{}
+		s.liveFilters = map[uint64]int{}
 		for i, seg := range old {
 			if seg.at < cutoff {
 				s.storageBloom -= int64(seg.filter.SizeBytes())

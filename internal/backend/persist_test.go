@@ -213,13 +213,19 @@ func TestWALCorruptRecordDropsSuffix(t *testing.T) {
 	a.SetTimeSource(func() int64 { return 42 })
 	a.MarkSampled("m1", "r1")
 	a.MarkSampled("m2", "r2")
+	// Seal the first two marks into their own group-commit frame: the
+	// corruption unit of the WAL is the group, and a flush is a group
+	// boundary (and durability point).
+	if err := a.FlushPersistence(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
 	a.MarkSampled("m3", "r3")
 	if err := a.ClosePersistence(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
 
-	// Flip the WAL's final byte: the last record's CRC no longer verifies,
-	// so replay must keep m1 and m2 and truncate m3 away.
+	// Flip the WAL's final byte: the last group's CRC no longer verifies,
+	// so replay must keep m1 and m2 and truncate m3's group away.
 	wal := walPath(dir, 1, 0)
 	data, err := os.ReadFile(wal)
 	if err != nil {

@@ -3,6 +3,7 @@ package backend
 import (
 	"sort"
 
+	"repro/internal/intern"
 	"repro/internal/parser"
 	"repro/internal/trace"
 )
@@ -151,7 +152,7 @@ func (b *Backend) FindAnalyze(f Filter) (*BatchStats, []FoundTrace) {
 
 func (b *Backend) findMatches(f Filter) []foundMatch {
 	spanSet, prefiltered := b.matchingSpanPatterns(&f)
-	var topoSet map[string]bool
+	var topoSet map[intern.Sym]bool
 	if prefiltered {
 		if len(spanSet) == 0 {
 			return nil
@@ -218,7 +219,7 @@ func (b *Backend) matchingSpanPatterns(f *Filter) (map[string]bool, bool) {
 	set := map[string]bool{}
 	for _, s := range b.shards {
 		s.mu.Lock()
-		for id, p := range s.spanPatterns {
+		for _, p := range s.spanPatterns {
 			if f.Service != "" && p.Service != f.Service {
 				continue
 			}
@@ -228,7 +229,7 @@ func (b *Backend) matchingSpanPatterns(f *Filter) (map[string]bool, bool) {
 			if !b.patternCouldMatchRanges(p, f) {
 				continue
 			}
-			set[id] = true
+			set[p.ID] = true
 		}
 		s.mu.Unlock()
 	}
@@ -270,9 +271,10 @@ func (b *Backend) patternCouldMatchRanges(p *parser.SpanPattern, f *Filter) bool
 }
 
 // matchingTopoPatterns selects topo patterns that reference any matching
-// span pattern in their entry or edges.
-func (b *Backend) matchingTopoPatterns(spanSet map[string]bool) map[string]bool {
-	set := map[string]bool{}
+// span pattern in their entry or edges, as a set of interned handles ready
+// for the shard probes.
+func (b *Backend) matchingTopoPatterns(spanSet map[string]bool) map[intern.Sym]bool {
+	set := map[intern.Sym]bool{}
 	for _, s := range b.shards {
 		s.mu.Lock()
 		for id, p := range s.topoPatterns {
@@ -306,7 +308,7 @@ func (b *Backend) matchingTopoPatterns(spanSet map[string]bool) map[string]bool 
 // probeCandidate reports whether any Bloom segment of the given topo
 // patterns claims the trace ID — the cheap pre-screen that lets search skip
 // reconstructing candidates the matching patterns never saw.
-func (b *Backend) probeCandidate(traceID string, topoSet map[string]bool) bool {
+func (b *Backend) probeCandidate(traceID string, topoSet map[intern.Sym]bool) bool {
 	for _, s := range b.shards {
 		s.mu.Lock()
 		ok := s.probePatterns(traceID, topoSet)

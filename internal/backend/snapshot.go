@@ -33,6 +33,8 @@ import (
 	"hash/crc32"
 	"sort"
 
+	"repro/internal/parser"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -44,6 +46,13 @@ const (
 	recBloom       = byte(3) // payload: wire.MarshalBloomReport
 	recParams      = byte(4) // payload: wire.MarshalParamsReport
 	recMark        = byte(5) // payload: marshalMark
+	// recGroup is a WAL group commit: N records under one frame and one
+	// CRC. Its payload is a sequence of [uvarint bodyLen][body] entries,
+	// each body laid out exactly like an outer record body ([type][varint
+	// timestamp][payload]); groups never nest. A torn or corrupt group
+	// drops as one unit, which preserves the prefix-durability contract —
+	// records are only ever lost from the tail.
+	recGroup = byte(6)
 )
 
 // snapshotVersion is the current on-disk format version, checked on open.
@@ -91,14 +100,17 @@ func checkHeader(data []byte, magic [8]byte) (gen uint64, err error) {
 	return binary.LittleEndian.Uint64(data[12:]), nil
 }
 
-// appendRecord frames one record onto b.
+// appendRecord frames one record onto b, building the body in place (no
+// intermediate buffer) and checksumming the appended region. payload must
+// not alias b.
 func appendRecord(b []byte, typ byte, at int64, payload []byte) []byte {
-	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
-	body = append(body, typ)
-	body = binary.AppendVarint(body, at)
-	body = append(body, payload...)
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
-	b = append(b, body...)
+	start := len(b)
+	b = binary.LittleEndian.AppendUint32(b, 0) // length, patched below
+	b = append(b, typ)
+	b = binary.AppendVarint(b, at)
+	b = append(b, payload...)
+	body := b[start+4:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(body)))
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(body))
 }
 
@@ -139,12 +151,17 @@ func scanRecords(data []byte, fn func(typ byte, at int64, payload []byte) error)
 	return off, nil
 }
 
+// appendMark appends a MarkSampled mutation (trace ID + reason) to dst.
+func appendMark(dst []byte, traceID, reason string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(traceID)))
+	dst = append(dst, traceID...)
+	dst = binary.AppendUvarint(dst, uint64(len(reason)))
+	return append(dst, reason...)
+}
+
 // marshalMark encodes a MarkSampled mutation (trace ID + reason).
 func marshalMark(traceID, reason string) []byte {
-	b := binary.AppendUvarint(nil, uint64(len(traceID)))
-	b = append(b, traceID...)
-	b = binary.AppendUvarint(b, uint64(len(reason)))
-	return append(b, reason...)
+	return appendMark(nil, traceID, reason)
 }
 
 // unmarshalMark decodes a payload written by marshalMark.
@@ -201,8 +218,35 @@ func (b *Backend) applyRecord(typ byte, at int64, payload []byte) error {
 			return err
 		}
 		b.applyMark(traceID, reason, at, false)
+	case recGroup:
+		return b.applyGroup(payload)
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrBadSnapshot, typ)
+	}
+	return nil
+}
+
+// applyGroup replays the inner records of a group-commit frame. The group's
+// CRC already verified, so a malformed inner record is corruption, not a
+// torn tail.
+func (b *Backend) applyGroup(payload []byte) error {
+	for off := 0; off < len(payload); {
+		n, vn := binary.Uvarint(payload[off:])
+		if vn <= 0 || n < 1 || uint64(len(payload)-off-vn) < n {
+			return fmt.Errorf("%w: malformed group entry", ErrBadSnapshot)
+		}
+		body := payload[off+vn : off+vn+int(n)]
+		if body[0] == recGroup {
+			return fmt.Errorf("%w: nested group record", ErrBadSnapshot)
+		}
+		at, avn := binary.Varint(body[1:])
+		if avn <= 0 {
+			return fmt.Errorf("%w: malformed group timestamp", ErrBadSnapshot)
+		}
+		if err := b.applyRecord(body[0], at, body[1+avn:]); err != nil {
+			return err
+		}
+		off += vn + int(n)
 	}
 	return nil
 }
@@ -214,22 +258,22 @@ func (b *Backend) applyRecord(typ byte, at int64, payload []byte) error {
 func encodeShardSnapshot(s *shard, gen uint64) []byte {
 	out := fileHeader(snapMagic, gen)
 
-	spanIDs := make([]string, 0, len(s.spanPatterns))
-	for id := range s.spanPatterns {
-		spanIDs = append(spanIDs, id)
+	spanPats := make([]*parser.SpanPattern, 0, len(s.spanPatterns))
+	for _, p := range s.spanPatterns {
+		spanPats = append(spanPats, p)
 	}
-	sort.Strings(spanIDs)
-	for _, id := range spanIDs {
-		out = appendRecord(out, recSpanPattern, 0, wire.MarshalSpanPattern(s.spanPatterns[id]))
+	sort.Slice(spanPats, func(i, j int) bool { return spanPats[i].ID < spanPats[j].ID })
+	for _, p := range spanPats {
+		out = appendRecord(out, recSpanPattern, 0, wire.MarshalSpanPattern(p))
 	}
 
-	topoIDs := make([]string, 0, len(s.topoPatterns))
-	for id := range s.topoPatterns {
-		topoIDs = append(topoIDs, id)
+	topoPats := make([]*topo.Pattern, 0, len(s.topoPatterns))
+	for _, p := range s.topoPatterns {
+		topoPats = append(topoPats, p)
 	}
-	sort.Strings(topoIDs)
-	for _, id := range topoIDs {
-		out = appendRecord(out, recTopoPattern, 0, wire.MarshalTopoPattern(s.topoPatterns[id]))
+	sort.Slice(topoPats, func(i, j int) bool { return topoPats[i].ID < topoPats[j].ID })
+	for _, p := range topoPats {
+		out = appendRecord(out, recTopoPattern, 0, wire.MarshalTopoPattern(p))
 	}
 
 	// Segments keep slice order (replay re-appends them identically). A

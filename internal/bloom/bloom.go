@@ -13,7 +13,6 @@ package bloom
 import (
 	"encoding/binary"
 	"errors"
-	"hash/fnv"
 	"math"
 )
 
@@ -66,18 +65,34 @@ func New(bufBytes int, fpp float64) *Filter {
 // NewDefault creates a filter with the paper's defaults (4 KB, FPP 0.01).
 func NewDefault() *Filter { return New(DefaultBufferBytes, DefaultFPP) }
 
+// FNV-1a constants, inlined so hashing a key never allocates (hash/fnv's
+// Hash64 plus the string→[]byte conversions were two heap allocations per
+// Add/Contains on the mount and probe hot paths).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1aString(h uint64, key string) uint64 {
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hash2 derives the two double-hashing values from one FNV-1a pass. The
+// second value hashes the little-endian bytes of the first followed by the
+// key again, which keeps the two probes independent enough; both values are
+// bit-identical to the previous hash/fnv-based implementation.
 func hash2(key string) (uint64, uint64) {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	h1 := h.Sum64()
-	// Derive a second value by hashing the first sum; this keeps the two
-	// probes independent enough for double hashing.
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], h1)
-	h.Reset()
-	h.Write(buf[:])
-	h.Write([]byte(key))
-	h2 := h.Sum64() | 1 // force odd so probes cycle through all positions
+	h1 := fnv1aString(fnvOffset64, key)
+	h2 := uint64(fnvOffset64)
+	for i := 0; i < 64; i += 8 {
+		h2 ^= uint64(byte(h1 >> i))
+		h2 *= fnvPrime64
+	}
+	h2 = fnv1aString(h2, key) | 1 // force odd so probes cycle through all positions
 	return h1, h2
 }
 
@@ -141,16 +156,24 @@ func (f *Filter) Snapshot() *Filter {
 	return c
 }
 
+// MarshaledSize returns the byte length Marshal produces.
+func (f *Filter) MarshaledSize() int { return 24 + len(f.bits)*8 }
+
+// AppendMarshal appends the serialization to dst, for callers encoding into
+// reused buffers.
+func (f *Filter) AppendMarshal(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, f.m)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.k))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.n))
+	for _, w := range f.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
 // Marshal serializes the filter: header (m, k, n) followed by the bit array.
 func (f *Filter) Marshal() []byte {
-	out := make([]byte, 24+len(f.bits)*8)
-	binary.LittleEndian.PutUint64(out[0:], f.m)
-	binary.LittleEndian.PutUint64(out[8:], uint64(f.k))
-	binary.LittleEndian.PutUint64(out[16:], uint64(f.n))
-	for i, w := range f.bits {
-		binary.LittleEndian.PutUint64(out[24+i*8:], w)
-	}
-	return out
+	return f.AppendMarshal(make([]byte, 0, f.MarshaledSize()))
 }
 
 // ErrCorrupt reports a malformed serialized filter.

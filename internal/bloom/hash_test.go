@@ -1,0 +1,42 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHash2MatchesHashFnv pins the inlined FNV-1a double-hash against the
+// standard library implementation it replaced: filters persisted by earlier
+// builds must keep answering Contains identically.
+func TestHash2MatchesHashFnv(t *testing.T) {
+	ref := func(key string) (uint64, uint64) {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h1 := h.Sum64()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], h1)
+		h.Reset()
+		h.Write(buf[:])
+		h.Write([]byte(key))
+		return h1, h.Sum64() | 1
+	}
+	for _, key := range []string{"", "a", "trace-1", "0123456789abcdef-ffff", "héllo 漢字"} {
+		h1, h2 := hash2(key)
+		w1, w2 := ref(key)
+		if h1 != w1 || h2 != w2 {
+			t.Errorf("hash2(%q) = (%#x, %#x), want (%#x, %#x)", key, h1, h2, w1, w2)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add("trace-0123456789abcdef")
+		if f.Full() {
+			f.Reset()
+		}
+	}
+}

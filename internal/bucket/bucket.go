@@ -11,6 +11,7 @@ package bucket
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // DefaultAlpha is the paper's default precision parameter (0.5), which gives
@@ -22,6 +23,12 @@ type Mapper struct {
 	alpha    float64
 	gamma    float64
 	logGamma float64
+
+	// patterns caches Pattern's rendered interval strings: Pattern runs per
+	// numeric attribute per span on the parse hot path, and the distinct
+	// bucket indexes a deployment ever sees are few.
+	patMu    sync.RWMutex
+	patterns map[int]string
 }
 
 // NewMapper creates a bucket mapper with precision alpha in (0, 1). It panics
@@ -31,7 +38,7 @@ func NewMapper(alpha float64) *Mapper {
 		panic("bucket: alpha must be in (0, 1)")
 	}
 	gamma := (1 + alpha) / (1 - alpha)
-	return &Mapper{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma)}
+	return &Mapper{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma), patterns: map[int]string{}}
 }
 
 // Gamma returns the bucket growth factor γ.
@@ -126,10 +133,23 @@ func (m *Mapper) Reconstruct(index int, offset float64) float64 {
 }
 
 // Pattern renders the interval pattern string for bucket i, e.g. "(27, 81]".
+// Rendered strings are cached per index, so steady-state calls do not
+// allocate. Safe for concurrent use.
 func (m *Mapper) Pattern(i int) string {
-	l, u := m.Bounds(i)
-	if i == -1 {
-		return "[0]"
+	m.patMu.RLock()
+	s, ok := m.patterns[i]
+	m.patMu.RUnlock()
+	if ok {
+		return s
 	}
-	return fmt.Sprintf("(%g, %g]", l, u)
+	if i == -1 {
+		s = "[0]"
+	} else {
+		l, u := m.Bounds(i)
+		s = fmt.Sprintf("(%g, %g]", l, u)
+	}
+	m.patMu.Lock()
+	m.patterns[i] = s
+	m.patMu.Unlock()
+	return s
 }

@@ -104,10 +104,13 @@ func (r *Reporter) Close() {
 }
 
 func (r *Reporter) run() {
+	// One envelope is recycled for the worker's whole life: deliverBatch
+	// fully consumes it, so emptying it after delivery is safe and keeps
+	// the coalescing path allocation-free.
 	pending := &wire.Batch{Node: r.node}
 	emit := func() {
 		r.deliverBatch(pending)
-		pending = &wire.Batch{Node: r.node}
+		pending.Reset()
 	}
 	for {
 		select {
@@ -117,11 +120,11 @@ func (r *Reporter) run() {
 				emit()
 			}
 		case ack := <-r.flushReq:
-			pending = r.drain(pending)
+			r.drain(pending)
 			emit()
 			close(ack)
 		case <-r.quit:
-			pending = r.drain(pending)
+			r.drain(pending)
 			emit()
 			close(r.done)
 			return
@@ -132,17 +135,17 @@ func (r *Reporter) run() {
 // drain moves whatever is buffered in the queue into the pending batch
 // without blocking, delivering full envelopes along the way so batchMax
 // stays the per-envelope cap even on flush/close.
-func (r *Reporter) drain(pending *wire.Batch) *wire.Batch {
+func (r *Reporter) drain(pending *wire.Batch) {
 	for {
 		select {
 		case msg := <-r.ch:
 			pending.Append(msg)
 			if pending.Len() >= r.batchMax {
 				r.deliverBatch(pending)
-				pending = &wire.Batch{Node: r.node}
+				pending.Reset()
 			}
 		default:
-			return pending
+			return
 		}
 	}
 }

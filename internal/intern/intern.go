@@ -1,0 +1,175 @@
+// Package intern provides a concurrency-safe string↔uint32 dictionary for
+// the identifiers the hot path handles over and over — pattern IDs, node
+// names, attribute keys. Interning turns them into dense Sym handles so hot
+// loops hash and compare a uint32 (and build composite map keys by bit
+// packing) instead of re-hashing and re-allocating strings; the string form
+// survives only at API and persistence boundaries, resolved back through
+// Str.
+//
+// The dictionary is internally sharded (by string hash) so concurrent
+// interning from many ingest workers does not serialize on one lock — the
+// data-ownership discipline the rest of the pipeline follows. Lookups on
+// the steady-state path take one shard's read lock and never allocate,
+// including LookupBytes on a scratch key.
+package intern
+
+import "sync"
+
+// Sym is an interned string handle. The zero Sym is reserved as "not
+// interned"; valid handles are never zero.
+type Sym uint32
+
+// None is the zero Sym, returned by failed lookups.
+const None Sym = 0
+
+const (
+	dictShards = 16
+	shardBits  = 28 // low bits: index within shard; high bits: shard
+	shardMask  = 1<<shardBits - 1
+)
+
+// FNV-1a over strings, shared with the shard routers: interning caches this
+// hash per symbol so routing never re-walks the string.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// HashString returns the 32-bit FNV-1a hash of s.
+func HashString(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// HashBytes returns the 32-bit FNV-1a hash of b.
+func HashBytes(b []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+type dictShard struct {
+	mu     sync.RWMutex
+	syms   map[string]Sym
+	strs   []string
+	hashes []uint32
+}
+
+// Dict is the sharded dictionary. The zero value is not usable; create with
+// NewDict.
+type Dict struct {
+	shards [dictShards]dictShard
+}
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	for i := range d.shards {
+		d.shards[i].syms = map[string]Sym{}
+	}
+	return d
+}
+
+func (d *Dict) shard(hash uint32) *dictShard {
+	return &d.shards[hash%dictShards]
+}
+
+func sym(shard uint32, idx int) Sym {
+	return Sym(shard<<shardBits | uint32(idx+1))
+}
+
+// Intern returns the handle for s, assigning one if it is new.
+func (d *Dict) Intern(s string) Sym {
+	h := HashString(s)
+	shard := h % dictShards
+	sh := &d.shards[shard]
+	sh.mu.RLock()
+	id, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.syms[s]; ok {
+		return id
+	}
+	id = sym(shard, len(sh.strs))
+	sh.strs = append(sh.strs, s)
+	sh.hashes = append(sh.hashes, h)
+	sh.syms[s] = id
+	return id
+}
+
+// Lookup returns the handle for s without assigning one; ok is false when s
+// was never interned. It never allocates.
+func (d *Dict) Lookup(s string) (Sym, bool) {
+	sh := d.shard(HashString(s))
+	sh.mu.RLock()
+	id, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// LookupBytes is Lookup over a scratch byte key; the compiler elides the
+// string conversion on the map access, so probing never allocates.
+func (d *Dict) LookupBytes(b []byte) (Sym, bool) {
+	sh := d.shard(HashBytes(b))
+	sh.mu.RLock()
+	id, ok := sh.syms[string(b)]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// Str resolves a handle back to its string. It panics on a Sym the
+// dictionary never issued (including None): handles are internal and a bad
+// one is a programming error, not data corruption.
+func (d *Dict) Str(id Sym) string {
+	sh := &d.shards[uint32(id)>>shardBits]
+	idx := int(uint32(id)&shardMask) - 1
+	sh.mu.RLock()
+	s := sh.strs[idx]
+	sh.mu.RUnlock()
+	return s
+}
+
+// Hash returns the cached FNV-1a hash of the handle's string — the shard
+// routers' hash, computed once at intern time.
+func (d *Dict) Hash(id Sym) uint32 {
+	sh := &d.shards[uint32(id)>>shardBits]
+	idx := int(uint32(id)&shardMask) - 1
+	sh.mu.RLock()
+	h := sh.hashes[idx]
+	sh.mu.RUnlock()
+	return h
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n += len(sh.strs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Pair packs two handles into one map key, the composite-key form the
+// backend's segment index uses for (node, pattern) pairs.
+func Pair(a, b Sym) uint64 {
+	return uint64(a)<<32 | uint64(b)
+}
+
+// Unpair splits a Pair key back into its two handles.
+func Unpair(k uint64) (a, b Sym) {
+	return Sym(k >> 32), Sym(k & 0xffffffff)
+}

@@ -1,0 +1,104 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	words := []string{"", "a", "node-1", "pattern-ffff", "node-1"}
+	syms := make([]Sym, len(words))
+	for i, w := range words {
+		syms[i] = d.Intern(w)
+		if syms[i] == None {
+			t.Fatalf("Intern(%q) returned None", w)
+		}
+	}
+	if syms[1] == syms[2] {
+		t.Fatal("distinct strings share a handle")
+	}
+	if syms[2] != syms[4] {
+		t.Fatal("equal strings got distinct handles")
+	}
+	for i, w := range words {
+		if got := d.Str(syms[i]); got != w {
+			t.Errorf("Str(Intern(%q)) = %q", w, got)
+		}
+		if got := d.Hash(syms[i]); got != HashString(w) {
+			t.Errorf("Hash(%q) = %#x, want %#x", w, got, HashString(w))
+		}
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup found a string never interned")
+	}
+	id := d.Intern("present")
+	if got, ok := d.Lookup("present"); !ok || got != id {
+		t.Fatalf("Lookup = (%v, %v), want (%v, true)", got, ok, id)
+	}
+	if got, ok := d.LookupBytes([]byte("present")); !ok || got != id {
+		t.Fatalf("LookupBytes = (%v, %v), want (%v, true)", got, ok, id)
+	}
+	if _, ok := d.LookupBytes([]byte("absent")); ok {
+		t.Fatal("LookupBytes found a string never interned")
+	}
+}
+
+func TestPair(t *testing.T) {
+	a, b := Sym(7), Sym(1<<31)
+	ga, gb := Unpair(Pair(a, b))
+	if ga != a || gb != b {
+		t.Fatalf("Unpair(Pair(%v, %v)) = (%v, %v)", a, b, ga, gb)
+	}
+}
+
+// TestConcurrentIntern exercises racing interns of overlapping key sets
+// (meaningful under -race) and checks every goroutine resolved consistent
+// handles.
+func TestConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const workers, keys = 8, 200
+	var wg sync.WaitGroup
+	got := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]Sym, keys)
+			for i := 0; i < keys; i++ {
+				got[w][i] = d.Intern(fmt.Sprintf("key-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < keys; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d key %d: handle %v != %v", w, i, got[w][i], got[0][i])
+			}
+		}
+	}
+	if d.Len() != keys {
+		t.Errorf("Len = %d, want %d", d.Len(), keys)
+	}
+}
+
+func BenchmarkLookupBytes(b *testing.B) {
+	d := NewDict()
+	d.Intern("node-1\x1fpattern-0123456789abcdef")
+	key := []byte("node-1\x1fpattern-0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.LookupBytes(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -3,8 +3,6 @@
 // string-attribute clustering.
 package lcs
 
-import "strings"
-
 // Wildcard is the placeholder token representing a variable slot in a merged
 // template.
 const Wildcard = "<*>"
@@ -16,32 +14,80 @@ const Wildcard = "<*>"
 // re-tokenization of a rendered template.
 const delimiters = ",()=/?&;:-.[]"
 
+// delimTable marks the delimiter bytes; delimStrings holds their one-byte
+// token strings so tokenization never materializes them.
+var (
+	delimTable   [128]bool
+	delimStrings [128]string
+)
+
+func init() {
+	for i := 0; i < len(delimiters); i++ {
+		delimTable[delimiters[i]] = true
+		delimStrings[delimiters[i]] = delimiters[i : i+1]
+	}
+}
+
+// AppendTokens appends s's tokens to dst and returns it, letting hot-path
+// callers reuse a scratch slice across calls. Word tokens are substrings of
+// s (no per-token copies); delimiter tokens are shared constants. Splitting
+// is byte-wise: spaces, tabs and the ASCII delimiters break tokens, and all
+// other bytes — including every byte of a multi-byte rune — extend the
+// current word, which groups tokens exactly as rune-wise scanning did.
+//
+// Retention note: because tokens alias s, a caller that stores a token
+// long-term (a captured wildcard parameter, a learned template) pins the
+// whole attribute value string, not just the token. Span attribute values
+// are small and the captures usually cover most of the value, so the slack
+// is bounded; a consumer holding tokens from very large inputs should copy
+// them (strings.Clone) at its retention boundary.
+func AppendTokens(dst []string, s string) []string {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		case c < 128 && delimTable[c]:
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+			dst = append(dst, delimStrings[c])
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
 // Tokenize splits s into word tokens. Words are the paper's token unit;
 // punctuation that commonly delimits identifiers in span attributes splits
 // tokens, and the delimiters themselves are kept as tokens so templates can
 // be re-rendered.
-func Tokenize(s string) []string {
-	var tokens []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			tokens = append(tokens, cur.String())
-			cur.Reset()
+func Tokenize(s string) []string { return AppendTokens(nil, s) }
+
+// AppendJoin appends the Join rendering of tokens to dst, for callers
+// assembling keys in reused buffers.
+func AppendJoin(dst []byte, tokens []string) []byte {
+	prevWord := false
+	for _, t := range tokens {
+		isDelim := len(t) == 1 && t[0] < 128 && delimTable[t[0]]
+		if prevWord && !isDelim {
+			dst = append(dst, ' ')
 		}
+		dst = append(dst, t...)
+		prevWord = !isDelim
 	}
-	for _, r := range s {
-		switch {
-		case r == ' ' || r == '\t':
-			flush()
-		case r < 128 && strings.ContainsRune(delimiters, r):
-			flush()
-			tokens = append(tokens, string(r))
-		default:
-			cur.WriteRune(r)
-		}
-	}
-	flush()
-	return tokens
+	return dst
 }
 
 // Join renders a token sequence back into a string. Delimiter tokens attach
@@ -49,17 +95,10 @@ func Tokenize(s string) []string {
 // spacing follows this convention (no spaces adjacent to delimiters)
 // round-trip exactly through Tokenize/Join.
 func Join(tokens []string) string {
-	var b strings.Builder
-	prevWord := false
-	for _, t := range tokens {
-		isDelim := len(t) == 1 && strings.ContainsAny(t, delimiters)
-		if prevWord && !isDelim {
-			b.WriteByte(' ')
-		}
-		b.WriteString(t)
-		prevWord = !isDelim
+	if len(tokens) == 1 {
+		return tokens[0] // single token joins to itself; no copy
 	}
-	return b.String()
+	return string(AppendJoin(nil, tokens))
 }
 
 // Length returns the length of the longest common subsequence of a and b.

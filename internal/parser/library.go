@@ -3,6 +3,7 @@ package parser
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Library is the span Pattern Library (§3.2): the deduplicated set of span
@@ -11,7 +12,7 @@ type Library struct {
 	mu       sync.RWMutex
 	byKey    map[string]*SpanPattern
 	byID     map[string]*SpanPattern
-	inserted uint64 // total Intern calls (matches + misses)
+	inserted atomic.Uint64 // total intern probes (matches + misses)
 }
 
 // NewLibrary creates an empty pattern library.
@@ -19,20 +20,40 @@ func NewLibrary() *Library {
 	return &Library{byKey: map[string]*SpanPattern{}, byID: map[string]*SpanPattern{}}
 }
 
-// Intern returns the canonical pattern equal to pat, registering it (and
-// assigning its content-derived ID) if it is new.
-func (l *Library) Intern(pat *SpanPattern) *SpanPattern {
-	key := pat.Key()
+// lookupKey probes the library by content key held in a scratch buffer. The
+// string conversion on the map access is elided by the compiler, so the warm
+// path — pattern already known — neither allocates nor copies the key.
+func (l *Library) lookupKey(key []byte) (*SpanPattern, bool) {
+	l.mu.RLock()
+	p, ok := l.byKey[string(key)]
+	l.mu.RUnlock()
+	l.inserted.Add(1)
+	return p, ok
+}
+
+// internNew registers a pattern under its (now materialized) content key,
+// assigning its content-derived ID. A racing insert of the same key returns
+// the first-registered canonical pattern.
+func (l *Library) internNew(key string, pat *SpanPattern) *SpanPattern {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.inserted++
 	if existing, ok := l.byKey[key]; ok {
 		return existing
 	}
-	pat.ID = PatternID(key)
+	pat.SetID(PatternID(key))
 	l.byKey[key] = pat
 	l.byID[pat.ID] = pat
 	return pat
+}
+
+// Intern returns the canonical pattern equal to pat, registering it (and
+// assigning its content-derived ID) if it is new.
+func (l *Library) Intern(pat *SpanPattern) *SpanPattern {
+	key := pat.appendKey(nil)
+	if existing, ok := l.lookupKey(key); ok {
+		return existing
+	}
+	return l.internNew(string(key), pat)
 }
 
 // Get returns the pattern with the given ID.
@@ -50,13 +71,9 @@ func (l *Library) Len() int {
 	return len(l.byID)
 }
 
-// Interns returns the total number of Intern calls, distinguishing pattern
+// Interns returns the total number of intern probes, distinguishing pattern
 // hits from library growth in stats.
-func (l *Library) Interns() uint64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.inserted
-}
+func (l *Library) Interns() uint64 { return l.inserted.Load() }
 
 // Size returns the serialized size of the library in bytes.
 func (l *Library) Size() int {

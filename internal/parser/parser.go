@@ -5,14 +5,13 @@
 package parser
 
 import (
-	"fmt"
-	"hash/fnv"
+	"slices"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/bucket"
+	"repro/internal/intern"
 	"repro/internal/lcs"
 	"repro/internal/prefixtree"
 	"repro/internal/trace"
@@ -68,24 +67,39 @@ type SpanPattern struct {
 	Operation string
 	Kind      trace.Kind
 	Attrs     []AttrPattern // sorted by Key
+	// Route caches the 32-bit FNV-1a hash of ID, the value shard routers and
+	// Bloom-key builders would otherwise recompute from the string on every
+	// accept and probe. It is derived state: set wherever ID is set (intern,
+	// decode, replay), never serialized.
+	Route uint32
+}
+
+// SetID assigns the pattern's ID and its cached route hash.
+func (p *SpanPattern) SetID(id string) {
+	p.ID = id
+	p.Route = intern.HashString(id)
+}
+
+// appendKey appends the canonical content key of the pattern to dst.
+func (p *SpanPattern) appendKey(dst []byte) []byte {
+	dst = append(dst, p.Service...)
+	dst = append(dst, '\x1e')
+	dst = append(dst, p.Operation...)
+	dst = append(dst, '\x1e')
+	dst = append(dst, p.Kind.String()...)
+	for _, a := range p.Attrs {
+		dst = append(dst, '\x1e')
+		dst = append(dst, a.Key...)
+		dst = append(dst, '=')
+		dst = append(dst, a.Pattern...)
+	}
+	return dst
 }
 
 // Key returns the canonical content key of the pattern; two spans with the
 // same Key share a pattern ID.
 func (p *SpanPattern) Key() string {
-	var b strings.Builder
-	b.WriteString(p.Service)
-	b.WriteByte('\x1e')
-	b.WriteString(p.Operation)
-	b.WriteByte('\x1e')
-	b.WriteString(p.Kind.String())
-	for _, a := range p.Attrs {
-		b.WriteByte('\x1e')
-		b.WriteString(a.Key)
-		b.WriteByte('=')
-		b.WriteString(a.Pattern)
-	}
-	return b.String()
+	return string(p.appendKey(nil))
 }
 
 // Size returns the serialized size of the pattern in bytes, used for
@@ -98,18 +112,57 @@ func (p *SpanPattern) Size() int {
 	return n
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64aBytes(h uint64, key []byte) uint64 {
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex appends v as exactly width lowercase hex digits.
+func appendHex(dst []byte, v uint64, width int) []byte {
+	for i := (width - 1) * 4; i >= 0; i -= 4 {
+		dst = append(dst, hexDigits[(v>>i)&0xf])
+	}
+	return dst
+}
+
 // PatternID derives a deterministic UUID-style ID from a pattern key.
 // Content addressing (instead of the paper's random UUIDs) lets independent
 // agents converge on identical IDs for identical patterns.
 func PatternID(key string) string {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	a := h.Sum64()
-	h.Write([]byte{0xff})
-	h.Write([]byte(key))
-	b := h.Sum64()
-	return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
-		uint32(a>>32), uint16(a>>16), uint16(a), uint16(b>>48), b&0xffffffffffff)
+	var buf [36]byte
+	return string(AppendPatternID(buf[:0], []byte(key)))
+}
+
+// AppendPatternID appends the pattern ID of key to dst. The rendering is an
+// append-based hex encoder pinned to the historical fmt.Sprintf
+// "%08x-%04x-%04x-%04x-%012x" layout over the same two chained FNV-1a sums,
+// so IDs persisted by earlier builds stay identical (see
+// TestPatternIDFormatPinned).
+func AppendPatternID(dst, key []byte) []byte {
+	a := fnv64aBytes(fnvOffset64, key)
+	b := a
+	b ^= 0xff
+	b *= fnvPrime64
+	b = fnv64aBytes(b, key)
+	dst = appendHex(dst, uint64(uint32(a>>32)), 8)
+	dst = append(dst, '-')
+	dst = appendHex(dst, uint64(uint16(a>>16)), 4)
+	dst = append(dst, '-')
+	dst = appendHex(dst, uint64(uint16(a)), 4)
+	dst = append(dst, '-')
+	dst = appendHex(dst, uint64(uint16(b>>48)), 4)
+	dst = append(dst, '-')
+	return appendHex(dst, b&0xffffffffffff, 12)
 }
 
 // ParsedSpan is the variability part of one span: everything needed to
@@ -203,6 +256,39 @@ type Parser struct {
 	lib     *Library
 	warm    bool
 	parses  uint64 // total spans parsed (stats)
+
+	// Scratch buffers reused across parseLocked calls (guarded by mu). With
+	// these, the steady-state parse of a known span shape allocates only
+	// what escapes into the returned ParsedSpan: the parameter strings and
+	// the slices that carry them.
+	jobs       []attrJob
+	results    []attrResult
+	attrKeys   []string
+	toks       []string
+	masked     []string
+	keyBuf     []byte
+	paramChunk []string
+	// offCache caches rendered numeric offset parameters: statuses and
+	// recurring measurements produce the same offsets over and over. Reset
+	// when it outgrows offCacheMax, bounding memory on adversarial streams.
+	offCache map[float64]string
+}
+
+// offCacheMax bounds the offset-string cache.
+const offCacheMax = 8192
+
+// offsetString renders a numeric offset parameter through the cache.
+func (p *Parser) offsetString(off float64) string {
+	s, ok := p.offCache[off]
+	if ok {
+		return s
+	}
+	if len(p.offCache) >= offCacheMax {
+		clear(p.offCache)
+	}
+	s = strconv.FormatFloat(off, 'g', -1, 64)
+	p.offCache[off] = s
+	return s
 }
 
 // New creates a span parser. Warm it offline with Warmup, or let it learn
@@ -210,10 +296,11 @@ type Parser struct {
 func New(cfg Config) *Parser {
 	cfg = cfg.withDefaults()
 	return &Parser{
-		cfg:     cfg,
-		mapper:  bucket.NewMapper(cfg.Alpha),
-		strings: map[string]*stringParser{},
-		lib:     NewLibrary(),
+		cfg:      cfg,
+		mapper:   bucket.NewMapper(cfg.Alpha),
+		strings:  map[string]*stringParser{},
+		lib:      NewLibrary(),
+		offCache: map[float64]string{},
 	}
 }
 
@@ -284,28 +371,56 @@ func (p *Parser) Parse(s *trace.Span) (*SpanPattern, *ParsedSpan) {
 	return p.parseLocked(s)
 }
 
+// attrJob is one attribute to parse. Implicit numeric attributes (duration,
+// status) are parsed like any other numeric attribute so symptom sampling
+// sees them uniformly.
+type attrJob struct {
+	key string
+	val trace.AttrValue
+}
+
 type attrResult struct {
 	pat    AttrPattern
-	params []string
+	params []string // string attrs: extracted wildcard captures
+	tmpl   []string // string attrs: matched template tokens (owned by the stringParser)
+	off    float64  // numeric attrs: offset from the bucket's lower bound
+}
+
+// oneParam carves a single-element parameter slice out of a chunked backing
+// array, so each numeric attribute costs one string allocation instead of a
+// string plus a slice header. The sub-slice is capped at capacity 1, so
+// appends by a caller can never clobber a neighbor.
+func (p *Parser) oneParam(s string) []string {
+	if len(p.paramChunk) == 0 {
+		p.paramChunk = make([]string, 256)
+	}
+	out := p.paramChunk[:1:1]
+	out[0] = s
+	p.paramChunk = p.paramChunk[1:]
+	return out
 }
 
 func (p *Parser) parseLocked(s *trace.Span) (*SpanPattern, *ParsedSpan) {
 	p.parses++
-	keys := s.AttrKeys()
-	// Implicit numeric attributes: duration and status are parsed like any
-	// other numeric attribute so symptom sampling sees them uniformly.
-	type attrJob struct {
-		key string
-		val trace.AttrValue
+	keys := p.attrKeys[:0]
+	for k := range s.Attributes {
+		keys = append(keys, k)
 	}
-	jobs := make([]attrJob, 0, len(keys)+2)
+	slices.Sort(keys)
+	p.attrKeys = keys
+
+	jobs := p.jobs[:0]
 	jobs = append(jobs, attrJob{"~duration", trace.Num(float64(s.Duration))})
 	jobs = append(jobs, attrJob{"~status", trace.Num(float64(s.Status))})
 	for _, k := range keys {
 		jobs = append(jobs, attrJob{k, s.Attributes[k]})
 	}
+	p.jobs = jobs
 
-	results := make([]attrResult, len(jobs))
+	if cap(p.results) < len(jobs) {
+		p.results = make([]attrResult, len(jobs))
+	}
+	results := p.results[:len(jobs)]
 	if p.cfg.Parallel && len(jobs) > 2 {
 		// HAP: attribute parsers operate independently, so fan out. String
 		// learning mutates parser state; numeric parsing is pure. To keep
@@ -339,13 +454,57 @@ func (p *Parser) parseLocked(s *trace.Span) (*SpanPattern, *ParsedSpan) {
 		}
 	}
 
-	pat := &SpanPattern{Service: s.Service, Operation: s.Operation, Kind: s.Kind}
-	params := make([][]string, len(results))
-	for i, r := range results {
-		pat.Attrs = append(pat.Attrs, r.pat)
-		params[i] = r.params
+	// Combine the attribute patterns into the span pattern. The content key
+	// is built in a reused buffer and probed against the library first, so
+	// the warm path — pattern already known — allocates nothing for the
+	// pattern side.
+	key := p.keyBuf[:0]
+	key = append(key, s.Service...)
+	key = append(key, '\x1e')
+	key = append(key, s.Operation...)
+	key = append(key, '\x1e')
+	key = append(key, s.Kind.String()...)
+	for i := range results {
+		r := &results[i]
+		key = append(key, '\x1e')
+		key = append(key, r.pat.Key...)
+		key = append(key, '=')
+		if r.pat.IsNum {
+			key = append(key, r.pat.Pattern...)
+		} else {
+			// String templates render straight into the key buffer; the
+			// Pattern string is only materialized when the pattern is new.
+			key = lcs.AppendJoin(key, r.tmpl)
+		}
 	}
-	pat = p.lib.Intern(pat)
+	p.keyBuf = key
+
+	pat, ok := p.lib.lookupKey(key)
+	if !ok {
+		pat = &SpanPattern{
+			Service:   s.Service,
+			Operation: s.Operation,
+			Kind:      s.Kind,
+			Attrs:     make([]AttrPattern, len(results)),
+		}
+		for i := range results {
+			pat.Attrs[i] = results[i].pat
+			if !results[i].pat.IsNum {
+				pat.Attrs[i].Pattern = lcs.Join(results[i].tmpl)
+			}
+		}
+		pat = p.lib.internNew(string(key), pat)
+	}
+
+	params := make([][]string, len(results))
+	for i := range results {
+		r := &results[i]
+		if r.pat.IsNum {
+			params[i] = p.oneParam(p.offsetString(r.off))
+		} else {
+			params[i] = r.params
+		}
+	}
 	return pat, &ParsedSpan{
 		PatternID:  pat.ID,
 		TraceID:    s.TraceID,
@@ -357,14 +516,14 @@ func (p *Parser) parseLocked(s *trace.Span) (*SpanPattern, *ParsedSpan) {
 	}
 }
 
+// parseNumeric is pure — safe to fan out under parallel HAP. The offset
+// parameter is rendered later, on the serial combine path, so no scratch
+// state is shared here.
 func (p *Parser) parseNumeric(key string, v float64) attrResult {
 	idx := p.mapper.Index(v)
-	off := v - p.mapper.Lower(idx)
 	return attrResult{
 		pat: AttrPattern{Key: key, IsNum: true, Pattern: p.mapper.Pattern(idx), NumIndex: idx},
-		params: []string{
-			strconv.FormatFloat(off, 'g', -1, 64),
-		},
+		off: v - p.mapper.Lower(idx),
 	}
 }
 
@@ -389,6 +548,18 @@ func maskDigits(tokens []string) []string {
 	return masked
 }
 
+// maskDigitsInto is maskDigits writing into a reused scratch slice.
+func maskDigitsInto(dst, tokens []string) []string {
+	for _, t := range tokens {
+		if isDigits(t) {
+			dst = append(dst, lcs.Wildcard)
+		} else {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 func isDigits(t string) bool {
 	if t == "" {
 		return false
@@ -407,8 +578,14 @@ func (p *Parser) parseString(key, v string) attrResult {
 		sp = newStringParser()
 		p.strings[key] = sp
 	}
-	tokens := lcs.Tokenize(v)
-	masked := maskDigits(tokens)
+	// Tokenization reuses the parser's scratch slices: tokens are substrings
+	// of v, and the masked view is rebuilt in place. parseString only ever
+	// runs on the serial path (even under parallel HAP), so the scratch is
+	// never shared. learn copies what it retains.
+	tokens := lcs.AppendTokens(p.toks[:0], v)
+	p.toks = tokens
+	masked := maskDigitsInto(p.masked[:0], tokens)
+	p.masked = masked
 	tmpl, matched := sp.match(masked)
 	if !matched {
 		tmpl = sp.learn(masked, p.cfg.SimilarityThreshold)
@@ -424,7 +601,8 @@ func (p *Parser) parseString(key, v string) attrResult {
 		}
 	}
 	return attrResult{
-		pat:    AttrPattern{Key: key, Pattern: lcs.Join(tmpl)},
+		pat:    AttrPattern{Key: key},
+		tmpl:   tmpl,
 		params: params,
 	}
 }

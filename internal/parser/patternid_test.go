@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestPatternIDFormatPinned pins PatternID's exact rendering to the
+// historical fmt.Sprintf-over-hash/fnv implementation. Pattern IDs are
+// content addresses that live in persisted snapshots and WALs: if this test
+// fails, previously written data no longer resolves.
+func TestPatternIDFormatPinned(t *testing.T) {
+	ref := func(key string) string {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		a := h.Sum64()
+		h.Write([]byte{0xff})
+		h.Write([]byte(key))
+		b := h.Sum64()
+		return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+			uint32(a>>32), uint16(a>>16), uint16(a), uint16(b>>48), b&0xffffffffffff)
+	}
+	keys := []string{
+		"",
+		"svc\x1eop\x1eserver",
+		"checkout\x1ePOST /checkout\x1eserver\x1ehttp.url=/checkout?order=<*>",
+		"topo:node-1\x1dabc",
+		"héllo 漢字",
+	}
+	for _, key := range keys {
+		if got, want := PatternID(key), ref(key); got != want {
+			t.Errorf("PatternID(%q) = %q, want %q", key, got, want)
+		}
+	}
+	// Known-answer vector, independent of the reference implementation, so
+	// the format survives even if both implementations changed together.
+	if got, want := PatternID("mint"), "da4e06a2-a78e-c519-a4bf-38178dc9b396"; got != want {
+		t.Errorf("PatternID(\"mint\") = %q, want %q", got, want)
+	}
+	if id := PatternID("x"); len(id) != 36 {
+		t.Errorf("PatternID length = %d, want 36", len(id))
+	}
+}
+
+func TestSetIDCachesRouteHash(t *testing.T) {
+	p := &SpanPattern{}
+	p.SetID("abc")
+	h := uint32(2166136261)
+	for _, c := range []byte("abc") {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	if p.Route != h {
+		t.Errorf("Route = %#x, want %#x", p.Route, h)
+	}
+}
+
+func BenchmarkPatternID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PatternID("checkout\x1ePOST /checkout\x1eserver\x1ehttp.url=/checkout?order=<*>")
+	}
+}

@@ -167,6 +167,13 @@ func DefaultSymptomConfig() SymptomConfig {
 	}
 }
 
+// quantKey identifies one (pattern, attribute-slot) estimator. A struct key
+// hashes both strings in place — no per-Inspect concatenation.
+type quantKey struct {
+	patternID string
+	attr      string
+}
+
 // Symptom monitors parameter blocks in the Params Buffer and marks traces
 // with abnormal values or outliers as sampled.
 type Symptom struct {
@@ -175,8 +182,9 @@ type Symptom struct {
 	// One quantile estimator per (pattern, attribute-slot): spans sharing a
 	// pattern execute the same work, so their numeric distributions are
 	// comparable.
-	quantiles map[string]*P2Quantile
-	words     []string
+	quantiles map[quantKey]*P2Quantile
+	words     []string // ASCII words, matched by the fold scan
+	wideWords []string // words with non-ASCII runes, matched via ToLower
 }
 
 // NewSymptom creates a Symptom Sampler. Zero-value fields of cfg fall back
@@ -195,11 +203,16 @@ func NewSymptom(cfg SymptomConfig) *Symptom {
 	if cfg.MinObservations == 0 {
 		cfg.MinObservations = d.MinObservations
 	}
-	words := make([]string, len(cfg.AbnormalWords))
-	for i, w := range cfg.AbnormalWords {
-		words[i] = strings.ToLower(w)
+	var words, wideWords []string
+	for _, w := range cfg.AbnormalWords {
+		lw := strings.ToLower(w)
+		if isASCII(lw) {
+			words = append(words, lw)
+		} else {
+			wideWords = append(wideWords, lw)
+		}
 	}
-	return &Symptom{cfg: cfg, quantiles: map[string]*P2Quantile{}, words: words}
+	return &Symptom{cfg: cfg, quantiles: map[quantKey]*P2Quantile{}, words: words, wideWords: wideWords}
 }
 
 // Inspect examines one parsed span's parameters against the pattern it
@@ -217,7 +230,7 @@ func (s *Symptom) Inspect(pat *parser.SpanPattern, ps *parser.ParsedSpan) Decisi
 				continue
 			}
 			v := parseFloat(params[0])
-			key := pat.ID + "\x1f" + a.Key
+			key := quantKey{patternID: pat.ID, attr: a.Key}
 			q, ok := s.quantiles[key]
 			if !ok {
 				q = NewP2Quantile(s.cfg.Percentile)
@@ -247,9 +260,55 @@ func (s *Symptom) Inspect(pat *parser.SpanPattern, ps *parser.ParsedSpan) Decisi
 }
 
 func (s *Symptom) hasAbnormalWord(v string) bool {
-	lv := strings.ToLower(v)
 	for _, w := range s.words {
-		if strings.Contains(lv, w) {
+		if containsFold(v, w) {
+			return true
+		}
+	}
+	if len(s.wideWords) > 0 {
+		// Non-ASCII abnormal words take the old lowered-copy path; the
+		// default word list is all ASCII, so this allocates only when a
+		// deployment configures Unicode words.
+		lv := strings.ToLower(v)
+		for _, w := range s.wideWords {
+			if strings.Contains(lv, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isASCII reports whether s contains only ASCII bytes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// containsFold reports whether v contains the (already lowercase) word w
+// under ASCII case folding, without materializing a lowered copy of v the
+// way strings.ToLower did on every inspected parameter.
+func containsFold(v, w string) bool {
+	if len(w) == 0 {
+		return true
+	}
+	for i := 0; i+len(w) <= len(v); i++ {
+		match := true
+		for j := 0; j < len(w); j++ {
+			c := v[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != w[j] {
+				match = false
+				break
+			}
+		}
+		if match {
 			return true
 		}
 	}

@@ -10,11 +10,13 @@
 package topo
 
 import (
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/bloom"
+	"repro/internal/intern"
 	"repro/internal/parser"
 	"repro/internal/trace"
 )
@@ -37,22 +39,54 @@ type Pattern struct {
 	// nodes. Both drive upstream-downstream matching at the backend.
 	Entry string
 	Exits []string
+	// Route caches the 32-bit FNV-1a hash of ID for shard routing; derived
+	// state, set wherever ID is set, never serialized.
+	Route uint32
+}
+
+// SetID assigns the pattern's ID and its cached route hash.
+func (p *Pattern) SetID(id string) {
+	p.ID = id
+	p.Route = intern.HashString(id)
+}
+
+// clone deep-copies the pattern, so the library owns its memory even when
+// the input came from an Encoder's reused scratch.
+func (p *Pattern) clone() *Pattern {
+	c := &Pattern{ID: p.ID, Node: p.Node, Entry: p.Entry, Route: p.Route}
+	if len(p.Edges) > 0 {
+		c.Edges = make([]Edge, len(p.Edges))
+		for i, e := range p.Edges {
+			c.Edges[i] = Edge{Parent: e.Parent, Children: append([]string(nil), e.Children...)}
+		}
+	}
+	if len(p.Exits) > 0 {
+		c.Exits = append([]string(nil), p.Exits...)
+	}
+	return c
+}
+
+// appendKey appends the canonical content key of the pattern to dst.
+func (p *Pattern) appendKey(dst []byte) []byte {
+	dst = append(dst, p.Node...)
+	dst = append(dst, '\x1d')
+	dst = append(dst, p.Entry...)
+	for _, e := range p.Edges {
+		dst = append(dst, '\x1d')
+		dst = append(dst, e.Parent...)
+		dst = append(dst, '-', '>')
+		for i, c := range e.Children {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, c...)
+		}
+	}
+	return dst
 }
 
 // Key returns the canonical content key of the pattern.
-func (p *Pattern) Key() string {
-	var b strings.Builder
-	b.WriteString(p.Node)
-	b.WriteByte('\x1d')
-	b.WriteString(p.Entry)
-	for _, e := range p.Edges {
-		b.WriteByte('\x1d')
-		b.WriteString(e.Parent)
-		b.WriteString("->")
-		b.WriteString(strings.Join(e.Children, ","))
-	}
-	return b.String()
-}
+func (p *Pattern) Key() string { return string(p.appendKey(nil)) }
 
 // Size returns the serialized size of the pattern in bytes.
 func (p *Pattern) Size() int {
@@ -79,53 +113,131 @@ type Encoded struct {
 	Spans []*parser.ParsedSpan
 }
 
+// Encoder derives topology patterns from sub-traces, reusing all of its
+// intermediate state between calls: span indexes, child ordering, edge and
+// exit slices. One Encoder serves one goroutine (agents keep one under their
+// ingest lock); the Encoded it returns — including its Pattern — is scratch,
+// valid only until the next Encode call. Library.Mount clones what it keeps,
+// so handing the scratch pattern straight to Mount is safe and, on the warm
+// path, allocation-free.
+type Encoder struct {
+	present  map[string]bool
+	byParent []*trace.Span
+	roots    []*trace.Span
+	edges    []Edge
+	exits    []string
+	ordered  []*parser.ParsedSpan
+	enc      Encoded
+	pat      Pattern
+	parsed   map[string]*parser.ParsedSpan // current call's span ID -> parsed
+}
+
+// NewEncoder creates an Encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{present: map[string]bool{}}
+}
+
+// newEdge appends an edge to the scratch, reusing the Children capacity a
+// previous call left in that slot.
+func (e *Encoder) newEdge(parent string) *Edge {
+	if len(e.edges) < cap(e.edges) {
+		e.edges = e.edges[:len(e.edges)+1]
+		ed := &e.edges[len(e.edges)-1]
+		ed.Parent = parent
+		ed.Children = ed.Children[:0]
+		return ed
+	}
+	e.edges = append(e.edges, Edge{Parent: parent})
+	return &e.edges[len(e.edges)-1]
+}
+
+// childRange returns the spans whose parent is spanID: a contiguous range of
+// byParent, which is sorted by (ParentID, StartUnix, SpanID) so children come
+// out in invocation order exactly as SubTrace.Children yields them.
+func (e *Encoder) childRange(spanID string) []*trace.Span {
+	lo := sort.Search(len(e.byParent), func(i int) bool { return e.byParent[i].ParentID >= spanID })
+	hi := lo
+	for hi < len(e.byParent) && e.byParent[hi].ParentID == spanID {
+		hi++
+	}
+	return e.byParent[lo:hi]
+}
+
+func (e *Encoder) walk(s *trace.Span) {
+	ps := e.parsed[s.SpanID]
+	e.ordered = append(e.ordered, ps)
+	kids := e.childRange(s.SpanID)
+	if len(kids) > 0 {
+		ed := e.newEdge(ps.PatternID)
+		for _, k := range kids {
+			ed.Children = append(ed.Children, e.parsed[k.SpanID].PatternID)
+		}
+	}
+	if s.Kind == trace.KindClient {
+		e.exits = append(e.exits, ps.PatternID)
+	}
+	for _, k := range kids {
+		e.walk(k)
+	}
+}
+
 // Encode derives the topology pattern of a sub-trace given each span's
 // pattern ID. parsed must map span ID → ParsedSpan for every span of st.
-func Encode(st *trace.SubTrace, parsed map[string]*parser.ParsedSpan) *Encoded {
-	children := st.Children()
-	roots := st.Roots()
+// The result is valid until the next Encode call on this Encoder.
+func (e *Encoder) Encode(st *trace.SubTrace, parsed map[string]*parser.ParsedSpan) *Encoded {
+	clear(e.present)
+	e.byParent = e.byParent[:0]
+	e.roots = e.roots[:0]
+	e.edges = e.edges[:0]
+	e.exits = e.exits[:0]
+	e.ordered = e.ordered[:0]
+	e.parsed = parsed
 
-	var edges []Edge
-	var ordered []*parser.ParsedSpan
-	var entry string
-	var exits []string
-
-	spanByID := map[string]*trace.Span{}
 	for _, s := range st.Spans {
-		spanByID[s.SpanID] = s
+		e.present[s.SpanID] = true
+		if s.ParentID != "" {
+			e.byParent = append(e.byParent, s)
+		}
 	}
-
-	var walk func(s *trace.Span)
-	walk = func(s *trace.Span) {
-		ps := parsed[s.SpanID]
-		ordered = append(ordered, ps)
-		kids := children[s.SpanID]
-		if len(kids) > 0 {
-			e := Edge{Parent: ps.PatternID}
-			for _, k := range kids {
-				e.Children = append(e.Children, parsed[k.SpanID].PatternID)
+	slices.SortFunc(e.byParent, func(a, b *trace.Span) int {
+		if c := strings.Compare(a.ParentID, b.ParentID); c != 0 {
+			return c
+		}
+		if a.StartUnix != b.StartUnix {
+			if a.StartUnix < b.StartUnix {
+				return -1
 			}
-			edges = append(edges, e)
+			return 1
 		}
-		if s.Kind == trace.KindClient {
-			exits = append(exits, ps.PatternID)
-		}
-		for _, k := range kids {
-			walk(k)
+		return strings.Compare(a.SpanID, b.SpanID)
+	})
+	for _, s := range st.Spans {
+		if s.ParentID == "" || !e.present[s.ParentID] {
+			e.roots = append(e.roots, s)
 		}
 	}
-	for i, r := range roots {
+	slices.SortFunc(e.roots, func(a, b *trace.Span) int { return strings.Compare(a.SpanID, b.SpanID) })
+
+	entry := ""
+	for i, r := range e.roots {
 		if i == 0 {
 			entry = parsed[r.SpanID].PatternID
 		}
-		walk(r)
+		e.walk(r)
 	}
-	sort.Strings(exits)
-	return &Encoded{
-		Pattern: &Pattern{Node: st.Node, Edges: edges, Entry: entry, Exits: exits},
-		TraceID: st.TraceID,
-		Spans:   ordered,
-	}
+	slices.Sort(e.exits)
+	e.parsed = nil
+
+	e.pat = Pattern{Node: st.Node, Edges: e.edges, Entry: entry, Exits: e.exits}
+	e.enc = Encoded{Pattern: &e.pat, TraceID: st.TraceID, Spans: e.ordered}
+	return &e.enc
+}
+
+// Encode derives the topology pattern of a sub-trace given each span's
+// pattern ID. parsed must map span ID → ParsedSpan for every span of st.
+// Convenience form over a fresh Encoder, so the result is caller-owned.
+func Encode(st *trace.SubTrace, parsed map[string]*parser.ParsedSpan) *Encoded {
+	return NewEncoder().Encode(st, parsed)
 }
 
 // Library is the Topo Pattern Library plus the Bloom filters mounted on each
@@ -140,6 +252,7 @@ type Library struct {
 	// a filter reaches capacity; the collector uses it to report & reset.
 	onFull func(patternID string, snapshot *bloom.Filter)
 	total  uint64 // total sub-traces matched
+	keyBuf []byte // Mount's content-key scratch (guarded by mu)
 }
 
 type entry struct {
@@ -177,15 +290,20 @@ func (l *Library) OnFilterFull(fn func(patternID string, snapshot *bloom.Filter)
 
 // Mount matches (or inserts) the pattern and mounts the trace ID onto its
 // Bloom filter. It returns the canonical pattern and whether it was new.
+// New patterns are deep-copied into the library, so p may point into an
+// Encoder's reused scratch; the warm path (pattern already known) builds
+// the content key in a reused buffer and allocates nothing.
 func (l *Library) Mount(p *Pattern, traceID string) (*Pattern, bool) {
-	key := p.Key()
 	l.mu.Lock()
-	e, ok := l.byKey[key]
+	l.keyBuf = p.appendKey(l.keyBuf[:0])
+	e, ok := l.byKey[string(l.keyBuf)]
 	if !ok {
-		p.ID = parser.PatternID("topo:" + key)
-		e = &entry{pattern: p, filter: bloom.New(l.bufBytes, l.fpp)}
+		key := string(l.keyBuf)
+		cp := p.clone()
+		cp.SetID(parser.PatternID("topo:" + key))
+		e = &entry{pattern: cp, filter: bloom.New(l.bufBytes, l.fpp)}
 		l.byKey[key] = e
-		l.byID[p.ID] = e
+		l.byID[cp.ID] = e
 	}
 	e.filter.Add(traceID)
 	e.matches++

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestSizeMatchesSerialize pins the arithmetic Size against the rendered
+// serialization: every overhead number in the evaluation is a sum of Size
+// values, so the two must never drift.
+func TestSizeMatchesSerialize(t *testing.T) {
+	spans := []*Span{
+		{},
+		{
+			TraceID: "t-1", SpanID: "s-1", ParentID: "s-0",
+			Service: "checkout", Node: "node-3", Operation: "POST /checkout",
+			Kind: KindServer, StartUnix: 1700000000123456, Duration: 98765, Status: StatusOK,
+			Attributes: map[string]AttrValue{
+				"http.url":     Str("/checkout?order=42"),
+				"retries":      Num(3),
+				"latency":      Num(0.0001724),
+				"peer.service": Str("payment"),
+			},
+		},
+		{
+			TraceID: "neg", SpanID: "x", Service: "s", Operation: "op",
+			Kind: KindClient, StartUnix: -42, Duration: math.MaxInt64, Status: 9999,
+			Attributes: map[string]AttrValue{
+				"big":   Num(math.MaxFloat64),
+				"small": Num(-math.SmallestNonzeroFloat64),
+				"zero":  Num(0),
+				"inf":   Num(math.Inf(1)),
+				"empty": Str(""),
+				"utf8":  Str("héllo déjà-vu 漢字"),
+			},
+		},
+	}
+	for i, s := range spans {
+		if got, want := s.Size(), len(s.Serialize()); got != want {
+			t.Errorf("span %d: Size() = %d, len(Serialize()) = %d", i, got, want)
+		}
+	}
+}
+
+func TestDecimalLen(t *testing.T) {
+	for _, v := range []int64{0, 1, 9, 10, 99, 100, -1, -10, 12345,
+		math.MaxInt64, math.MinInt64, math.MinInt64 + 1} {
+		if got, want := decimalLen(v), len(strconv.FormatInt(v, 10)); got != want {
+			t.Errorf("decimalLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkSpanSize(b *testing.B) {
+	s := &Span{
+		TraceID: "trace-00000001", SpanID: "span-0001", ParentID: "span-0000",
+		Service: "frontend", Node: "node-1", Operation: "GET /product",
+		Kind: KindServer, StartUnix: 1700000000123456, Duration: 1234, Status: 200,
+		Attributes: map[string]AttrValue{
+			"http.url": Str("/product/66VCHSJNUP"),
+			"bytes":    Num(8374),
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Size()
+	}
+}

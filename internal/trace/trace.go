@@ -9,6 +9,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -136,8 +137,51 @@ func (s *Span) Serialize() string {
 	return b.String()
 }
 
-// Size returns the raw serialized size of the span in bytes.
-func (s *Span) Size() int { return len(s.Serialize()) }
+// serializeFixedBytes is the byte count of Serialize's fixed field names and
+// separators (its format string minus the ten two-byte verbs).
+const serializeFixedBytes = len("trace_id= span_id= parent_id= service= node= op= kind= start= duration= status=")
+
+// decimalLen returns len(strconv.FormatInt(v, 10)) without allocating.
+func decimalLen(v int64) int {
+	n := 1
+	if v < 0 {
+		n++ // sign
+		if v == math.MinInt64 {
+			v = math.MaxInt64 // same digit count, negation would overflow
+		} else {
+			v = -v
+		}
+	}
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+// stringLen returns len(v.String()) without allocating.
+func (v AttrValue) stringLen() int {
+	if !v.IsNum {
+		return len(v.Str)
+	}
+	var buf [32]byte
+	return len(strconv.AppendFloat(buf[:0], v.Num, 'g', -1, 64))
+}
+
+// Size returns the raw serialized size of the span in bytes. It is computed
+// arithmetically — Size is on the per-span capture hot path, where rendering
+// the serialization only to measure it dominated the allocation profile —
+// and always equals len(s.Serialize()).
+func (s *Span) Size() int {
+	n := serializeFixedBytes +
+		len(s.TraceID) + len(s.SpanID) + len(s.ParentID) +
+		len(s.Service) + len(s.Node) + len(s.Operation) + len(s.Kind.String()) +
+		decimalLen(s.StartUnix) + decimalLen(s.Duration) + decimalLen(int64(s.Status))
+	for k, v := range s.Attributes {
+		n += 2 + len(k) + v.stringLen() // " k=v"
+	}
+	return n
+}
 
 // Trace is a full end-to-end trace: a set of spans sharing one trace ID.
 type Trace struct {
@@ -219,6 +263,21 @@ type SubTrace struct {
 // BuildSubTraces groups spans (all from one node, possibly many traces) into
 // sub-traces keyed by trace ID.
 func BuildSubTraces(node string, spans []*Span) []*SubTrace {
+	if len(spans) == 0 {
+		return nil
+	}
+	// Capture feeds one trace at a time, so the common case is a uniform
+	// trace ID — group without building the intermediate map.
+	uniform := true
+	for _, s := range spans[1:] {
+		if s.TraceID != spans[0].TraceID {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return []*SubTrace{{TraceID: spans[0].TraceID, Node: node, Spans: spans}}
+	}
 	byTrace := map[string][]*Span{}
 	var order []string
 	for _, s := range spans {

@@ -140,6 +140,15 @@ func TestBuildSubTracesGroupsByTraceID(t *testing.T) {
 	}
 }
 
+func TestBuildSubTracesEmpty(t *testing.T) {
+	if got := BuildSubTraces("node", nil); len(got) != 0 {
+		t.Fatalf("BuildSubTraces(nil) = %v, want empty", got)
+	}
+	if got := BuildSubTraces("node", []*Span{}); len(got) != 0 {
+		t.Fatalf("BuildSubTraces([]) = %v, want empty", got)
+	}
+}
+
 func TestClone(t *testing.T) {
 	s := sampleTrace().Spans[0]
 	c := s.Clone()

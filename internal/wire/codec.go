@@ -33,12 +33,6 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// appendBytes appends a uvarint-length-prefixed byte slice.
-func appendBytes(b, p []byte) []byte {
-	b = binary.AppendUvarint(b, uint64(len(p)))
-	return append(b, p...)
-}
-
 // appendBool appends a bool as one byte.
 func appendBool(b []byte, v bool) []byte {
 	if v {
@@ -153,30 +147,38 @@ func (d *decoder) done() error {
 	return nil
 }
 
-// MarshalSpanPattern encodes one span pattern.
-func MarshalSpanPattern(p *parser.SpanPattern) []byte {
-	b := appendString(nil, p.ID)
-	b = appendString(b, p.Service)
-	b = appendString(b, p.Operation)
-	b = append(b, byte(p.Kind))
-	b = binary.AppendUvarint(b, uint64(len(p.Attrs)))
+// AppendSpanPattern appends one span pattern's encoding to dst; the Append
+// forms let the storage engine encode into reused buffers.
+func AppendSpanPattern(dst []byte, p *parser.SpanPattern) []byte {
+	dst = appendString(dst, p.ID)
+	dst = appendString(dst, p.Service)
+	dst = appendString(dst, p.Operation)
+	dst = append(dst, byte(p.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(p.Attrs)))
 	for _, a := range p.Attrs {
-		b = appendString(b, a.Key)
-		b = appendBool(b, a.IsNum)
-		b = appendString(b, a.Pattern)
-		b = binary.AppendVarint(b, int64(a.NumIndex))
+		dst = appendString(dst, a.Key)
+		dst = appendBool(dst, a.IsNum)
+		dst = appendString(dst, a.Pattern)
+		dst = binary.AppendVarint(dst, int64(a.NumIndex))
 	}
-	return b
+	return dst
 }
 
-// UnmarshalSpanPattern decodes a payload written by MarshalSpanPattern.
+// MarshalSpanPattern encodes one span pattern.
+func MarshalSpanPattern(p *parser.SpanPattern) []byte {
+	return AppendSpanPattern(nil, p)
+}
+
+// UnmarshalSpanPattern decodes a payload written by MarshalSpanPattern. The
+// pattern's cached route hash is rederived from its ID.
 func UnmarshalSpanPattern(payload []byte) (*parser.SpanPattern, error) {
 	d := &decoder{b: payload}
+	id := d.str()
 	p := &parser.SpanPattern{
-		ID:        d.str(),
 		Service:   d.str(),
 		Operation: d.str(),
 	}
+	p.SetID(id)
 	if len(d.b) < 1 {
 		d.fail("kind")
 	} else {
@@ -199,34 +201,41 @@ func UnmarshalSpanPattern(payload []byte) (*parser.SpanPattern, error) {
 	return p, nil
 }
 
-// MarshalTopoPattern encodes one topology pattern.
-func MarshalTopoPattern(p *topo.Pattern) []byte {
-	b := appendString(nil, p.ID)
-	b = appendString(b, p.Node)
-	b = appendString(b, p.Entry)
-	b = binary.AppendUvarint(b, uint64(len(p.Edges)))
+// AppendTopoPattern appends one topology pattern's encoding to dst.
+func AppendTopoPattern(dst []byte, p *topo.Pattern) []byte {
+	dst = appendString(dst, p.ID)
+	dst = appendString(dst, p.Node)
+	dst = appendString(dst, p.Entry)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Edges)))
 	for _, e := range p.Edges {
-		b = appendString(b, e.Parent)
-		b = binary.AppendUvarint(b, uint64(len(e.Children)))
+		dst = appendString(dst, e.Parent)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Children)))
 		for _, c := range e.Children {
-			b = appendString(b, c)
+			dst = appendString(dst, c)
 		}
 	}
-	b = binary.AppendUvarint(b, uint64(len(p.Exits)))
+	dst = binary.AppendUvarint(dst, uint64(len(p.Exits)))
 	for _, x := range p.Exits {
-		b = appendString(b, x)
+		dst = appendString(dst, x)
 	}
-	return b
+	return dst
 }
 
-// UnmarshalTopoPattern decodes a payload written by MarshalTopoPattern.
+// MarshalTopoPattern encodes one topology pattern.
+func MarshalTopoPattern(p *topo.Pattern) []byte {
+	return AppendTopoPattern(nil, p)
+}
+
+// UnmarshalTopoPattern decodes a payload written by MarshalTopoPattern. The
+// pattern's cached route hash is rederived from its ID.
 func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
 	d := &decoder{b: payload}
+	id := d.str()
 	p := &topo.Pattern{
-		ID:    d.str(),
 		Node:  d.str(),
 		Entry: d.str(),
 	}
+	p.SetID(id)
 	nEdges := d.count()
 	for i := 0; i < nEdges && d.err == nil; i++ {
 		e := topo.Edge{Parent: d.str()}
@@ -246,14 +255,21 @@ func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
 	return p, nil
 }
 
-// MarshalBloomReport encodes a Bloom filter report, including its Full flag
-// (which rides in the framing on the simulated network and so is not part of
-// Size(), but must survive a round-trip through storage).
+// AppendBloomReport appends a Bloom filter report's encoding to dst,
+// including its Full flag (which rides in the framing on the simulated
+// network and so is not part of Size(), but must survive a round-trip
+// through storage).
+func AppendBloomReport(dst []byte, r *BloomReport) []byte {
+	dst = appendString(dst, r.Node)
+	dst = appendString(dst, r.PatternID)
+	dst = appendBool(dst, r.Full)
+	dst = binary.AppendUvarint(dst, uint64(r.Filter.MarshaledSize()))
+	return r.Filter.AppendMarshal(dst)
+}
+
+// MarshalBloomReport encodes a Bloom filter report.
 func MarshalBloomReport(r *BloomReport) []byte {
-	b := appendString(nil, r.Node)
-	b = appendString(b, r.PatternID)
-	b = appendBool(b, r.Full)
-	return appendBytes(b, r.Filter.Marshal())
+	return AppendBloomReport(nil, r)
 }
 
 // UnmarshalBloomReport decodes a payload written by MarshalBloomReport.
@@ -276,28 +292,33 @@ func UnmarshalBloomReport(payload []byte) (*BloomReport, error) {
 	return r, nil
 }
 
-// MarshalParamsReport encodes one sampled trace's parameter report from one
-// node. The trace ID is carried once; each span's TraceID is restored from
-// it on decode.
-func MarshalParamsReport(r *ParamsReport) []byte {
-	b := appendString(nil, r.Node)
-	b = appendString(b, r.TraceID)
-	b = binary.AppendUvarint(b, uint64(len(r.Spans)))
+// AppendParamsReport appends one sampled trace's parameter report to dst.
+// The trace ID is carried once; each span's TraceID is restored from it on
+// decode.
+func AppendParamsReport(dst []byte, r *ParamsReport) []byte {
+	dst = appendString(dst, r.Node)
+	dst = appendString(dst, r.TraceID)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Spans)))
 	for _, s := range r.Spans {
-		b = appendString(b, s.PatternID)
-		b = appendString(b, s.SpanID)
-		b = appendString(b, s.ParentID)
-		b = binary.AppendVarint(b, s.StartUnix)
-		b = binary.AppendVarint(b, int64(s.RawSize))
-		b = binary.AppendUvarint(b, uint64(len(s.AttrParams)))
+		dst = appendString(dst, s.PatternID)
+		dst = appendString(dst, s.SpanID)
+		dst = appendString(dst, s.ParentID)
+		dst = binary.AppendVarint(dst, s.StartUnix)
+		dst = binary.AppendVarint(dst, int64(s.RawSize))
+		dst = binary.AppendUvarint(dst, uint64(len(s.AttrParams)))
 		for _, params := range s.AttrParams {
-			b = binary.AppendUvarint(b, uint64(len(params)))
+			dst = binary.AppendUvarint(dst, uint64(len(params)))
 			for _, p := range params {
-				b = appendString(b, p)
+				dst = appendString(dst, p)
 			}
 		}
 	}
-	return b
+	return dst
+}
+
+// MarshalParamsReport encodes one sampled trace's parameter report.
+func MarshalParamsReport(r *ParamsReport) []byte {
+	return AppendParamsReport(nil, r)
 }
 
 // UnmarshalParamsReport decodes a payload written by MarshalParamsReport.

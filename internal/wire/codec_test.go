@@ -22,6 +22,7 @@ func TestSpanPatternCodecRoundTrip(t *testing.T) {
 			{Key: "~duration", IsNum: true, Pattern: "(27, 81]", NumIndex: -3},
 		},
 	}
+	p.SetID(p.ID) // derived route hash is rebuilt on decode
 	got, err := UnmarshalSpanPattern(MarshalSpanPattern(p))
 	if err != nil {
 		t.Fatalf("unmarshal: %v", err)
@@ -33,6 +34,7 @@ func TestSpanPatternCodecRoundTrip(t *testing.T) {
 
 func TestSpanPatternCodecEmpty(t *testing.T) {
 	p := &parser.SpanPattern{}
+	p.SetID("")
 	got, err := UnmarshalSpanPattern(MarshalSpanPattern(p))
 	if err != nil {
 		t.Fatalf("unmarshal: %v", err)
@@ -53,6 +55,7 @@ func TestTopoPatternCodecRoundTrip(t *testing.T) {
 		},
 		Exits: []string{"pat-c"},
 	}
+	p.SetID(p.ID) // derived route hash is rebuilt on decode
 	got, err := UnmarshalTopoPattern(MarshalTopoPattern(p))
 	if err != nil {
 		t.Fatalf("unmarshal: %v", err)

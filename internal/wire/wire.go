@@ -61,7 +61,7 @@ type BloomReport struct {
 
 // Size implements Message.
 func (r *BloomReport) Size() int {
-	return headerBytes + len(r.Node) + len(r.PatternID) + len(r.Filter.Marshal())
+	return headerBytes + len(r.Node) + len(r.PatternID) + r.Filter.MarshaledSize()
 }
 
 // Kind implements Message.
@@ -116,6 +116,16 @@ func (b *Batch) Append(msg Message) { b.Reports = append(b.Reports, msg) }
 
 // Len returns the number of coalesced reports.
 func (b *Batch) Len() int { return len(b.Reports) }
+
+// Reset empties the batch for reuse, keeping the reports slice's capacity.
+// Async reporters recycle one envelope per flush cycle instead of
+// allocating a fresh one per delivery.
+func (b *Batch) Reset() {
+	for i := range b.Reports {
+		b.Reports[i] = nil // release the delivered reports for collection
+	}
+	b.Reports = b.Reports[:0]
+}
 
 // Size implements Message: one header plus the headerless payload sizes.
 func (b *Batch) Size() int {

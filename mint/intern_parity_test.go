@@ -1,0 +1,127 @@
+package mint_test
+
+// Intern-dictionary parity: the backend keys its pattern stores by interned
+// uint32 handles, and handle assignment order differs between a serial
+// cluster (patterns interned in capture order), a sharded cluster fed from
+// many goroutines (racing intern order), and a cluster reopened from disk
+// (patterns interned in snapshot/WAL replay order, under a different shard
+// count). None of that may leak into answers: Query, BatchAnalyze and
+// FindTraces must be byte-identical across all three. Run with -race.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func internParityFilters(ids []string) []mint.Filter {
+	return []mint.Filter{
+		{Service: "checkout", Candidates: ids},
+		{ErrorsOnly: true, Candidates: ids},
+		{Operation: "GET /product", Candidates: ids, Limit: 40},
+		{MinDurationUS: 20_000, MaxDurationUS: 10_000_000, Candidates: ids},
+		{SampledOnly: true},
+	}
+}
+
+// assertClusterParity compares two clusters across the three read paths.
+func assertClusterParity(t *testing.T, label string, want, got *mint.Cluster, traces []*mint.Trace) {
+	t.Helper()
+	wantRenders := queryRenders(want, traces)
+	gotRenders := queryRenders(got, traces)
+	for i := range wantRenders {
+		if wantRenders[i] != gotRenders[i] {
+			t.Fatalf("%s: Query diverged on %s:\n  want %s\n  got  %s",
+				label, traces[i].TraceID, wantRenders[i], gotRenders[i])
+		}
+	}
+
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		ids[i] = tr.TraceID
+	}
+	wantStats, wantMiss := want.BatchAnalyze(ids)
+	gotStats, gotMiss := got.BatchAnalyze(ids)
+	if wantMiss != gotMiss || !reflect.DeepEqual(wantStats, gotStats) {
+		t.Fatalf("%s: BatchAnalyze diverged: (%+v, %d) vs (%+v, %d)",
+			label, wantStats, wantMiss, gotStats, gotMiss)
+	}
+
+	for _, f := range internParityFilters(ids) {
+		if w, g := want.FindTraces(f), got.FindTraces(f); !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s: FindTraces(%+v) diverged:\n  want %v\n  got  %v", label, f, w, g)
+		}
+	}
+}
+
+// TestInternParitySerialShardedReopened drives one workload into (a) the
+// serial single-shard reference, (b) a sharded cluster captured from many
+// goroutines, and (c) a persistent sharded cluster reopened from disk under
+// a different shard count — three different intern orders over the same
+// content — and requires byte-identical answers everywhere.
+func TestInternParitySerialShardedReopened(t *testing.T) {
+	sys := sim.OnlineBoutique(7)
+	warm := sim.GenTraces(sys, 200)
+	traces := sim.GenTraces(sys, 400)
+
+	serial, _ := serialReference(warm, traces)
+	defer serial.Close()
+
+	// (b) sharded, captured concurrently.
+	sharded := mint.NewCluster(sys.Nodes, mint.Config{
+		Shards:          8,
+		DisableSamplers: true,
+	})
+	sharded.Warmup(warm)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(traces); i += 4 {
+				sharded.Capture(traces[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	markEveryTenth(sharded, traces)
+	sharded.Flush()
+	defer sharded.Close()
+	assertClusterParity(t, "sharded", serial, sharded, traces)
+
+	// (c) persistent: write with 8 shards, reopen with 3 — replay re-interns
+	// every pattern in snapshot order into a fresh dictionary.
+	dir := t.TempDir()
+	persisted, err := mint.Open(sys.Nodes, mint.Config{
+		Shards:          8,
+		IngestWorkers:   4,
+		DisableSamplers: true,
+		DataDir:         dir,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	persisted.Warmup(warm)
+	for _, tr := range traces {
+		persisted.CaptureAsync(tr)
+	}
+	persisted.Flush()
+	markEveryTenth(persisted, traces)
+	if err := persisted.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reopened, err := mint.Open(sys.Nodes, mint.Config{
+		Shards:          3,
+		DisableSamplers: true,
+		DataDir:         dir,
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	assertClusterParity(t, "reopened", serial, reopened, traces)
+}

@@ -249,6 +249,20 @@ type Cluster struct {
 	closed    atomic.Bool    // set by Close before the queue shuts
 	closeOnce sync.Once
 	closeErr  error // the durable store's close error, set once by Close
+
+	// capScratch pools captureOne's per-trace working state (the node
+	// partition map and the sub-trace header), so the synchronous capture
+	// path itself allocates nothing in steady state. Pooled, not
+	// per-Cluster, because captures may run on many goroutines at once.
+	capScratch sync.Pool
+}
+
+// captureScratch is one goroutine's reusable capture state. The byNode
+// slices keep their backing arrays between traces; nothing downstream
+// retains them (agents copy what they keep).
+type captureScratch struct {
+	byNode map[string][]*Span
+	st     SubTrace
 }
 
 // NewCluster creates a deployment over the given node names. It panics if
@@ -361,27 +375,51 @@ func (c *Cluster) CaptureAsync(t *Trace) {
 }
 
 func (c *Cluster) captureOne(t *Trace) {
+	s, _ := c.capScratch.Get().(*captureScratch)
+	if s == nil {
+		s = &captureScratch{byNode: map[string][]*Span{}}
+	}
+	for k, v := range s.byNode {
+		s.byNode[k] = v[:0]
+	}
+	// Partition by node, noting whether every span carries the trace's own
+	// ID (the overwhelmingly common case, served without re-grouping).
+	uniform := true
+	for _, sp := range t.Spans {
+		s.byNode[sp.Node] = append(s.byNode[sp.Node], sp)
+		if sp.TraceID != t.TraceID {
+			uniform = false
+		}
+	}
+
 	sampledReason := ""
-	byNode := t.ByNode()
+	record := func(res agent.IngestResult) {
+		if sampledReason == "" && len(res.Samples) > 0 {
+			sampledReason = res.Samples[0].Reason
+		}
+	}
 	// Walk nodes in cluster order, not map order: the first sampling node's
 	// reason is recorded on the notice, and byte accounting must be
 	// deterministic across runs.
 	for _, node := range c.nodes {
-		spans, ok := byNode[node]
-		if !ok {
+		spans := s.byNode[node]
+		if len(spans) == 0 {
 			continue
 		}
 		col, ok := c.collectors[node]
 		if !ok {
 			continue
 		}
+		if uniform {
+			s.st = SubTrace{TraceID: t.TraceID, Node: node, Spans: spans}
+			record(col.Ingest(&s.st))
+			continue
+		}
 		for _, st := range trace.BuildSubTraces(node, spans) {
-			res := col.Ingest(st)
-			if sampledReason == "" && len(res.Samples) > 0 {
-				sampledReason = res.Samples[0].Reason
-			}
+			record(col.Ingest(st))
 		}
 	}
+	c.capScratch.Put(s)
 	if sampledReason != "" {
 		c.markSampled(t.TraceID, sampledReason)
 	}
