@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/mint"
 )
@@ -181,4 +182,38 @@ func BenchmarkClusterCaptureSerial(b *testing.B) { benchCapture(b, 0, 0) }
 func BenchmarkClusterCaptureParallel(b *testing.B) {
 	w := runtime.GOMAXPROCS(0)
 	benchCapture(b, 2*w, w)
+}
+
+// BenchmarkRemoteCaptureSerial is the networked-deployment capture baseline:
+// the same serial capture as BenchmarkClusterCaptureSerial, but the cluster
+// is dialed into a mintd-shaped loopback server, so every sampling mark and
+// params report rides the RPC transport (encode, frame, syscall, ack) while
+// parsing stays client-side. The delta against the in-process number is the
+// cost of the wire; its allocs/op is budget-gated in CI
+// (tools/benchbudget).
+func BenchmarkRemoteCaptureSerial(b *testing.B) {
+	sys := sim.OnlineBoutique(1)
+	server := mint.NewCluster(nil, mint.Config{Shards: 4})
+	srv := rpc.NewServer(server.Backend())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	cluster, err := mint.Dial(addr.String(), sys.Nodes, mint.Defaults())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer cluster.Close()
+	cluster.Warmup(sim.GenTraces(sys, 300))
+	traces := sim.GenTraces(sys, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cluster.Capture(traces[i%len(traces)])
+	}
+	_ = cluster.Flush()
+	b.StopTimer()
+	if err := cluster.Err(); err != nil {
+		b.Fatalf("transport error: %v", err)
+	}
 }

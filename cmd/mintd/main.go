@@ -1,0 +1,137 @@
+// Command mintd is the Mint backend daemon: it hosts the sharded, durable
+// backend store and serves it to remote agents over two listeners —
+//
+//   - a binary RPC port (-listen) speaking the internal/rpc protocol:
+//     report ingest (pattern/Bloom/params batches, sampling marks), the
+//     full query surface (Query, QueryMany, BatchAnalyze, FindTraces,
+//     FindAnalyze), stats and durable flush. Remote clients connect with
+//     mint.Dial and collector traffic ships here unchanged.
+//
+//   - an HTTP port (-http) with POST /v1/traces OTLP/JSON ingestion (point
+//     an unmodified OpenTelemetry SDK exporter at it), GET /healthz
+//     liveness and GET /metricsz Prometheus-style counters.
+//
+// With -data-dir the backend persists every shard to snapshot + WAL and a
+// restarted mintd answers queries byte-identically to the one that wrote
+// the directory. SIGINT/SIGTERM shut down cleanly: listeners stop, the WAL
+// flushes durable, and the process exits 0.
+//
+// Usage:
+//
+//	mintd -listen 127.0.0.1:9911 -http 127.0.0.1:9912 \
+//	      -data-dir /var/lib/mintd -shards 8 -retention 168h
+//
+// The OTLP path needs per-node agents on the daemon (the RPC path does
+// not — remote agents parse client-side); -nodes names them, and payloads
+// pick one via the X-Mint-Node header or ?node= parameter, defaulting to
+// the first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/mint"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9911", "RPC listen address for remote mint.Dial clients")
+	httpAddr := flag.String("http", "127.0.0.1:9912", "HTTP listen address (OTLP ingest, /healthz, /metricsz); empty disables")
+	nodes := flag.String("nodes", "otlp", "comma-separated node names served by the OTLP HTTP path")
+	shards := flag.Int("shards", 4, "backend store shards")
+	queryWorkers := flag.Int("query-workers", 0, "query worker pool bound (0 = GOMAXPROCS)")
+	queryCache := flag.Int("query-cache", 0, "query result cache entries (0 = default, -1 disables)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (snapshot + WAL per shard); empty = memory-only")
+	retention := flag.Duration("retention", 0, "drop stored trace data older than this TTL (requires -data-dir)")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0, "rewrite a shard snapshot once its WAL exceeds this size (requires -data-dir)")
+	flag.Parse()
+
+	nodeList := strings.Split(*nodes, ",")
+	for i := range nodeList {
+		nodeList[i] = strings.TrimSpace(nodeList[i])
+	}
+
+	cluster, err := mint.Open(nodeList, mint.Config{
+		Shards:             *shards,
+		QueryWorkers:       *queryWorkers,
+		QueryCacheSize:     *queryCache,
+		DataDir:            *dataDir,
+		RetentionTTL:       *retention,
+		SnapshotEveryBytes: *snapshotBytes,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mintd: %v\n", err)
+		os.Exit(1)
+	}
+
+	fatal := make(chan error, 1)
+	srv := rpc.NewServer(cluster.Backend())
+	rpcAddr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mintd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mintd: rpc listening on %s\n", rpcAddr)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		handler := mint.NewHTTPHandler(cluster, nodeList[0])
+		handler.AttachRPCServer(srv) // /metricsz reports transport traffic
+		httpSrv = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           handler,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				// Route through the shutdown path: exiting here would skip
+				// the WAL flush that cluster.Close performs.
+				fmt.Fprintf(os.Stderr, "mintd: http: %v\n", err)
+				fatal <- err
+			}
+		}()
+		fmt.Printf("mintd: http listening on %s (POST /v1/traces, /healthz, /metricsz)\n", *httpAddr)
+	}
+	if *dataDir != "" {
+		fmt.Printf("mintd: durable store at %s (retention %v)\n", *dataDir, *retention)
+	}
+	fmt.Println("mintd: ready")
+
+	// Block until asked to stop (or a listener dies), then shut down in
+	// dependency order: stop accepting, drop live connections, flush the
+	// WAL durable. Only a signal-triggered shutdown exits 0.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case got := <-sig:
+		fmt.Printf("mintd: %v: shutting down\n", got)
+	case <-fatal:
+		exitCode = 1
+		fmt.Println("mintd: listener failure: shutting down")
+	}
+	if httpSrv != nil {
+		// Shutdown (not Close) waits for in-flight OTLP handlers: a capture
+		// racing cluster.Close would violate the Cluster contract.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	_ = srv.Close()
+	if err := cluster.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mintd: close: %v\n", err)
+		os.Exit(1)
+	}
+	if exitCode == 0 {
+		fmt.Println("mintd: clean shutdown")
+	}
+	os.Exit(exitCode)
+}

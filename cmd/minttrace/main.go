@@ -20,6 +20,17 @@
 //	minttrace -data-dir ./mintdata                 # capture and persist
 //	minttrace -data-dir ./mintdata -reopen         # prove crash recovery
 //	minttrace -data-dir ./mintdata -retention 24h  # TTL retention
+//
+// Networked deployment — run the same demo against a mintd backend server
+// (agents and collectors stay in this process, every report ships over the
+// RPC transport, every query is answered remotely):
+//
+//	mintd -listen 127.0.0.1:9911 &                 # the backend daemon
+//	minttrace -connect 127.0.0.1:9911              # remote capture + query
+//
+// A -connect run prints the same statistics as a local run over the same
+// workload seed — the deployments are parity-exact by construction, which
+// the CI smoke job asserts by diffing the two outputs.
 package main
 
 import (
@@ -48,6 +59,7 @@ func main() {
 	findMaxMS := flag.Int64("find-max-ms", 0, "FindTraces: maximum span duration in ms")
 	findReason := flag.String("find-reason", "", "FindTraces: require this sampling reason")
 	findLimit := flag.Int("find-limit", 20, "FindTraces: cap on printed matches")
+	connect := flag.String("connect", "", "address of a mintd backend server; captures and queries run over the network transport")
 	flag.Parse()
 
 	var sys *sim.System
@@ -69,13 +81,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minttrace: -retention requires -data-dir")
 		os.Exit(1)
 	}
-	cfg := mint.Defaults()
-	cfg.DataDir = *dataDir
-	cfg.RetentionTTL = *retention
-	cluster, err := mint.Open(sys.Nodes, cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "minttrace: opening durable store: %v\n", err)
+	if *connect != "" && (*dataDir != "" || *reopen) {
+		fmt.Fprintln(os.Stderr, "minttrace: -connect is incompatible with -data-dir/-reopen (durability lives on the mintd server)")
 		os.Exit(1)
+	}
+	cfg := mint.Defaults()
+	var cluster *mint.Cluster
+	var err error
+	if *connect != "" {
+		cluster, err = mint.Dial(*connect, sys.Nodes, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minttrace: connecting to mintd: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cfg.DataDir = *dataDir
+		cfg.RetentionTTL = *retention
+		cluster, err = mint.Open(sys.Nodes, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minttrace: opening durable store: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	// Close-is-flush: make the captured workload durable before exiting.
 	// (Idempotent, so the -reopen path's explicit Close is fine.)
@@ -174,6 +200,11 @@ func main() {
 			fmt.Printf("\nqueried %d captured traces: %d exact, %d partial, %d miss\n",
 				len(ids), liveExact, livePartial, liveMiss)
 		}
+	}
+
+	if err := cluster.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "minttrace: cluster error: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *reopen {

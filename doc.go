@@ -32,6 +32,17 @@
 // Operational details — on-disk layout, recovery guarantees, retention
 // tuning — are in README.md's "Durability & operations" section.
 //
+// # Networked deployment
+//
+// cmd/mintd hosts the sharded durable backend behind a length-prefixed
+// binary protocol (internal/rpc) plus an OTLP/JSON HTTP ingestion and
+// operations surface; mint.Dial returns a remote Cluster whose per-node
+// agents run client-side while every report ships over the wire. An
+// in-process cluster and a loopback mintd driven by the same workload
+// answer Query/BatchAnalyze/FindTraces byte-identically, including after
+// the server restarts from its data directory. See README.md's "Running
+// mintd" and ARCHITECTURE.md's "Deployment topology".
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation, plus capture-throughput comparisons for the serial
 // and concurrent ingest paths and cold/warm/batch query-latency runs:

@@ -1,0 +1,135 @@
+// Example loopback: the networked deployment in one process. A
+// mintd-shaped backend server (sharded, durable, behind the RPC transport)
+// listens on a loopback port; a remote cluster dials it, captures a
+// simulated OnlineBoutique workload through per-node agents whose reports
+// ship over TCP, and answers queries from the server. The server then
+// restarts from its data directory to show durability is preserved over
+// the wire.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/mint"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mint-loopback-*")
+	if err != nil {
+		fail("temp dir", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- the server half: what cmd/mintd assembles ---
+	server, err := mint.Open(nil, mint.Config{Shards: 4, DataDir: dir})
+	if err != nil {
+		fail("open backend", err)
+	}
+	srv := rpc.NewServer(server.Backend())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fail("listen", err)
+	}
+	fmt.Printf("backend server on %s (data dir %s)\n", addr, dir)
+
+	// --- the client half: remote agents over mint.Dial ---
+	sys := sim.OnlineBoutique(42)
+	cluster, err := mint.Dial(addr.String(), sys.Nodes, mint.Defaults())
+	if err != nil {
+		fail("dial", err)
+	}
+	cluster.Warmup(sim.GenTraces(sys, 200))
+	traces := sim.GenTraces(sys, 1500)
+	var raw int64
+	for _, t := range traces {
+		raw += int64(t.Size())
+		if err := cluster.Capture(t); err != nil {
+			fail("capture", err)
+		}
+	}
+	if err := cluster.Flush(); err != nil {
+		fail("flush", err)
+	}
+	fmt.Printf("captured %d traces (%.2f MB raw) through the transport\n", len(traces), float64(raw)/1e6)
+	fmt.Printf("server stores %.1f KB across %d span / %d topo patterns\n",
+		float64(cluster.StorageBytes())/1e3, cluster.SpanPatternCount(), cluster.TopoPatternCount())
+
+	exact, partial, miss := 0, 0, 0
+	for _, t := range traces {
+		switch cluster.Query(t.TraceID).Kind {
+		case mint.ExactHit:
+			exact++
+		case mint.PartialHit:
+			partial++
+		default:
+			miss++
+		}
+	}
+	fmt.Printf("remote queries: %d exact, %d partial, %d misses\n", exact, partial, miss)
+	if miss != 0 {
+		fmt.Println("FAIL: the no-discard guarantee requires zero misses")
+		os.Exit(1)
+	}
+
+	found := cluster.FindTraces(mint.Filter{Service: "checkout", Candidates: idsOf(traces), Limit: 5})
+	fmt.Printf("FindTraces(service=checkout) over the wire: %d matches\n", len(found))
+
+	// --- restart: durability over the wire ---
+	if err := cluster.Close(); err != nil { // flushes the server WAL, closes the conn
+		fail("close client", err)
+	}
+	srv.Close()
+	if err := server.Close(); err != nil {
+		fail("close server", err)
+	}
+
+	server2, err := mint.Open(nil, mint.Config{Shards: 2, DataDir: dir})
+	if err != nil {
+		fail("reopen backend", err)
+	}
+	defer server2.Close()
+	srv2 := rpc.NewServer(server2.Backend())
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		fail("relisten", err)
+	}
+	defer srv2.Close()
+	cluster2, err := mint.Dial(addr2.String(), sys.Nodes, mint.Defaults())
+	if err != nil {
+		fail("redial", err)
+	}
+	defer cluster2.Close()
+
+	exact2, partial2 := 0, 0
+	for _, t := range traces {
+		switch cluster2.Query(t.TraceID).Kind {
+		case mint.ExactHit:
+			exact2++
+		case mint.PartialHit:
+			partial2++
+		}
+	}
+	fmt.Printf("after server restart from disk: %d exact, %d partial — ", exact2, partial2)
+	if exact2 == exact && partial2 == partial {
+		fmt.Println("identical to the pre-restart answers")
+	} else {
+		fmt.Println("MISMATCH")
+		os.Exit(1)
+	}
+}
+
+func idsOf(traces []*mint.Trace) []string {
+	ids := make([]string, len(traces))
+	for i, t := range traces {
+		ids[i] = t.TraceID
+	}
+	return ids
+}
+
+func fail(what string, err error) {
+	fmt.Fprintf(os.Stderr, "loopback: %s: %v\n", what, err)
+	os.Exit(1)
+}

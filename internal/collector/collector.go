@@ -14,16 +14,44 @@ import (
 	"sync"
 
 	"repro/internal/agent"
-	"repro/internal/backend"
 	"repro/internal/bloom"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
+// Sink is where a collector's reports land: the backend's report-accepting
+// surface, satisfied both by the in-process *backend.Backend and by the RPC
+// client that ships the same reports to a remote mintd. Implementations
+// must be safe for concurrent use; collectors report from ingest goroutines
+// and async reporter workers alike.
+type Sink interface {
+	// AcceptPatterns applies a pattern report.
+	AcceptPatterns(r *wire.PatternReport)
+	// AcceptBloom applies a Bloom filter report; immutable marks a full
+	// filter that becomes a frozen segment rather than replacing the
+	// node+pattern's live snapshot.
+	AcceptBloom(r *wire.BloomReport, immutable bool)
+	// AcceptParams applies a sampled trace's parameter report.
+	AcceptParams(r *wire.ParamsReport)
+	// MarkSampled records a trace-coherence sampling decision.
+	MarkSampled(traceID, reason string)
+}
+
+// BatchSink is optionally implemented by sinks that can apply a whole
+// coalesced wire.Batch in one exchange — the remote transport implements it
+// to ship one frame per batch instead of one round-trip per report. Sinks
+// without it (the in-process backend) receive the batched reports one by
+// one, which is equivalent: the envelope only exists to amortize framing.
+type BatchSink interface {
+	Sink
+	// AcceptBatch applies every report in the batch, in order.
+	AcceptBatch(b *wire.Batch)
+}
+
 // Collector wires one agent to the backend and meters every byte it sends.
 type Collector struct {
 	agent    *agent.Agent
-	backend  *backend.Backend
+	backend  Sink
 	meter    *wire.Meter
 	reporter *Reporter // nil in synchronous mode
 
@@ -34,18 +62,18 @@ type Collector struct {
 // New creates a synchronous collector for an agent. Bloom-full events are
 // wired to immediate reports, matching the paper's "immediately reports
 // Bloom Filters once they reach their size limit".
-func New(a *agent.Agent, b *backend.Backend, m *wire.Meter) *Collector {
+func New(a *agent.Agent, b Sink, m *wire.Meter) *Collector {
 	return newCollector(a, b, m, nil)
 }
 
 // NewAsync creates a collector whose reporting runs on a Reporter worker
 // with the given queue depth and batch size (<= 0 takes the defaults).
 // Callers must Close the collector to drain the queue.
-func NewAsync(a *agent.Agent, b *backend.Backend, m *wire.Meter, queueLen, batchMax int) *Collector {
+func NewAsync(a *agent.Agent, b Sink, m *wire.Meter, queueLen, batchMax int) *Collector {
 	return newCollector(a, b, m, NewReporter(a.Node, b, m, queueLen, batchMax))
 }
 
-func newCollector(a *agent.Agent, b *backend.Backend, m *wire.Meter, rep *Reporter) *Collector {
+func newCollector(a *agent.Agent, b Sink, m *wire.Meter, rep *Reporter) *Collector {
 	c := &Collector{agent: a, backend: b, meter: m, reporter: rep, notified: map[string]bool{}}
 	a.OnBloomFull(func(patternID string, f *bloom.Filter) {
 		c.send(&wire.BloomReport{Node: a.Node, PatternID: patternID, Filter: f, Full: true})

@@ -3,7 +3,6 @@ package collector
 import (
 	"sync"
 
-	"repro/internal/backend"
 	"repro/internal/wire"
 )
 
@@ -24,7 +23,7 @@ const (
 // batch size instead of one framed message per report.
 type Reporter struct {
 	node     string
-	backend  *backend.Backend
+	backend  Sink
 	meter    *wire.Meter
 	batchMax int
 
@@ -39,7 +38,7 @@ type Reporter struct {
 
 // NewReporter starts a reporter worker for one node. queueLen and batchMax
 // fall back to the package defaults when <= 0.
-func NewReporter(node string, b *backend.Backend, m *wire.Meter, queueLen, batchMax int) *Reporter {
+func NewReporter(node string, b Sink, m *wire.Meter, queueLen, batchMax int) *Reporter {
 	if queueLen <= 0 {
 		queueLen = DefaultReportQueue
 	}
@@ -152,7 +151,9 @@ func (r *Reporter) drain(pending *wire.Batch) {
 
 // deliverBatch meters and applies one coalesced envelope. A batch of one is
 // sent (and metered) as the bare message: the envelope only pays off when it
-// amortizes framing over several reports.
+// amortizes framing over several reports. Sinks that can apply a whole
+// envelope in one exchange (BatchSink — the remote transport) receive it
+// intact; everything else gets the reports one by one.
 func (r *Reporter) deliverBatch(b *wire.Batch) {
 	switch b.Len() {
 	case 0:
@@ -162,13 +163,17 @@ func (r *Reporter) deliverBatch(b *wire.Batch) {
 	default:
 		r.meter.RecordBatch(r.node, b)
 	}
+	if bs, ok := r.backend.(BatchSink); ok {
+		bs.AcceptBatch(b)
+		return
+	}
 	for _, msg := range b.Reports {
 		deliver(r.backend, msg)
 	}
 }
 
 // deliver applies one report to the backend.
-func deliver(b *backend.Backend, msg wire.Message) {
+func deliver(b Sink, msg wire.Message) {
 	switch m := msg.(type) {
 	case *wire.PatternReport:
 		b.AcceptPatterns(m)

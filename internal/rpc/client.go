@@ -1,0 +1,449 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/wire"
+)
+
+// ErrClientClosed reports a call on a client after Close.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Client is one connection to a mintd backend server. It implements
+// collector.Sink (and its batch extension), so collectors and async
+// reporters ship their reports over it unchanged, and the query surface the
+// mint.Cluster read path uses (Query, QueryMany, BatchQuery, FindTraces,
+// FindAnalyze, storage stats), which is how mint.Dial hands back a
+// Cluster-compatible remote handle.
+//
+// All methods are safe for concurrent use; requests are serialized on the
+// single connection, response decode included. The first transport error
+// latches: the connection closes, every later call fails fast, ingest
+// methods become no-ops, and query methods answer with zero values. Err
+// surfaces the latched error — check it when a remote cluster's answers
+// suddenly go empty.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	closed bool
+	err    error // sticky first transport error
+	// serverErr is the first server rejection (error frame) of any request
+	// whose caller cannot return the error itself — a refused report is
+	// telemetry lost, a refused query is an answer silently gone empty.
+	// Rejections do not poison the connection, but Err must surface them,
+	// not swallow them.
+	serverErr error
+	enc       []byte // reused request encode buffer
+	rbuf      []byte // reused response payload buffer
+}
+
+// DialTimeout bounds how long Dial waits for the TCP connect and the
+// handshake echo.
+const DialTimeout = 10 * time.Second
+
+// CallTimeout bounds one request/response exchange. A server that stalls
+// past it (host partition, frozen process) surfaces as the sticky
+// transport error instead of wedging every cluster operation behind the
+// connection mutex forever. Generous: the largest legitimate exchanges
+// (multi-thousand-ID QueryMany against a cold store) finish orders of
+// magnitude faster.
+const CallTimeout = 2 * time.Minute
+
+// Dial connects to a mintd backend server and performs the protocol
+// handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c, err := NewClientConn(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: handshake with %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// NewClientConn wraps an established connection (TCP, or an in-memory pipe
+// in tests) and performs the client side of the handshake.
+func NewClientConn(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	_ = conn.SetDeadline(time.Now().Add(DialTimeout))
+	if _, err := c.bw.Write(handshakeBytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	echo := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(c.br, echo); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := checkHandshake(echo); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// fail latches the first transport error and closes the connection.
+// Callers hold c.mu.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+		c.conn.Close()
+	}
+	return c.err
+}
+
+// roundTrip performs one request/response exchange under the connection
+// lock: send the request, read the response, enforce its type, and decode
+// it in place (the payload aliases a reused buffer, so decoding must finish
+// before the lock is released). decode may be nil for empty respOK bodies.
+// A respErr response decodes into a returned error without poisoning the
+// connection; transport, framing and decode errors latch.
+func (c *Client) roundTrip(reqType, respType byte, payload []byte, decode func(*wire.Decoder)) error {
+	return c.roundTripEnc(reqType, respType, func(dst []byte) []byte {
+		return append(dst, payload...)
+	}, decode)
+}
+
+// roundTripEnc is roundTrip with the request body appended directly into
+// the reused frame buffer by encode — the batch hot path encodes once,
+// with no intermediate payload allocation or copy.
+func (c *Client) roundTripEnc(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.err != nil {
+		return c.err
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(CallTimeout))
+	// Reserve the frame header, encode the body in place, backfill the
+	// length.
+	c.enc = append(c.enc[:0], reqType, 0, 0, 0, 0)
+	c.enc = encode(c.enc)
+	if len(c.enc)-frameHeaderBytes > MaxFrameBytes {
+		// Refuse to send a frame the server's reader must reject (which
+		// would poison the connection); surface a caller error instead.
+		return fmt.Errorf("%w: request of %d bytes exceeds the %d-byte frame limit",
+			ErrProtocol, len(c.enc)-frameHeaderBytes, MaxFrameBytes)
+	}
+	binary.BigEndian.PutUint32(c.enc[1:frameHeaderBytes], uint32(len(c.enc)-frameHeaderBytes))
+	if _, err := c.bw.Write(c.enc); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	typ, resp, rbuf, err := readFrame(c.br, c.rbuf)
+	c.rbuf = rbuf
+	if err != nil {
+		return c.fail(err)
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	d := wire.NewDecoder(resp)
+	switch {
+	case typ == respErr:
+		msg := d.Str()
+		if err := d.Done(); err != nil {
+			return c.fail(err)
+		}
+		return fmt.Errorf("rpc: server: %s", msg)
+	case typ != respType:
+		return c.fail(fmt.Errorf("%w: response type 0x%02x, want 0x%02x", ErrProtocol, typ, respType))
+	}
+	if decode != nil {
+		decode(d)
+	}
+	if err := d.Done(); err != nil {
+		// A server that emits undecodable responses is as broken as a dead
+		// socket: latch, so the desync cannot corrupt later exchanges.
+		return c.fail(err)
+	}
+	c.shedBuffers()
+	return nil
+}
+
+// maxRetainedBuf bounds the reusable per-connection buffers between
+// exchanges: one huge QueryMany must not pin hundreds of MB on a long-lived
+// connection whose steady-state frames are a few KB.
+const maxRetainedBuf = 1 << 20
+
+// shedBuffers drops oversized reusable buffers. Callers hold c.mu.
+func (c *Client) shedBuffers() {
+	if cap(c.enc) > maxRetainedBuf {
+		c.enc = nil
+	}
+	if cap(c.rbuf) > maxRetainedBuf {
+		c.rbuf = nil
+	}
+}
+
+// Err returns the connection's sticky error, if any: the first transport
+// failure, or the first server rejection of a request whose result had to
+// be answered with zero values (a dropped report violates no-discard, an
+// error-framed query would otherwise masquerade as misses). A cleanly
+// closed client reports nil.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return c.serverErr
+}
+
+// recordServerErr latches the first server rejection for Err.
+func (c *Client) recordServerErr(err error) {
+	if err == nil || errors.Is(err, ErrClientClosed) {
+		return
+	}
+	c.mu.Lock()
+	if c.serverErr == nil && c.err == nil {
+		c.serverErr = err
+	}
+	c.mu.Unlock()
+}
+
+// Ping round-trips an empty frame, verifying the server is responsive.
+func (c *Client) Ping() error {
+	return c.roundTrip(reqPing, respOK, nil, nil)
+}
+
+// Close closes the connection. Further calls fail fast with ErrClientClosed.
+// Safe to call more than once.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// --- collector.Sink ---
+
+// AcceptBatch ships one coalesced report batch as a single frame — the
+// remote form of the async reporter's amortized delivery. The envelope is
+// encoded straight into the connection's reused frame buffer.
+func (c *Client) AcceptBatch(b *wire.Batch) {
+	c.recordServerErr(c.roundTripEnc(reqBatch, respOK, func(dst []byte) []byte {
+		return wire.AppendBatch(dst, b)
+	}, nil))
+}
+
+// sendOne ships a single report wrapped in a one-report batch envelope (the
+// synchronous reporting path).
+func (c *Client) sendOne(msg wire.Message) {
+	b := wire.Batch{Reports: []wire.Message{msg}}
+	c.AcceptBatch(&b)
+}
+
+// AcceptPatterns ships one pattern report.
+func (c *Client) AcceptPatterns(r *wire.PatternReport) { c.sendOne(r) }
+
+// AcceptBloom ships one Bloom filter report. The report's Full field is
+// the wire carrier of the immutable flag: the server re-derives immutable
+// from Full on receipt. Every current Sink caller passes r.Full, but the
+// interface allows them to diverge, so a mismatched call is realigned
+// before encoding rather than silently shipped with the wrong flag —
+// remote segment handling must stay byte-identical to in-process.
+func (c *Client) AcceptBloom(r *wire.BloomReport, immutable bool) {
+	if r.Full != immutable {
+		clone := *r
+		clone.Full = immutable
+		c.sendOne(&clone)
+		return
+	}
+	c.sendOne(r)
+}
+
+// AcceptParams ships one sampled trace's parameter report.
+func (c *Client) AcceptParams(r *wire.ParamsReport) { c.sendOne(r) }
+
+// MarkSampled records a trace-coherence sampling decision on the server.
+func (c *Client) MarkSampled(traceID, reason string) {
+	c.recordServerErr(c.roundTripEnc(reqMark, respOK, func(dst []byte) []byte {
+		return appendMark(dst, traceID, reason)
+	}, nil))
+}
+
+// --- query surface ---
+
+// Query answers one trace lookup from the remote backend. Transport errors
+// answer Miss; check Err.
+func (c *Client) Query(traceID string) backend.QueryResult {
+	var r backend.QueryResult
+	err := c.roundTripEnc(reqQuery, respQueryResult,
+		func(dst []byte) []byte { return wire.AppendString(dst, traceID) },
+		func(d *wire.Decoder) { r = decodeQueryResult(d) })
+	if err != nil {
+		c.recordServerErr(err)
+		return backend.QueryResult{}
+	}
+	return r
+}
+
+// QueryMany answers one query per trace ID in a single round-trip. Results
+// are positional, identical to serial Query calls. Transport errors answer
+// all-Miss; check Err.
+func (c *Client) QueryMany(traceIDs []string) []backend.QueryResult {
+	var out []backend.QueryResult
+	err := c.roundTripEnc(reqQueryMany, respQueryMany,
+		func(dst []byte) []byte { return appendStringSlice(dst, traceIDs) },
+		func(d *wire.Decoder) {
+			n := d.Count()
+			out = make([]backend.QueryResult, 0, wire.CapHint(n))
+			for i := 0; i < n && d.Err() == nil; i++ {
+				out = append(out, decodeQueryResult(d))
+			}
+		})
+	if err != nil {
+		c.recordServerErr(err)
+		return make([]backend.QueryResult, len(traceIDs))
+	}
+	if len(out) != len(traceIDs) {
+		// The backend always answers positionally; a wrong count is a broken
+		// server, not a miss — latch it so callers see Err, not silent
+		// all-Miss data.
+		c.mu.Lock()
+		_ = c.fail(fmt.Errorf("%w: QueryMany answered %d results for %d ids", ErrProtocol, len(out), len(traceIDs)))
+		c.mu.Unlock()
+		return make([]backend.QueryResult, len(traceIDs))
+	}
+	return out
+}
+
+// emptyBatchStats is the zero-value answer for failed aggregate calls.
+func emptyBatchStats() *backend.BatchStats {
+	return &backend.BatchStats{ByService: map[string]*backend.ServiceStats{}, Edges: map[string]int{}}
+}
+
+// BatchQuery aggregates many traces server-side in one round-trip,
+// returning the batch statistics and the number of misses.
+func (c *Client) BatchQuery(traceIDs []string) (*backend.BatchStats, int) {
+	var st *backend.BatchStats
+	var miss int
+	err := c.roundTripEnc(reqBatchAnalyze, respBatchStats,
+		func(dst []byte) []byte { return appendStringSlice(dst, traceIDs) },
+		func(d *wire.Decoder) {
+			st = decodeBatchStats(d)
+			miss = int(d.Uvarint())
+		})
+	if err != nil {
+		c.recordServerErr(err)
+		return emptyBatchStats(), len(traceIDs)
+	}
+	return st, miss
+}
+
+// FindTraces runs a predicate search server-side.
+func (c *Client) FindTraces(f backend.Filter) []backend.FoundTrace {
+	var out []backend.FoundTrace
+	if err := c.roundTripEnc(reqFindTraces, respFound,
+		func(dst []byte) []byte { return appendFilter(dst, f) },
+		func(d *wire.Decoder) { out = decodeFoundTraces(d) }); err != nil {
+		c.recordServerErr(err)
+		return nil
+	}
+	return out
+}
+
+// FindAnalyze runs a predicate search plus aggregation server-side in one
+// round-trip.
+func (c *Client) FindAnalyze(f backend.Filter) (*backend.BatchStats, []backend.FoundTrace) {
+	var st *backend.BatchStats
+	var found []backend.FoundTrace
+	err := c.roundTripEnc(reqFindAnalyze, respFindAnalyze,
+		func(dst []byte) []byte { return appendFilter(dst, f) },
+		func(d *wire.Decoder) {
+			st = decodeBatchStats(d)
+			found = decodeFoundTraces(d)
+		})
+	if err != nil {
+		c.recordServerErr(err)
+		return emptyBatchStats(), nil
+	}
+	return st, found
+}
+
+// Stats fetches the server's operations snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.roundTrip(reqStats, respStats, nil,
+		func(d *wire.Decoder) { st = decodeStats(d) })
+	if err != nil {
+		// Most callers (the Cluster's count accessors) discard the error
+		// and use the zero values; make sure Err still tells the story.
+		c.recordServerErr(err)
+	}
+	return st, err
+}
+
+// StorageBytes mirrors the backend's storage accounting through one stats
+// round-trip.
+func (c *Client) StorageBytes() (total, patterns, blooms, params int64) {
+	st, err := c.Stats()
+	if err != nil {
+		return 0, 0, 0, 0
+	}
+	return st.StorageBytes, st.PatternBytes, st.BloomBytes, st.ParamBytes
+}
+
+// SpanPatternCount mirrors the remote backend's distinct span pattern
+// count.
+func (c *Client) SpanPatternCount() int {
+	st, _ := c.Stats()
+	return st.SpanPatterns
+}
+
+// TopoPatternCount mirrors the remote backend's distinct topo pattern
+// count.
+func (c *Client) TopoPatternCount() int {
+	st, _ := c.Stats()
+	return st.TopoPatterns
+}
+
+// ShardCount mirrors the remote backend's shard count.
+func (c *Client) ShardCount() int {
+	st, _ := c.Stats()
+	return st.BackendShards
+}
+
+// FlushPersistence asks the server to force its write-ahead logs to durable
+// storage, so everything reported before the call survives a server crash.
+func (c *Client) FlushPersistence() error {
+	return c.roundTrip(reqFlush, respOK, nil, nil)
+}
+
+// ClosePersistence is the remote analogue of detaching the durable store on
+// Close: it flushes the server's WAL durable, then closes the connection.
+// The server itself stays up for other clients.
+func (c *Client) ClosePersistence() error {
+	err := c.FlushPersistence()
+	if cerr := c.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,132 @@
+// Package rpc is the network transport that turns the in-process Mint
+// library into a deployable client/server system: a length-prefixed binary
+// protocol over TCP carrying the same report payloads the collectors and the
+// durable storage engine already encode (wire.Batch and friends), plus the
+// backend's query surface (Query, QueryMany, BatchQuery, FindTraces,
+// FindAnalyze) and an operations surface (stats, durable flush).
+//
+// The Server side hosts a *backend.Backend — typically the sharded, durable
+// backend inside a mintd daemon. The Client side implements collector.Sink,
+// so the existing agents, collectors and async reporters ship their reports
+// to a remote backend with no changes to the ingest pipeline; it also
+// implements the query surface the mint.Cluster read path uses, which is how
+// mint.Dial returns a Cluster-compatible remote handle.
+//
+// # Framing
+//
+// After a 5-byte handshake (4-byte magic "MINT", 1-byte protocol version,
+// sent by the client and echoed by the server), the connection carries
+// frames in both directions:
+//
+//	[1-byte type][4-byte big-endian payload length][payload]
+//
+// Payload encodings follow the wire package's layout conventions (uvarint
+// lengths, zigzag varints, fixed field order, no tags). Every request frame
+// receives exactly one response frame; requests on one connection are
+// serialized, and concurrency comes from dialing multiple connections
+// (every client goroutine shares one here — queries batch instead).
+//
+// # Failure semantics
+//
+// A malformed frame or handshake terminates the connection: the server
+// replies with an error frame when it still can, then closes. Client-side
+// I/O errors are sticky — the first one latches, the connection closes, and
+// every later call fails fast with the same error (surfaced through
+// Client.Err). Server-side application errors (a durable-flush I/O failure)
+// travel back as error frames and do not poison the connection.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol identity. The magic guards against pointing a Mint client at an
+// arbitrary TCP service (or vice versa); the version gates incompatible
+// framing or codec changes.
+const (
+	// Magic opens every connection, client-first.
+	Magic = "MINT"
+	// ProtoVersion is the protocol generation this package speaks.
+	ProtoVersion = 1
+)
+
+// MaxFrameBytes bounds a frame payload (256 MB). A length beyond it is
+// treated as a malformed frame, so a corrupt or hostile peer cannot drive an
+// unbounded allocation.
+const MaxFrameBytes = 1 << 28
+
+// Request frame types.
+const (
+	reqPing         = 0x01 // empty payload; respOK
+	reqBatch        = 0x02 // wire.MarshalBatch payload; respOK
+	reqMark         = 0x03 // traceID, reason; respOK
+	reqQuery        = 0x04 // traceID; respQueryResult
+	reqQueryMany    = 0x05 // id list; respQueryMany
+	reqBatchAnalyze = 0x06 // id list; respBatchStats
+	reqFindTraces   = 0x07 // filter; respFound
+	reqFindAnalyze  = 0x08 // filter; respFindAnalyze
+	reqStats        = 0x09 // empty payload; respStats
+	reqFlush        = 0x0A // empty payload; respOK (durable flush)
+)
+
+// Response frame types.
+const (
+	respOK          = 0x81 // empty payload
+	respErr         = 0x82 // error string
+	respQueryResult = 0x83
+	respQueryMany   = 0x84
+	respBatchStats  = 0x85
+	respFound       = 0x86
+	respFindAnalyze = 0x87
+	respStats       = 0x88
+)
+
+// ErrProtocol reports a violation of the framing or handshake rules (bad
+// magic, unknown frame type, oversized frame). Errors wrap it.
+var ErrProtocol = errors.New("rpc: protocol error")
+
+// frameHeaderBytes is the fixed per-frame header size: type byte plus
+// 32-bit payload length.
+const frameHeaderBytes = 5
+
+// readFrame reads one frame from r, enforcing MaxFrameBytes. buf is an
+// optional reusable payload buffer; the returned payload aliases it when it
+// is large enough.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameBytes {
+		return 0, nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("rpc: truncated frame: %w", err)
+	}
+	return hdr[0], payload, buf, nil
+}
+
+// handshake is the 5-byte connection preamble.
+func handshakeBytes() []byte {
+	return append([]byte(Magic), ProtoVersion)
+}
+
+// checkHandshake validates a received preamble.
+func checkHandshake(b []byte) error {
+	if string(b[:len(Magic)]) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrProtocol, b[:len(Magic)])
+	}
+	if b[len(Magic)] != ProtoVersion {
+		return fmt.Errorf("%w: peer speaks protocol version %d, want %d",
+			ErrProtocol, b[len(Magic)], ProtoVersion)
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/wire"
+)
+
+// Server-side read deadlines. A fresh connection must complete the
+// handshake promptly (port scanners and TCP health checks that connect and
+// send nothing would otherwise pin a goroutine each until Server.Close);
+// an established connection may idle indefinitely between requests, but
+// once a frame header arrives its payload must follow promptly, and the
+// peer must drain responses promptly.
+const (
+	handshakeTimeout = 10 * time.Second
+	frameBodyTimeout = 2 * time.Minute
+)
+
+// Server serves the backend protocol on accepted connections: ingest
+// (batches of pattern/Bloom/params reports, sampling marks), the query
+// surface, stats and durable flush. One goroutine per connection; requests
+// on a connection are handled in order, and the backend's own
+// synchronization makes concurrent connections safe.
+//
+// The server holds only a *backend.Backend — agents and collectors live on
+// the client side of the wire, exactly as the paper's topology places them
+// (per-host agents and collectors, one central backend).
+type Server struct {
+	backend *backend.Backend
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	requests atomic.Int64
+}
+
+// NewServer creates a server over a backend. Call Serve (or ServeConn) to
+// start handling traffic.
+func NewServer(b *backend.Backend) *Server {
+	return &Server{backend: b, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts a TCP listener on addr and serves it on a background
+// goroutine, returning the bound address (useful with a ":0" port).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("rpc: server closed")
+	}
+	s.lns = append(s.lns, ln) // Listen may be called per interface; Close closes all
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// acceptLoop accepts connections until the listener closes. Transient
+// Accept errors (fd exhaustion under load) back off and retry — a daemon
+// that silently stops accepting while /healthz still answers ok would be
+// strictly worse than a slow one.
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed by Close: stop accepting
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// track registers a live connection; false means the server is closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops the listener and closes every live connection, then waits for
+// the per-connection goroutines to finish. The backend is left untouched —
+// flushing or closing its durable store is the owner's call.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// BytesIn returns the total payload bytes received across all connections.
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut returns the total payload bytes sent across all connections.
+func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
+
+// Requests returns the total request frames handled.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// ServeConn handles one connection's handshake and request loop, returning
+// when the peer disconnects or violates the protocol. It is exported so
+// tests and embedded deployments can drive the protocol over in-memory
+// pipes.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Handshake: expect the magic+version preamble promptly, echo it back.
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	pre := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(br, pre); err != nil {
+		return
+	}
+	if err := checkHandshake(pre); err != nil {
+		// Best-effort diagnostic before dropping the connection, so a
+		// version-mismatched client sees why instead of a bare EOF.
+		_, _ = bw.Write(errFrame(nil, err.Error()))
+		_ = bw.Flush()
+		return
+	}
+	if _, err := bw.Write(handshakeBytes()); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	var rbuf, resp []byte
+	for {
+		// Block without a deadline for the next frame header (idle clients
+		// are fine), then require the rest of the frame promptly.
+		var hdr [frameHeaderBytes]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[1:])
+		if n > MaxFrameBytes {
+			// Framing violation: say why (best-effort), then drop the
+			// connection — the stream position can no longer be trusted.
+			_, _ = bw.Write(errFrame(nil, fmt.Sprintf("frame of %d bytes exceeds limit", n)))
+			_ = bw.Flush()
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(frameBodyTimeout))
+		if uint32(cap(rbuf)) < n {
+			rbuf = make([]byte, n)
+		}
+		payload := rbuf[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		typ := hdr[0]
+		s.requests.Add(1)
+		s.bytesIn.Add(int64(len(payload)) + frameHeaderBytes)
+		resp = s.handle(resp[:0], typ, payload)
+		if len(resp)-frameHeaderBytes > MaxFrameBytes {
+			// Never emit a frame our own protocol declares malformed: a
+			// response this large would latch a sticky error on a healthy
+			// client. Tell the caller to narrow the request instead.
+			resp = errFrame(resp[:0], fmt.Sprintf(
+				"response of %d bytes exceeds the %d-byte frame limit; narrow the query", len(resp)-frameHeaderBytes, MaxFrameBytes))
+		}
+		s.bytesOut.Add(int64(len(resp)))
+		// Bound the response write too: a peer that requests but never
+		// reads would otherwise pin this goroutine (and a multi-MB response
+		// buffer) once the TCP send buffer fills.
+		_ = conn.SetWriteDeadline(time.Now().Add(frameBodyTimeout))
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+		// Shed high-water buffers: steady-state frames are small, and one
+		// huge exchange must not pin its peak allocation per connection.
+		if cap(rbuf) > maxRetainedBuf {
+			rbuf = nil
+		}
+		if cap(resp) > maxRetainedBuf {
+			resp = nil
+		}
+	}
+}
+
+// frame appends one response frame to dst with the body encoded in place:
+// reserve the header, encode, backfill the length. No intermediate body
+// allocation or copy — the response buffer is reused across a
+// connection's requests.
+func frame(dst []byte, typ byte, body func([]byte) []byte) []byte {
+	dst = append(dst, typ, 0, 0, 0, 0)
+	start := len(dst)
+	if body != nil {
+		dst = body(dst)
+	}
+	binary.BigEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
+// errFrame appends an error response.
+func errFrame(dst []byte, msg string) []byte {
+	return frame(dst, respErr, func(b []byte) []byte { return wire.AppendString(b, msg) })
+}
+
+// handle dispatches one request frame and appends the response frame to
+// dst.
+func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
+	switch typ {
+	case reqPing:
+		return frame(dst, respOK, nil)
+
+	case reqBatch:
+		b, err := wire.UnmarshalBatch(payload)
+		if err != nil {
+			return errFrame(dst, err.Error())
+		}
+		for _, msg := range b.Reports {
+			switch m := msg.(type) {
+			case *wire.PatternReport:
+				s.backend.AcceptPatterns(m)
+			case *wire.BloomReport:
+				s.backend.AcceptBloom(m, m.Full)
+			case *wire.ParamsReport:
+				s.backend.AcceptParams(m)
+			}
+		}
+		return frame(dst, respOK, nil)
+
+	case reqMark:
+		d := wire.NewDecoder(payload)
+		traceID, reason := d.Str(), d.Str()
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		s.backend.MarkSampled(traceID, reason)
+		return frame(dst, respOK, nil)
+
+	case reqQuery:
+		d := wire.NewDecoder(payload)
+		traceID := d.Str()
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		return frame(dst, respQueryResult, func(b []byte) []byte {
+			return appendQueryResult(b, s.backend.Query(traceID))
+		})
+
+	case reqQueryMany:
+		d := wire.NewDecoder(payload)
+		ids := decodeStringSlice(d)
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		results := s.backend.QueryMany(ids)
+		return frame(dst, respQueryMany, func(b []byte) []byte {
+			b = binary.AppendUvarint(b, uint64(len(results)))
+			for _, r := range results {
+				b = appendQueryResult(b, r)
+			}
+			return b
+		})
+
+	case reqBatchAnalyze:
+		d := wire.NewDecoder(payload)
+		ids := decodeStringSlice(d)
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		stats, miss := s.backend.BatchQuery(ids)
+		return frame(dst, respBatchStats, func(b []byte) []byte {
+			b = appendBatchStats(b, stats)
+			return binary.AppendUvarint(b, uint64(miss))
+		})
+
+	case reqFindTraces:
+		d := wire.NewDecoder(payload)
+		f := decodeFilter(d)
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		return frame(dst, respFound, func(b []byte) []byte {
+			return appendFoundTraces(b, s.backend.FindTraces(f))
+		})
+
+	case reqFindAnalyze:
+		d := wire.NewDecoder(payload)
+		f := decodeFilter(d)
+		if err := d.Done(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		stats, found := s.backend.FindAnalyze(f)
+		return frame(dst, respFindAnalyze, func(b []byte) []byte {
+			b = appendBatchStats(b, stats)
+			return appendFoundTraces(b, found)
+		})
+
+	case reqStats:
+		total, patterns, blooms, params := s.backend.StorageBytes()
+		st := Stats{
+			StorageBytes:  total,
+			PatternBytes:  patterns,
+			BloomBytes:    blooms,
+			ParamBytes:    params,
+			SpanPatterns:  s.backend.SpanPatternCount(),
+			TopoPatterns:  s.backend.TopoPatternCount(),
+			BackendShards: s.backend.ShardCount(),
+		}
+		return frame(dst, respStats, func(b []byte) []byte { return appendStats(b, st) })
+
+	case reqFlush:
+		if err := s.backend.FlushPersistence(); err != nil {
+			return errFrame(dst, err.Error())
+		}
+		return frame(dst, respOK, nil)
+
+	default:
+		return errFrame(dst, fmt.Sprintf("unknown request type 0x%02x", typ))
+	}
+}

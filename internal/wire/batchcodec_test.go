@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// testBatch assembles a batch carrying every report kind a collector can
+// enqueue, with the Bloom Full flag set on one filter (it must survive the
+// envelope, not just the bare report codec).
+func testBatch(t *testing.T) *Batch {
+	t.Helper()
+	sp := &parser.SpanPattern{
+		Service:   "cart",
+		Operation: "HTTP GET /cart",
+		Kind:      trace.KindServer,
+		Attrs: []parser.AttrPattern{
+			{Key: "user.id", Pattern: "<*>"},
+			{Key: "~duration", IsNum: true, Pattern: "(4, 9]", NumIndex: 2},
+		},
+	}
+	sp.SetID("span-pat-1")
+	tp := &topo.Pattern{
+		Node:  "node-1",
+		Entry: "span-pat-1",
+		Edges: []topo.Edge{{Parent: "span-pat-1", Children: []string{"span-pat-2"}}},
+		Exits: []string{"span-pat-2"},
+	}
+	tp.SetID("topo-pat-1")
+	f := bloom.New(64, 0.01)
+	f.Add("trace-1")
+	f.Add("trace-2")
+	return &Batch{
+		Node: "node-1",
+		Reports: []Message{
+			&PatternReport{Node: "node-1", SpanPatterns: []*parser.SpanPattern{sp}, TopoPatterns: []*topo.Pattern{tp}},
+			&BloomReport{Node: "node-1", PatternID: "topo-pat-1", Filter: f, Full: true},
+			&ParamsReport{Node: "node-1", TraceID: "trace-1", Spans: []*parser.ParsedSpan{{
+				PatternID:  "span-pat-1",
+				TraceID:    "trace-1",
+				SpanID:     "s1",
+				StartUnix:  12345,
+				RawSize:    200,
+				AttrParams: [][]string{{"u-77"}, {"7"}},
+			}}},
+		},
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	b := testBatch(t)
+	got, err := UnmarshalBatch(MarshalBatch(b))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Node != b.Node || len(got.Reports) != len(b.Reports) {
+		t.Fatalf("envelope mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(b.Reports[0], got.Reports[0]) {
+		t.Fatalf("pattern report mismatch:\n in  %+v\n out %+v", b.Reports[0], got.Reports[0])
+	}
+	inBloom, outBloom := b.Reports[1].(*BloomReport), got.Reports[1].(*BloomReport)
+	if outBloom.Node != inBloom.Node || outBloom.PatternID != inBloom.PatternID || !outBloom.Full {
+		t.Fatalf("bloom report header mismatch: %+v", outBloom)
+	}
+	if !outBloom.Filter.Contains("trace-1") || !outBloom.Filter.Contains("trace-2") {
+		t.Fatal("bloom filter lost members across the envelope")
+	}
+	if !reflect.DeepEqual(b.Reports[2], got.Reports[2]) {
+		t.Fatalf("params report mismatch:\n in  %+v\n out %+v", b.Reports[2], got.Reports[2])
+	}
+}
+
+func TestPatternReportCodecRoundTrip(t *testing.T) {
+	in := testBatch(t).Reports[0].(*PatternReport)
+	got, err := UnmarshalPatternReport(MarshalPatternReport(in))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, got)
+	}
+}
+
+func TestBatchCodecRejectsCorruption(t *testing.T) {
+	payload := MarshalBatch(testBatch(t))
+	// Trailing garbage, truncation, and a bogus report tag must all surface
+	// ErrCodec instead of silently mis-decoding.
+	if _, err := UnmarshalBatch(append(append([]byte(nil), payload...), 0xFF)); !errors.Is(err, ErrCodec) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCodec", err)
+	}
+	if _, err := UnmarshalBatch(payload[:len(payload)/2]); !errors.Is(err, ErrCodec) {
+		t.Fatalf("truncated: err = %v, want ErrCodec", err)
+	}
+	bogus := append([]byte(nil), payload...)
+	// The first tag byte follows the node string ("node-1" => 1+6 bytes) and
+	// the report count varint (1 byte).
+	bogus[8] = 99
+	if _, err := UnmarshalBatch(bogus); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bogus tag: err = %v, want ErrCodec", err)
+	}
+}

@@ -27,67 +27,82 @@ import (
 // functions. Decoding errors wrap it, so callers can errors.Is against it.
 var ErrCodec = errors.New("wire: malformed payload")
 
-// appendString appends a uvarint-length-prefixed string.
-func appendString(b []byte, s string) []byte {
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
-// appendBool appends a bool as one byte.
-func appendBool(b []byte, v bool) []byte {
+// AppendBool appends a bool as one byte.
+func AppendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)
 	}
 	return append(b, 0)
 }
 
-// decoder is a cursor over an encoded payload. The first malformed read
-// latches err; subsequent reads return zero values, so decode functions can
-// read a whole payload and check the error once.
-type decoder struct {
+// Decoder is a cursor over an encoded payload in this package's layout
+// conventions. The first malformed read latches the error; subsequent reads
+// return zero values, so decode functions can read a whole payload and check
+// the error once with Done (or Err). The zero Decoder reads an empty
+// payload; NewDecoder starts one over a byte slice. Exported so sibling
+// protocol layers (the RPC transport) decode with the same discipline the
+// storage engine uses.
+type Decoder struct {
 	b   []byte
 	err error
 }
 
-func (d *decoder) fail(what string) {
+// NewDecoder returns a Decoder positioned at the start of payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{b: payload} }
+
+// Fail latches a malformed-payload error naming what was being read. Reads
+// after Fail return zero values.
+func (d *Decoder) Fail(what string) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: %s", ErrCodec, what)
 	}
 }
 
-func (d *decoder) uvarint() uint64 {
+// Err returns the latched decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Uvarint reads one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.b)
 	if n <= 0 {
-		d.fail("uvarint")
+		d.Fail("uvarint")
 		return 0
 	}
 	d.b = d.b[n:]
 	return v
 }
 
-func (d *decoder) varint() int64 {
+// Varint reads one zigzag-encoded signed varint.
+func (d *Decoder) Varint() int64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Varint(d.b)
 	if n <= 0 {
-		d.fail("varint")
+		d.Fail("varint")
 		return 0
 	}
 	d.b = d.b[n:]
 	return v
 }
 
-func (d *decoder) str() string {
-	n := d.uvarint()
+// Str reads one length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.Uvarint()
 	if d.err != nil {
 		return ""
 	}
 	if uint64(len(d.b)) < n {
-		d.fail("string length")
+		d.Fail("string length")
 		return ""
 	}
 	s := string(d.b[:n])
@@ -95,13 +110,14 @@ func (d *decoder) str() string {
 	return s
 }
 
-func (d *decoder) bytes() []byte {
-	n := d.uvarint()
+// Bytes reads one length-prefixed byte slice, aliasing the payload.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
 	if d.err != nil {
 		return nil
 	}
 	if uint64(len(d.b)) < n {
-		d.fail("bytes length")
+		d.Fail("bytes length")
 		return nil
 	}
 	p := d.b[:n:n]
@@ -109,12 +125,13 @@ func (d *decoder) bytes() []byte {
 	return p
 }
 
-func (d *decoder) bool() bool {
+// Bool reads one boolean byte.
+func (d *Decoder) Bool() bool {
 	if d.err != nil {
 		return false
 	}
 	if len(d.b) < 1 {
-		d.fail("bool")
+		d.Fail("bool")
 		return false
 	}
 	v := d.b[0]
@@ -122,22 +139,52 @@ func (d *decoder) bool() bool {
 	return v != 0
 }
 
-// count reads a repeated-field count and sanity-bounds it against the bytes
+// CapHint bounds a count-prefixed pre-allocation. Count bounds a claimed
+// element count against the bytes remaining (one byte per element), but 16+
+// bytes of slice/map/string header per pre-allocated slot would still let a
+// hostile count amplify an allocation far past the payload size — and these
+// payloads arrive over the network since the RPC transport, not just from
+// trusted WAL files. Start at a sane capacity and let append grow: a
+// hostile count then fails on its first missing element having allocated
+// almost nothing.
+func CapHint(n int) int {
+	const max = 4096
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.Fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Count reads a repeated-field count and sanity-bounds it against the bytes
 // remaining, so a corrupt length cannot drive a huge allocation.
-func (d *decoder) count() int {
-	n := d.uvarint()
+func (d *Decoder) Count() int {
+	n := d.Uvarint()
 	if d.err != nil {
 		return 0
 	}
 	if n > uint64(len(d.b)) {
-		d.fail("count exceeds payload")
+		d.Fail("count exceeds payload")
 		return 0
 	}
 	return int(n)
 }
 
-// done verifies the payload was consumed exactly.
-func (d *decoder) done() error {
+// Done verifies the payload was consumed exactly.
+func (d *Decoder) Done() error {
 	if d.err != nil {
 		return d.err
 	}
@@ -150,15 +197,15 @@ func (d *decoder) done() error {
 // AppendSpanPattern appends one span pattern's encoding to dst; the Append
 // forms let the storage engine encode into reused buffers.
 func AppendSpanPattern(dst []byte, p *parser.SpanPattern) []byte {
-	dst = appendString(dst, p.ID)
-	dst = appendString(dst, p.Service)
-	dst = appendString(dst, p.Operation)
+	dst = AppendString(dst, p.ID)
+	dst = AppendString(dst, p.Service)
+	dst = AppendString(dst, p.Operation)
 	dst = append(dst, byte(p.Kind))
 	dst = binary.AppendUvarint(dst, uint64(len(p.Attrs)))
 	for _, a := range p.Attrs {
-		dst = appendString(dst, a.Key)
-		dst = appendBool(dst, a.IsNum)
-		dst = appendString(dst, a.Pattern)
+		dst = AppendString(dst, a.Key)
+		dst = AppendBool(dst, a.IsNum)
+		dst = AppendString(dst, a.Pattern)
 		dst = binary.AppendVarint(dst, int64(a.NumIndex))
 	}
 	return dst
@@ -169,33 +216,37 @@ func MarshalSpanPattern(p *parser.SpanPattern) []byte {
 	return AppendSpanPattern(nil, p)
 }
 
+// decodeSpanPatternBody reads one span pattern body from d; the body is
+// self-delimiting, so it can be embedded in larger payloads (pattern
+// reports, batches). The pattern's cached route hash is rederived from its
+// ID.
+func decodeSpanPatternBody(d *Decoder) *parser.SpanPattern {
+	id := d.Str()
+	p := &parser.SpanPattern{
+		Service:   d.Str(),
+		Operation: d.Str(),
+	}
+	p.SetID(id)
+	p.Kind = trace.Kind(d.Byte())
+	n := d.Count()
+	for i := 0; i < n && d.err == nil; i++ {
+		a := parser.AttrPattern{
+			Key:     d.Str(),
+			IsNum:   d.Bool(),
+			Pattern: d.Str(),
+		}
+		a.NumIndex = int(d.Varint())
+		p.Attrs = append(p.Attrs, a)
+	}
+	return p
+}
+
 // UnmarshalSpanPattern decodes a payload written by MarshalSpanPattern. The
 // pattern's cached route hash is rederived from its ID.
 func UnmarshalSpanPattern(payload []byte) (*parser.SpanPattern, error) {
-	d := &decoder{b: payload}
-	id := d.str()
-	p := &parser.SpanPattern{
-		Service:   d.str(),
-		Operation: d.str(),
-	}
-	p.SetID(id)
-	if len(d.b) < 1 {
-		d.fail("kind")
-	} else {
-		p.Kind = trace.Kind(d.b[0])
-		d.b = d.b[1:]
-	}
-	n := d.count()
-	for i := 0; i < n && d.err == nil; i++ {
-		a := parser.AttrPattern{
-			Key:     d.str(),
-			IsNum:   d.bool(),
-			Pattern: d.str(),
-		}
-		a.NumIndex = int(d.varint())
-		p.Attrs = append(p.Attrs, a)
-	}
-	if err := d.done(); err != nil {
+	d := NewDecoder(payload)
+	p := decodeSpanPatternBody(d)
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -203,20 +254,20 @@ func UnmarshalSpanPattern(payload []byte) (*parser.SpanPattern, error) {
 
 // AppendTopoPattern appends one topology pattern's encoding to dst.
 func AppendTopoPattern(dst []byte, p *topo.Pattern) []byte {
-	dst = appendString(dst, p.ID)
-	dst = appendString(dst, p.Node)
-	dst = appendString(dst, p.Entry)
+	dst = AppendString(dst, p.ID)
+	dst = AppendString(dst, p.Node)
+	dst = AppendString(dst, p.Entry)
 	dst = binary.AppendUvarint(dst, uint64(len(p.Edges)))
 	for _, e := range p.Edges {
-		dst = appendString(dst, e.Parent)
+		dst = AppendString(dst, e.Parent)
 		dst = binary.AppendUvarint(dst, uint64(len(e.Children)))
 		for _, c := range e.Children {
-			dst = appendString(dst, c)
+			dst = AppendString(dst, c)
 		}
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(p.Exits)))
 	for _, x := range p.Exits {
-		dst = appendString(dst, x)
+		dst = AppendString(dst, x)
 	}
 	return dst
 }
@@ -226,30 +277,36 @@ func MarshalTopoPattern(p *topo.Pattern) []byte {
 	return AppendTopoPattern(nil, p)
 }
 
-// UnmarshalTopoPattern decodes a payload written by MarshalTopoPattern. The
-// pattern's cached route hash is rederived from its ID.
-func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
-	d := &decoder{b: payload}
-	id := d.str()
+// decodeTopoPatternBody reads one topo pattern body from d. The pattern's
+// cached route hash is rederived from its ID.
+func decodeTopoPatternBody(d *Decoder) *topo.Pattern {
+	id := d.Str()
 	p := &topo.Pattern{
-		Node:  d.str(),
-		Entry: d.str(),
+		Node:  d.Str(),
+		Entry: d.Str(),
 	}
 	p.SetID(id)
-	nEdges := d.count()
+	nEdges := d.Count()
 	for i := 0; i < nEdges && d.err == nil; i++ {
-		e := topo.Edge{Parent: d.str()}
-		nc := d.count()
+		e := topo.Edge{Parent: d.Str()}
+		nc := d.Count()
 		for j := 0; j < nc && d.err == nil; j++ {
-			e.Children = append(e.Children, d.str())
+			e.Children = append(e.Children, d.Str())
 		}
 		p.Edges = append(p.Edges, e)
 	}
-	nExits := d.count()
+	nExits := d.Count()
 	for i := 0; i < nExits && d.err == nil; i++ {
-		p.Exits = append(p.Exits, d.str())
+		p.Exits = append(p.Exits, d.Str())
 	}
-	if err := d.done(); err != nil {
+	return p
+}
+
+// UnmarshalTopoPattern decodes a payload written by MarshalTopoPattern.
+func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
+	d := NewDecoder(payload)
+	p := decodeTopoPatternBody(d)
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -260,9 +317,9 @@ func UnmarshalTopoPattern(payload []byte) (*topo.Pattern, error) {
 // network and so is not part of Size(), but must survive a round-trip
 // through storage).
 func AppendBloomReport(dst []byte, r *BloomReport) []byte {
-	dst = appendString(dst, r.Node)
-	dst = appendString(dst, r.PatternID)
-	dst = appendBool(dst, r.Full)
+	dst = AppendString(dst, r.Node)
+	dst = AppendString(dst, r.PatternID)
+	dst = AppendBool(dst, r.Full)
 	dst = binary.AppendUvarint(dst, uint64(r.Filter.MarshaledSize()))
 	return r.Filter.AppendMarshal(dst)
 }
@@ -272,23 +329,33 @@ func MarshalBloomReport(r *BloomReport) []byte {
 	return AppendBloomReport(nil, r)
 }
 
-// UnmarshalBloomReport decodes a payload written by MarshalBloomReport.
-func UnmarshalBloomReport(payload []byte) (*BloomReport, error) {
-	d := &decoder{b: payload}
+// decodeBloomReportBody reads one Bloom report body from d.
+func decodeBloomReportBody(d *Decoder) *BloomReport {
 	r := &BloomReport{
-		Node:      d.str(),
-		PatternID: d.str(),
-		Full:      d.bool(),
+		Node:      d.Str(),
+		PatternID: d.Str(),
+		Full:      d.Bool(),
 	}
-	raw := d.bytes()
-	if err := d.done(); err != nil {
-		return nil, err
+	raw := d.Bytes()
+	if d.err != nil {
+		return r
 	}
 	f, err := bloom.Unmarshal(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+		d.Fail(fmt.Sprintf("bloom filter: %v", err))
+		return r
 	}
 	r.Filter = f
+	return r
+}
+
+// UnmarshalBloomReport decodes a payload written by MarshalBloomReport.
+func UnmarshalBloomReport(payload []byte) (*BloomReport, error) {
+	d := NewDecoder(payload)
+	r := decodeBloomReportBody(d)
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -296,20 +363,20 @@ func UnmarshalBloomReport(payload []byte) (*BloomReport, error) {
 // The trace ID is carried once; each span's TraceID is restored from it on
 // decode.
 func AppendParamsReport(dst []byte, r *ParamsReport) []byte {
-	dst = appendString(dst, r.Node)
-	dst = appendString(dst, r.TraceID)
+	dst = AppendString(dst, r.Node)
+	dst = AppendString(dst, r.TraceID)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Spans)))
 	for _, s := range r.Spans {
-		dst = appendString(dst, s.PatternID)
-		dst = appendString(dst, s.SpanID)
-		dst = appendString(dst, s.ParentID)
+		dst = AppendString(dst, s.PatternID)
+		dst = AppendString(dst, s.SpanID)
+		dst = AppendString(dst, s.ParentID)
 		dst = binary.AppendVarint(dst, s.StartUnix)
 		dst = binary.AppendVarint(dst, int64(s.RawSize))
 		dst = binary.AppendUvarint(dst, uint64(len(s.AttrParams)))
 		for _, params := range s.AttrParams {
 			dst = binary.AppendUvarint(dst, uint64(len(params)))
 			for _, p := range params {
-				dst = appendString(dst, p)
+				dst = AppendString(dst, p)
 			}
 		}
 	}
@@ -321,35 +388,41 @@ func MarshalParamsReport(r *ParamsReport) []byte {
 	return AppendParamsReport(nil, r)
 }
 
-// UnmarshalParamsReport decodes a payload written by MarshalParamsReport.
-func UnmarshalParamsReport(payload []byte) (*ParamsReport, error) {
-	d := &decoder{b: payload}
+// decodeParamsReportBody reads one params report body from d.
+func decodeParamsReportBody(d *Decoder) *ParamsReport {
 	r := &ParamsReport{
-		Node:    d.str(),
-		TraceID: d.str(),
+		Node:    d.Str(),
+		TraceID: d.Str(),
 	}
-	nSpans := d.count()
+	nSpans := d.Count()
 	for i := 0; i < nSpans && d.err == nil; i++ {
 		s := &parser.ParsedSpan{
-			PatternID: d.str(),
+			PatternID: d.Str(),
 			TraceID:   r.TraceID,
-			SpanID:    d.str(),
-			ParentID:  d.str(),
-			StartUnix: d.varint(),
+			SpanID:    d.Str(),
+			ParentID:  d.Str(),
+			StartUnix: d.Varint(),
 		}
-		s.RawSize = int(d.varint())
-		nAttrs := d.count()
+		s.RawSize = int(d.Varint())
+		nAttrs := d.Count()
 		for j := 0; j < nAttrs && d.err == nil; j++ {
-			np := d.count()
-			params := make([]string, 0, np)
+			np := d.Count()
+			params := make([]string, 0, CapHint(np))
 			for k := 0; k < np && d.err == nil; k++ {
-				params = append(params, d.str())
+				params = append(params, d.Str())
 			}
 			s.AttrParams = append(s.AttrParams, params)
 		}
 		r.Spans = append(r.Spans, s)
 	}
-	if err := d.done(); err != nil {
+	return r
+}
+
+// UnmarshalParamsReport decodes a payload written by MarshalParamsReport.
+func UnmarshalParamsReport(payload []byte) (*ParamsReport, error) {
+	d := NewDecoder(payload)
+	r := decodeParamsReportBody(d)
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return r, nil

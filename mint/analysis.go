@@ -31,7 +31,7 @@ type FoundTrace = backend.FoundTrace
 // Mint's no-discard design makes effectively impossible for captured
 // traffic.
 func (c *Cluster) Explore(traceID string) (kind HitKind, rendered string, ok bool) {
-	res := c.backend.Query(traceID)
+	res := c.Query(traceID)
 	if res.Kind == Miss || res.Trace == nil {
 		return Miss, "", false
 	}
@@ -47,8 +47,13 @@ func FlameGraph(t *Trace) []*FlameNode { return backend.FlameGraph(t) }
 // caller→callee topology. Unsampled traces participate through their
 // approximate reconstructions, so batch analyses see all requests instead
 // of a few thousand sampled spans.
+// On a closed cluster it answers empty stats with every trace counted
+// missing, and records ErrClosed (see Err).
 func (c *Cluster) BatchAnalyze(traceIDs []string) (*BatchStats, int) {
-	return c.backend.BatchQuery(traceIDs)
+	if err := c.checkOpen(); err != nil {
+		return &BatchStats{ByService: map[string]*ServiceStats{}, Edges: map[string]int{}}, len(traceIDs)
+	}
+	return c.store.BatchQuery(traceIDs)
 }
 
 // FindTraces searches the backend for traces matching the filter: sampled
@@ -56,16 +61,24 @@ func (c *Cluster) BatchAnalyze(traceIDs []string) (*BatchStats, int) {
 // reachable through Filter.Candidates and answer approximately from
 // patterns, pre-screened by a targeted Bloom probe of only the topo
 // patterns the filter could match. Results are sorted by trace ID.
+// On a closed cluster it answers nil and records ErrClosed (see Err).
 func (c *Cluster) FindTraces(f Filter) []FoundTrace {
-	return c.backend.FindTraces(f)
+	if err := c.checkOpen(); err != nil {
+		return nil
+	}
+	return c.store.FindTraces(f)
 }
 
 // FindAnalyze runs FindTraces and batch-analyzes the matches in one call:
 // the found traces plus their aggregated BatchStats (per-service span and
 // error counts, durations, caller→callee topology). Each match is
 // reconstructed once, feeding both the answer list and the aggregation.
+// On a closed cluster it answers empty and records ErrClosed (see Err).
 func (c *Cluster) FindAnalyze(f Filter) (*BatchStats, []FoundTrace) {
-	return c.backend.FindAnalyze(f)
+	if err := c.checkOpen(); err != nil {
+		return &BatchStats{ByService: map[string]*ServiceStats{}, Edges: map[string]int{}}, nil
+	}
+	return c.store.FindAnalyze(f)
 }
 
 // Rebuild triggers the §4.1 reconstruct interface on every agent after a

@@ -12,6 +12,7 @@ package mint_test
 // else — pattern stores, Bloom segments, params, byte meters — must match.
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -138,9 +139,7 @@ func TestCaptureAsyncMatchesSerial(t *testing.T) {
 	}
 	async.Flush() // drain the worker pool so every params block is buffered
 	markEveryTenth(async, traces)
-	if err := async.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
+	async.Flush() // deliver the marks' params reports before reading back
 
 	gotRenders := queryRenders(async, traces)
 	for i := range wantRenders {
@@ -156,6 +155,9 @@ func TestCaptureAsyncMatchesSerial(t *testing.T) {
 		t.Errorf("async storage = %d, serial = %d", got, wantStorage)
 	}
 	gotNetwork := async.NetworkBytes()
+	if err := async.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	if gotNetwork > wantNetwork {
 		t.Errorf("async network = %d exceeds serial %d: batching should amortize framing", gotNetwork, wantNetwork)
 	}
@@ -188,22 +190,22 @@ func TestAsyncPipelineWithSamplers(t *testing.T) {
 	if err := cluster.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	// Close is idempotent and the cluster stays queryable.
+	// Close is idempotent: later calls are no-ops returning the same error.
 	if err := cluster.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if res := cluster.Query(traces[0].TraceID); res.Kind == mint.Miss {
-		t.Fatal("query after Close missed")
-	}
-	// Post-Close captures — sync and async — degrade to synchronous
-	// ingestion instead of panicking on the closed queue.
+	// Closed means closed: captures and flushes fail with the sticky
+	// ErrClosed instead of panicking on the closed queue or silently
+	// ingesting into an unpersisted store (see closed_test.go for the full
+	// contract).
 	extra := sim.GenTraces(sys, 2)
-	cluster.Capture(extra[0])
-	cluster.CaptureAsync(extra[1])
-	cluster.Flush()
-	for _, tr := range extra {
-		if res := cluster.Query(tr.TraceID); res.Kind == mint.Miss {
-			t.Fatalf("post-Close capture of %s missed", tr.TraceID)
-		}
+	if err := cluster.Capture(extra[0]); !errors.Is(err, mint.ErrClosed) {
+		t.Fatalf("Capture after Close: err = %v, want ErrClosed", err)
+	}
+	if err := cluster.CaptureAsync(extra[1]); !errors.Is(err, mint.ErrClosed) {
+		t.Fatalf("CaptureAsync after Close: err = %v, want ErrClosed", err)
+	}
+	if err := cluster.Flush(); !errors.Is(err, mint.ErrClosed) {
+		t.Fatalf("Flush after Close: err = %v, want ErrClosed", err)
 	}
 }

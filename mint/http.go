@@ -1,0 +1,150 @@
+package mint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/rpc"
+)
+
+// HTTPHandler is the HTTP surface of a Mint deployment, served by mintd
+// next to the binary RPC port:
+//
+//	POST /v1/traces — OTLP/JSON trace ingest (the standard OTLP/HTTP path),
+//	                  so unmodified OpenTelemetry SDK exporters can feed the
+//	                  cluster. The originating node comes from the
+//	                  X-Mint-Node header or ?node= query parameter, falling
+//	                  back to the handler's default node (OTLP itself
+//	                  carries no host placement).
+//	GET  /healthz   — liveness: "ok" while the cluster is open, 503 after
+//	                  Close.
+//	GET  /metricsz  — operational counters in Prometheus text format:
+//	                  storage and pattern accounting, metered network
+//	                  bytes, OTLP request/span totals.
+type HTTPHandler struct {
+	cluster     *Cluster
+	defaultNode string
+	mux         *http.ServeMux
+	rpcSrv      *rpc.Server // optional; wires transport counters into /metricsz
+
+	otlpRequests atomic.Int64
+	otlpSpans    atomic.Int64
+	otlpErrors   atomic.Int64
+}
+
+// AttachRPCServer wires a transport server's counters into /metricsz, so a
+// deployment fed over the RPC port (the mint.Dial topology) reports its
+// ingest/query traffic there — the cluster's own byte meter only sees this
+// process's collectors.
+func (h *HTTPHandler) AttachRPCServer(s *rpc.Server) { h.rpcSrv = s }
+
+// maxOTLPBody bounds one OTLP/JSON export payload (32 MB, far above any
+// sane SDK batch).
+const maxOTLPBody = 32 << 20
+
+// NewHTTPHandler builds the HTTP surface over a cluster. defaultNode names
+// the node OTLP payloads ingest as when the request does not say (it must
+// be one of the cluster's nodes).
+func NewHTTPHandler(c *Cluster, defaultNode string) *HTTPHandler {
+	h := &HTTPHandler{cluster: c, defaultNode: defaultNode, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/traces", h.handleOTLP)
+	h.mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux.HandleFunc("/metricsz", h.handleMetrics)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// nodeOf resolves which node an OTLP request ingests as.
+func (h *HTTPHandler) nodeOf(r *http.Request) string {
+	if n := r.Header.Get("X-Mint-Node"); n != "" {
+		return n
+	}
+	if n := r.URL.Query().Get("node"); n != "" {
+		return n
+	}
+	return h.defaultNode
+}
+
+// handleOTLP ingests one OTLP/JSON export payload.
+func (h *HTTPHandler) handleOTLP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	h.otlpRequests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxOTLPBody))
+	if err != nil {
+		h.otlpErrors.Add(1)
+		// Only an actual size overrun is 413; a dropped or truncated client
+		// body is the client's transient failure, not an oversized batch.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	n, err := h.cluster.captureOTLPCounted(h.nodeOf(r), body)
+	h.otlpSpans.Add(int64(n))
+	if err != nil {
+		h.otlpErrors.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The OTLP/HTTP success body: a full success is an empty partialSuccess.
+	_, _ = w.Write([]byte(`{"partialSuccess":{}}`))
+}
+
+// handleHealth answers liveness probes. A probe is not misuse, so it reads
+// the closed flag directly instead of recording ErrClosed through
+// checkOpen.
+func (h *HTTPHandler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if h.cluster.closed.Load() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleMetrics renders operational counters in Prometheus text format.
+// Like handleHealth, a scrape is not misuse: on a closed cluster it answers
+// 503 instead of recording ErrClosed through the read paths.
+func (h *HTTPHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := h.cluster
+	if c.closed.Load() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	patterns, blooms, params := c.StorageBreakdown()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "mint_storage_bytes{kind=\"patterns\"} %d\n", patterns)
+	fmt.Fprintf(w, "mint_storage_bytes{kind=\"bloom\"} %d\n", blooms)
+	fmt.Fprintf(w, "mint_storage_bytes{kind=\"params\"} %d\n", params)
+	fmt.Fprintf(w, "mint_storage_bytes_total %d\n", patterns+blooms+params)
+	fmt.Fprintf(w, "mint_span_patterns %d\n", c.SpanPatternCount())
+	fmt.Fprintf(w, "mint_topo_patterns %d\n", c.TopoPatternCount())
+	fmt.Fprintf(w, "mint_backend_shards %d\n", c.Shards())
+	fmt.Fprintf(w, "mint_network_bytes_total %d\n", c.NetworkBytes())
+	fmt.Fprintf(w, "mint_otlp_requests_total %d\n", h.otlpRequests.Load())
+	fmt.Fprintf(w, "mint_otlp_spans_total %d\n", h.otlpSpans.Load())
+	fmt.Fprintf(w, "mint_otlp_errors_total %d\n", h.otlpErrors.Load())
+	if h.rpcSrv != nil {
+		fmt.Fprintf(w, "mint_rpc_requests_total %d\n", h.rpcSrv.Requests())
+		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"in\"} %d\n", h.rpcSrv.BytesIn())
+		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"out\"} %d\n", h.rpcSrv.BytesOut())
+	}
+}

@@ -91,9 +91,35 @@
 //	// capture ... Flush ... crash
 //	reopened, err := mint.Open(nodes, mint.Config{DataDir: "/var/lib/mint"})
 //	res := reopened.Query(id) // identical to the pre-crash answer
+//
+// # Networked deployment
+//
+// Dial connects the same pipeline to a mintd backend daemon (cmd/mintd)
+// instead of an in-process backend: agents and collectors run locally,
+// their reports ship over a binary TCP protocol, and queries are answered
+// by the server — the paper's per-host-agents / central-backend topology.
+// The returned Cluster behaves identically to an in-process one (the
+// loopback parity tests pin this byte-for-byte):
+//
+//	cluster, err := mint.Dial("backend:9911", nodes, mint.Defaults())
+//	cluster.Warmup(warmupTraces)
+//	for _, t := range traces {
+//		cluster.Capture(t)
+//	}
+//	cluster.Flush()                // server WAL is durable after this
+//	res := cluster.Query(traces[0].TraceID)
+//	err = cluster.Close()          // flush durable, then disconnect
+//
+// Backend-side knobs (Shards, DataDir, retention, query cache/workers)
+// are configured on mintd and rejected by Dial. Transport failures are
+// sticky: captures become no-ops, queries answer zero values, and Err
+// reports the first error. After Close — local or remote — every
+// operation fails with ErrClosed.
 package mint
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,10 +128,17 @@ import (
 	"repro/internal/backend"
 	"repro/internal/collector"
 	"repro/internal/parser"
+	"repro/internal/rpc"
 	"repro/internal/sampler"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// ErrClosed reports an operation on a Cluster after Close. Captures, marks
+// and flushes return it; queries record it (retrievable through Err) and
+// answer with zero values — closed means closed, for local and remote
+// clusters alike.
+var ErrClosed = errors.New("mint: cluster is closed")
 
 // Re-exported data model types so API users never import internal packages.
 type (
@@ -182,7 +215,8 @@ type Config struct {
 	// synchronous (the seed behavior). When enabled, call Close to drain.
 	IngestWorkers int
 	// QueryWorkers bounds the worker pool QueryMany/BatchAnalyze fan out
-	// over. 0 sizes the pool to GOMAXPROCS; negative forces serial queries.
+	// over. 0 sizes the pool to GOMAXPROCS; -1 forces serial queries (other
+	// negative values are rejected by Open).
 	QueryWorkers int
 	// QueryCacheSize is the capacity (entries) of the backend's query-result
 	// LRU, which serves repeated lookups of unchanged traces without
@@ -238,7 +272,9 @@ func (c Config) agentConfig() agent.Config {
 // not race with captures.
 type Cluster struct {
 	cfg        Config
-	backend    *backend.Backend
+	store      store            // report/query surface: local backend or remote transport
+	local      *backend.Backend // nil for a remote (Dial) cluster
+	remote     *rpc.Client      // nil for a local cluster
 	meter      *wire.Meter
 	nodes      []string
 	collectors map[string]*collector.Collector
@@ -248,7 +284,8 @@ type Cluster struct {
 	pending   sync.WaitGroup // traces enqueued but not yet fully ingested
 	closed    atomic.Bool    // set by Close before the queue shuts
 	closeOnce sync.Once
-	closeErr  error // the durable store's close error, set once by Close
+	closeErr  error        // the durable store's close error, set once by Close
+	opErr     atomic.Value // first post-Close misuse (ErrClosed), holds error
 
 	// capScratch pools captureOne's per-trace working state (the node
 	// partition map and the sub-trace header), so the synchronous capture
@@ -279,9 +316,12 @@ func NewCluster(nodes []string, cfg Config) *Cluster {
 // Open creates a deployment over the given node names. When cfg.DataDir is
 // set it also attaches the durable storage engine, replaying any state a
 // previous cluster persisted there — the reopen-from-disk half of crash
-// recovery. The only error paths are persistence I/O, so Open without a
-// DataDir never fails.
+// recovery. The error paths are configuration validation and persistence
+// I/O, so Open with a valid Config and no DataDir never fails.
 func Open(nodes []string, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 1
@@ -305,10 +345,55 @@ func Open(nodes []string, cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	return assemble(nodes, cfg, b, nil), nil
+}
+
+// Dial connects to a mintd backend server and returns a remote Cluster:
+// agents and collectors run in this process (per-host, as the paper places
+// them), while every report they emit ships over the network transport to
+// the server's shared backend, and every query is answered by it. The
+// returned Cluster supports the full Capture/Query/BatchAnalyze/FindTraces
+// surface with the same semantics as an in-process one.
+//
+// Backend-side fields of cfg (Shards, QueryWorkers, QueryCacheSize,
+// DataDir, RetentionTTL, SnapshotEveryBytes) configure the server's
+// deployment, not the client's, and must be zero here; agent-side fields
+// (parser thresholds, samplers, buffers, IngestWorkers) apply normally.
+// Close flushes the server's durable store and closes the connection; the
+// server keeps running. Transport failures are sticky: captures become
+// no-ops, queries answer zero values, and Err reports the first error.
+func Dial(addr string, nodes []string, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards != 0 || cfg.QueryWorkers != 0 || cfg.QueryCacheSize != 0 ||
+		cfg.DataDir != "" || cfg.RetentionTTL != 0 || cfg.SnapshotEveryBytes != 0 {
+		return nil, fmt.Errorf("mint: invalid config: backend-side fields (Shards, QueryWorkers, QueryCacheSize, DataDir, RetentionTTL, SnapshotEveryBytes) are owned by the server; configure them on mintd")
+	}
+	cli, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(nodes, cfg, nil, cli), nil
+}
+
+// assemble builds a Cluster over either a local backend or a remote
+// transport — everything above the store (agents, collectors, reporters,
+// the ingest worker pool) is identical in both deployments, which is what
+// keeps loopback parity byte-exact.
+func assemble(nodes []string, cfg Config, b *backend.Backend, cli *rpc.Client) *Cluster {
+	var st store
+	if cli != nil {
+		st = cli
+	} else {
+		st = b
+	}
 	m := wire.NewMeter()
 	c := &Cluster{
 		cfg:        cfg,
-		backend:    b,
+		store:      st,
+		local:      b,
+		remote:     cli,
 		meter:      m,
 		nodes:      append([]string(nil), nodes...),
 		collectors: map[string]*collector.Collector{},
@@ -317,9 +402,9 @@ func Open(nodes []string, cfg Config) (*Cluster, error) {
 	for _, n := range nodes {
 		a := agent.New(n, cfg.agentConfig())
 		if async {
-			c.collectors[n] = collector.NewAsync(a, b, m, 0, 0)
+			c.collectors[n] = collector.NewAsync(a, st, m, 0, 0)
 		} else {
-			c.collectors[n] = collector.New(a, b, m)
+			c.collectors[n] = collector.New(a, st, m)
 		}
 	}
 	if async {
@@ -335,7 +420,7 @@ func Open(nodes []string, cfg Config) (*Cluster, error) {
 			}()
 		}
 	}
-	return c, nil
+	return c
 }
 
 // Warmup trains every node's span parser offline using the spans that the
@@ -358,20 +443,32 @@ func (c *Cluster) Warmup(traces []*Trace) {
 // sub-traces, parsed by each node's agent, and any sampling decision
 // triggers a cluster-wide parameter upload (trace coherence). Capture is the
 // synchronous entry point — the trace is fully ingested when it returns —
-// and is safe to call from many goroutines at once.
-func (c *Cluster) Capture(t *Trace) { c.captureOne(t) }
+// and is safe to call from many goroutines at once. On a closed cluster it
+// ingests nothing and returns ErrClosed.
+func (c *Cluster) Capture(t *Trace) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	c.captureOne(t)
+	return nil
+}
 
 // CaptureAsync hands a trace to the ingest worker pool and returns once it
 // is enqueued, blocking when the bounded queue is full (back-pressure, never
-// dropping). Without IngestWorkers — or after Close — it degrades to
-// synchronous Capture. Call Flush or Close before querying for the results.
-func (c *Cluster) CaptureAsync(t *Trace) {
-	if c.ingestCh == nil || c.closed.Load() {
+// dropping). Without IngestWorkers it degrades to synchronous Capture. On a
+// closed cluster it ingests nothing and returns ErrClosed. Call Flush or
+// Close before querying for the results.
+func (c *Cluster) CaptureAsync(t *Trace) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
+	if c.ingestCh == nil {
 		c.captureOne(t)
-		return
+		return nil
 	}
 	c.pending.Add(1)
 	c.ingestCh <- t
+	return nil
 }
 
 func (c *Cluster) captureOne(t *Trace) {
@@ -421,21 +518,35 @@ func (c *Cluster) captureOne(t *Trace) {
 	}
 	c.capScratch.Put(s)
 	if sampledReason != "" {
-		c.markSampled(t.TraceID, sampledReason)
+		// The sampling collector already delivered the mark to the store
+		// (collector.Ingest marks through its sink — one round-trip on a
+		// remote deployment); what remains is the cluster-wide coherence
+		// fan-out.
+		c.notifySampled(t.TraceID, sampledReason)
 	}
 }
 
 // MarkSampled externally marks a trace as sampled (the head/tail adapter
-// path) and collects its parameters from every node.
-func (c *Cluster) MarkSampled(traceID, reason string) {
+// path) and collects its parameters from every node. On a closed cluster it
+// records nothing and returns ErrClosed.
+func (c *Cluster) MarkSampled(traceID, reason string) error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
 	c.markSampled(traceID, reason)
+	return nil
 }
 
 func (c *Cluster) markSampled(traceID, reason string) {
-	c.backend.MarkSampled(traceID, reason)
-	// The backend broadcasts one notice on the collectors' control channel
-	// (counted once — it is a single multicast message), and every host
-	// reports its buffered params for the trace.
+	c.store.MarkSampled(traceID, reason)
+	c.notifySampled(traceID, reason)
+}
+
+// notifySampled performs the trace-coherence fan-out for a mark the store
+// already holds: the backend broadcasts one notice on the collectors'
+// control channel (counted once — it is a single multicast message), and
+// every host reports its buffered params for the trace.
+func (c *Cluster) notifySampled(traceID, reason string) {
 	notice := &wire.SampleNotice{TraceID: traceID, Reason: reason}
 	c.meter.Record("backend", notice)
 	for _, node := range c.nodes {
@@ -447,10 +558,14 @@ func (c *Cluster) markSampled(traceID, reason string) {
 // (default cadence in the paper: one minute) and, in async mode, waits for
 // the in-flight ingest queue and report batches to reach the backend, so
 // queries issued after Flush see every capture enqueued before it. With
-// DataDir set, Flush then forces the write-ahead logs to durable storage:
-// everything queryable after Flush survives a crash and reopen. A
-// persistence I/O error is sticky and surfaces from Close.
-func (c *Cluster) Flush() {
+// DataDir set — or against a remote durable backend — Flush then forces the
+// write-ahead logs to durable storage and returns the engine's first I/O
+// error: everything queryable after a nil Flush survives a crash and
+// reopen. On a closed cluster Flush does nothing and returns ErrClosed.
+func (c *Cluster) Flush() error {
+	if err := c.checkOpen(); err != nil {
+		return err
+	}
 	c.drainIngest()
 	for _, node := range c.nodes {
 		c.collectors[node].FlushPatterns()
@@ -458,7 +573,7 @@ func (c *Cluster) Flush() {
 	for _, node := range c.nodes {
 		c.collectors[node].SyncReports()
 	}
-	_ = c.backend.FlushPersistence() // sticky; surfaced by Close
+	return c.store.FlushPersistence()
 }
 
 // drainIngest waits until every trace enqueued by CaptureAsync so far has
@@ -476,11 +591,15 @@ func (c *Cluster) drainIngest() {
 // Close drains the ingest pool and every async reporter, then stops them.
 // With DataDir set it then flushes the write-ahead logs and detaches the
 // durable store, so everything captured before Close is on disk when it
-// returns — close-is-flush. The cluster remains queryable after Close;
-// further captures (Capture or CaptureAsync) run synchronously and are no
-// longer persisted. Captures must not race with Close itself. Safe to call
+// returns — close-is-flush. A remote cluster's Close flushes the server's
+// durable store and closes the connection (the server keeps running for
+// other clients). Captures must not race with Close itself. Safe to call
 // more than once: the second and later calls are no-ops returning the same
 // error, which is the durable store's first I/O error, if any.
+//
+// Closed means closed: every later operation fails with ErrClosed —
+// captures, marks and flushes return it, queries record it (see Err) and
+// answer with zero values.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
@@ -494,22 +613,59 @@ func (c *Cluster) Close() error {
 		for _, node := range c.nodes {
 			c.collectors[node].Close()
 		}
-		c.closeErr = c.backend.ClosePersistence()
+		c.closeErr = c.store.ClosePersistence()
 	})
 	return c.closeErr
+}
+
+// checkOpen returns nil on a live cluster and records + returns the sticky
+// ErrClosed on a closed one.
+func (c *Cluster) checkOpen() error {
+	if !c.closed.Load() {
+		return nil
+	}
+	c.opErr.CompareAndSwap(nil, ErrClosed)
+	return ErrClosed
+}
+
+// Err reports the cluster's first operational error: ErrClosed once any
+// operation was attempted after Close, or a remote cluster's first
+// transport failure. Methods without an error return (Query, BatchAnalyze,
+// FindTraces, ...) record here instead of panicking or answering wrong —
+// check Err when answers unexpectedly go empty. A healthy cluster reports
+// nil.
+func (c *Cluster) Err() error {
+	if v := c.opErr.Load(); v != nil {
+		return v.(error)
+	}
+	if c.remote != nil {
+		return c.remote.Err()
+	}
+	return nil
 }
 
 // Query looks a trace ID up in the backend. Sampled traces answer exactly
 // (QueryResult.Reason carries the sampling reason), everything else answers
 // approximately. Repeated lookups of unchanged traces are served from the
-// epoch-validated result cache (Config.QueryCacheSize).
-func (c *Cluster) Query(traceID string) QueryResult { return c.backend.Query(traceID) }
+// epoch-validated result cache (Config.QueryCacheSize). On a closed cluster
+// Query answers Miss and records ErrClosed (see Err).
+func (c *Cluster) Query(traceID string) QueryResult {
+	if err := c.checkOpen(); err != nil {
+		return QueryResult{}
+	}
+	return c.store.Query(traceID)
+}
 
 // QueryMany answers one query per trace ID, fanning the lookups out over
-// the bounded query worker pool (Config.QueryWorkers). Results are
-// positional: out[i] answers traceIDs[i], identical to serial Query calls.
+// the bounded query worker pool (Config.QueryWorkers) — or, on a remote
+// cluster, batching them into one round-trip. Results are positional:
+// out[i] answers traceIDs[i], identical to serial Query calls. On a closed
+// cluster every result is a Miss and ErrClosed is recorded (see Err).
 func (c *Cluster) QueryMany(traceIDs []string) []QueryResult {
-	return c.backend.QueryMany(traceIDs)
+	if err := c.checkOpen(); err != nil {
+		return make([]QueryResult, len(traceIDs))
+	}
+	return c.store.QueryMany(traceIDs)
 }
 
 // NetworkBytes returns the total bytes agents and backend exchanged.
@@ -519,33 +675,62 @@ func (c *Cluster) NetworkBytes() int64 { return c.meter.Total() }
 // ("patterns", "bloom", "params", "notice").
 func (c *Cluster) NetworkBytesByKind(kind string) int64 { return c.meter.ByKind(kind) }
 
-// StorageBytes returns the backend's persisted bytes.
+// StorageBytes returns the backend's persisted bytes (one stats round-trip
+// on a remote cluster). On a closed cluster it answers 0 and records
+// ErrClosed (see Err).
 func (c *Cluster) StorageBytes() int64 {
-	total, _, _, _ := c.backend.StorageBytes()
+	if err := c.checkOpen(); err != nil {
+		return 0
+	}
+	total, _, _, _ := c.store.StorageBytes()
 	return total
 }
 
 // StorageBreakdown returns the backend's storage split into pattern, Bloom
-// and parameter bytes.
+// and parameter bytes. On a closed cluster it answers zeros and records
+// ErrClosed (see Err).
 func (c *Cluster) StorageBreakdown() (patterns, blooms, params int64) {
-	_, p, bl, pa := c.backend.StorageBytes()
+	if err := c.checkOpen(); err != nil {
+		return 0, 0, 0
+	}
+	_, p, bl, pa := c.store.StorageBytes()
 	return p, bl, pa
 }
 
-// Backend exposes the backend for advanced queries.
-func (c *Cluster) Backend() *backend.Backend { return c.backend }
+// Backend exposes the in-process backend for advanced queries. A remote
+// (Dial) cluster has no local backend and returns nil — the backend lives
+// in the mintd server.
+func (c *Cluster) Backend() *backend.Backend { return c.local }
 
 // Nodes returns the node names.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
 
-// Shards returns the backend shard count.
-func (c *Cluster) Shards() int { return c.backend.ShardCount() }
+// Shards returns the backend shard count, 0 (recording ErrClosed) on a
+// closed cluster.
+func (c *Cluster) Shards() int {
+	if err := c.checkOpen(); err != nil {
+		return 0
+	}
+	return c.store.ShardCount()
+}
 
-// SpanPatternCount returns the distinct span patterns across the backend.
-func (c *Cluster) SpanPatternCount() int { return c.backend.SpanPatternCount() }
+// SpanPatternCount returns the distinct span patterns across the backend,
+// 0 (recording ErrClosed) on a closed cluster.
+func (c *Cluster) SpanPatternCount() int {
+	if err := c.checkOpen(); err != nil {
+		return 0
+	}
+	return c.store.SpanPatternCount()
+}
 
-// TopoPatternCount returns the distinct topo patterns across the backend.
-func (c *Cluster) TopoPatternCount() int { return c.backend.TopoPatternCount() }
+// TopoPatternCount returns the distinct topo patterns across the backend,
+// 0 (recording ErrClosed) on a closed cluster.
+func (c *Cluster) TopoPatternCount() int {
+	if err := c.checkOpen(); err != nil {
+		return 0
+	}
+	return c.store.TopoPatternCount()
+}
 
 // ResetMeter zeroes the network meter (between experiment phases).
 func (c *Cluster) ResetMeter() { c.meter.Reset() }

@@ -13,22 +13,35 @@ import (
 // Unlike Capture (which sees a complete trace), an OTLP payload carries
 // whatever the local SDK exported; Mint's per-node design needs nothing
 // more.
+// On a closed cluster it ingests nothing and returns ErrClosed.
 func (c *Cluster) CaptureOTLP(node string, payload []byte) error {
+	_, err := c.captureOTLPCounted(node, payload)
+	return err
+}
+
+// captureOTLPCounted is CaptureOTLP returning the span count ingested, for
+// the HTTP endpoint's metrics.
+func (c *Cluster) captureOTLPCounted(node string, payload []byte) (int, error) {
+	if err := c.checkOpen(); err != nil {
+		return 0, err
+	}
 	spans, err := otlp.Decode(payload, node)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	col, ok := c.collectors[node]
 	if !ok {
-		return errUnknownNode(node)
+		return 0, errUnknownNode(node)
 	}
 	for _, st := range trace.BuildSubTraces(node, spans) {
 		res := col.Ingest(st)
 		if len(res.Samples) > 0 {
-			c.markSampled(st.TraceID, res.Samples[0].Reason)
+			// The collector already delivered the mark to the store; run
+			// the coherence fan-out only.
+			c.notifySampled(st.TraceID, res.Samples[0].Reason)
 		}
 	}
-	return nil
+	return len(spans), nil
 }
 
 // EncodeOTLP renders spans as an OTLP/JSON export payload, for shipping

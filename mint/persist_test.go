@@ -62,59 +62,85 @@ func captureWorkload(t *testing.T, dir string) (*mint.Cluster, []string) {
 	return cluster, ids
 }
 
-// assertRecoveryParity compares the live cluster against one reopened from
-// the same DataDir across all three read paths the acceptance criteria
-// name: Query, BatchQuery (via BatchAnalyze) and FindTraces.
-func assertRecoveryParity(t *testing.T, live, reopened *mint.Cluster, ids []string) {
-	t.Helper()
-	wantRenders := renderQueries(live, ids)
-	gotRenders := renderQueries(reopened, ids)
-	for i := range wantRenders {
-		if gotRenders[i] != wantRenders[i] {
-			t.Fatalf("trace %s diverged after reopen:\nlive:\n%s\nreopened:\n%s",
-				ids[i], wantRenders[i], gotRenders[i])
-		}
-	}
-
-	wantStats, wantMiss := live.BatchAnalyze(ids)
-	gotStats, gotMiss := reopened.BatchAnalyze(ids)
-	if wantMiss != gotMiss || !reflect.DeepEqual(wantStats, gotStats) {
-		t.Fatalf("BatchAnalyze diverged after reopen: live (%+v, %d) vs reopened (%+v, %d)",
-			wantStats, wantMiss, gotStats, gotMiss)
-	}
-
-	filters := []mint.Filter{
+// recoveryFilters are the predicate searches the parity assertions replay.
+func recoveryFilters(ids []string) []mint.Filter {
+	return []mint.Filter{
 		{Service: "checkout", Candidates: ids},
 		{ErrorsOnly: true, Candidates: ids},
 		{MinDurationUS: 50_000, Candidates: ids, Limit: 50},
 		{SampledOnly: true},
 	}
-	for _, f := range filters {
-		want := live.FindTraces(f)
-		got := reopened.FindTraces(f)
-		if !reflect.DeepEqual(want, got) {
-			t.Fatalf("FindTraces(%+v) diverged after reopen:\nlive: %v\nreopened: %v", f, want, got)
+}
+
+// readsSnapshot captures everything the three read paths of the acceptance
+// criteria answer — Query renders, BatchAnalyze, FindTraces — plus storage
+// accounting. Snapshots are taken from a cluster while it is open (a closed
+// cluster answers nothing) and compared after reopen.
+type readsSnapshot struct {
+	renders []string
+	stats   *mint.BatchStats
+	miss    int
+	finds   [][]mint.FoundTrace
+	storage int64
+}
+
+// snapshotReads renders every read path of an open cluster.
+func snapshotReads(c *mint.Cluster, ids []string) readsSnapshot {
+	snap := readsSnapshot{renders: renderQueries(c, ids)}
+	snap.stats, snap.miss = c.BatchAnalyze(ids)
+	for _, f := range recoveryFilters(ids) {
+		snap.finds = append(snap.finds, c.FindTraces(f))
+	}
+	snap.storage = c.StorageBytes()
+	return snap
+}
+
+// assertRecoveryParity compares a pre-recorded snapshot of the writing
+// cluster against one reopened from the same DataDir across all three read
+// paths the acceptance criteria name: Query, BatchQuery (via BatchAnalyze)
+// and FindTraces.
+func assertRecoveryParity(t *testing.T, want readsSnapshot, reopened *mint.Cluster, ids []string) {
+	t.Helper()
+	gotRenders := renderQueries(reopened, ids)
+	for i := range want.renders {
+		if gotRenders[i] != want.renders[i] {
+			t.Fatalf("trace %s diverged after reopen:\nlive:\n%s\nreopened:\n%s",
+				ids[i], want.renders[i], gotRenders[i])
 		}
 	}
 
-	if w, g := live.StorageBytes(), reopened.StorageBytes(); w != g {
-		t.Fatalf("storage bytes diverged after reopen: live %d, reopened %d", w, g)
+	gotStats, gotMiss := reopened.BatchAnalyze(ids)
+	if want.miss != gotMiss || !reflect.DeepEqual(want.stats, gotStats) {
+		t.Fatalf("BatchAnalyze diverged after reopen: live (%+v, %d) vs reopened (%+v, %d)",
+			want.stats, want.miss, gotStats, gotMiss)
+	}
+
+	for i, f := range recoveryFilters(ids) {
+		got := reopened.FindTraces(f)
+		if !reflect.DeepEqual(want.finds[i], got) {
+			t.Fatalf("FindTraces(%+v) diverged after reopen:\nlive: %v\nreopened: %v", f, want.finds[i], got)
+		}
+	}
+
+	if g := reopened.StorageBytes(); want.storage != g {
+		t.Fatalf("storage bytes diverged after reopen: live %d, reopened %d", want.storage, g)
 	}
 }
 
 func TestCrashRecoveryParityAfterClose(t *testing.T) {
 	dir := t.TempDir()
 	live, ids := captureWorkload(t, dir)
+	// Snapshot the reads before Close — a closed cluster answers nothing.
+	want := snapshotReads(live, ids)
 	if err := live.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	// live remains queryable after Close — it is the parity reference.
 	reopened, err := mint.Open(live.Nodes(), mint.Config{Shards: 4, DataDir: dir})
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer reopened.Close()
-	assertRecoveryParity(t, live, reopened, ids)
+	assertRecoveryParity(t, want, reopened, ids)
 }
 
 func TestCrashRecoveryParityAfterFlushOnly(t *testing.T) {
@@ -123,12 +149,13 @@ func TestCrashRecoveryParityAfterFlushOnly(t *testing.T) {
 	// abandoned without Close. Reopen with a different shard count for good
 	// measure — the data directory is layout-independent.
 	live, ids := captureWorkload(t, dir)
+	want := snapshotReads(live, ids)
 	reopened, err := mint.Open(live.Nodes(), mint.Config{Shards: 2, DataDir: dir})
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer reopened.Close()
-	assertRecoveryParity(t, live, reopened, ids)
+	assertRecoveryParity(t, want, reopened, ids)
 }
 
 // TestCloseFlushesPendingAsyncBatches is the regression test for
@@ -158,17 +185,27 @@ func TestCloseFlushesPendingAsyncBatches(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
-	defer reopened.Close()
 	for _, tr := range traces {
 		if res := reopened.Query(tr.TraceID); res.Kind == mint.Miss {
 			t.Fatalf("trace %s enqueued before Close was not persisted", tr.TraceID)
 		}
 	}
+	// The persisted state must also be stable across a second close/reopen
+	// cycle: close-is-flush leaves nothing behind that a reopen would lose.
 	ids := make([]string, len(traces))
 	for i, tr := range traces {
 		ids[i] = tr.TraceID
 	}
-	assertRecoveryParity(t, cluster, reopened, ids)
+	want := snapshotReads(reopened, ids)
+	if err := reopened.Close(); err != nil {
+		t.Fatalf("close reopened: %v", err)
+	}
+	again, err := mint.Open(sys.Nodes, mint.Config{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer again.Close()
+	assertRecoveryParity(t, want, again, ids)
 }
 
 func TestRetentionTTLDropsOldTraces(t *testing.T) {

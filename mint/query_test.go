@@ -164,6 +164,10 @@ func TestConcurrentQueryCaptureCached(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
+	// Drain the pipeline, then render before Close: a closed cluster
+	// answers nothing (ErrClosed).
+	cluster.Flush()
+	got := queryRenders(cluster, traces)
 	cluster.Close()
 
 	ref := mint.NewCluster(sys.Nodes, mint.Config{DisableSamplers: true, QueryCacheSize: -1})
@@ -174,7 +178,6 @@ func TestConcurrentQueryCaptureCached(t *testing.T) {
 	ref.Flush()
 
 	want := queryRenders(ref, traces)
-	got := queryRenders(cluster, traces)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("post-quiesce trace %d diverged:\nconcurrent: %s\nreference:  %s", i, got[i], want[i])
