@@ -1,0 +1,10 @@
+//go:build !go1.24
+
+package main
+
+import "net/http"
+
+// enableH2C is the pre-go1.24 fallback: net/http has no native cleartext
+// HTTP/2 there, so the gRPC route is reachable over HTTP/1.1 chunked
+// trailers only.
+func enableH2C(srv *http.Server) bool { return false }

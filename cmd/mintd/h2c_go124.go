@@ -1,0 +1,18 @@
+//go:build go1.24
+
+package main
+
+import "net/http"
+
+// enableH2C turns on cleartext HTTP/2 (prior-knowledge h2c, alongside
+// HTTP/1.1) on the server, which is what stock OTLP/gRPC exporters speak to
+// an insecure endpoint. Gated on go1.24, where net/http gained native
+// unencrypted HTTP/2; earlier toolchains build the no-op fallback and serve
+// the gRPC route over HTTP/1.1 chunked trailers only.
+func enableH2C(srv *http.Server) bool {
+	var p http.Protocols
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	srv.Protocols = &p
+	return true
+}

@@ -7,9 +7,12 @@
 //     FindAnalyze), stats and durable flush. Remote clients connect with
 //     mint.Dial and collector traffic ships here unchanged.
 //
-//   - an HTTP port (-http) with POST /v1/traces OTLP/JSON ingestion (point
-//     an unmodified OpenTelemetry SDK exporter at it), GET /healthz
-//     liveness and GET /metricsz Prometheus-style counters.
+//   - an HTTP port (-http) with POST /v1/traces OTLP ingestion in both
+//     JSON and protobuf encodings (point an unmodified OpenTelemetry SDK
+//     exporter at it; gzip request bodies accepted, -max-body bounds
+//     payload size), the OTLP/gRPC TraceService/Export method over
+//     cleartext HTTP/2, GET /healthz liveness and GET /metricsz
+//     Prometheus-style counters.
 //
 // With -data-dir the backend persists every shard to snapshot + WAL and a
 // restarted mintd answers queries byte-identically to the one that wrote
@@ -49,6 +52,7 @@ func main() {
 	shards := flag.Int("shards", 4, "backend store shards")
 	queryWorkers := flag.Int("query-workers", 0, "query worker pool bound (0 = GOMAXPROCS)")
 	queryCache := flag.Int("query-cache", 0, "query result cache entries (0 = default, -1 disables)")
+	maxBody := flag.Int64("max-body", 0, "max bytes per OTLP ingest payload, after decompression (0 = 32 MiB default)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (snapshot + WAL per shard); empty = memory-only")
 	retention := flag.Duration("retention", 0, "drop stored trace data older than this TTL (requires -data-dir)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "rewrite a shard snapshot once its WAL exceeds this size (requires -data-dir)")
@@ -85,11 +89,13 @@ func main() {
 	if *httpAddr != "" {
 		handler := mint.NewHTTPHandler(cluster, nodeList[0])
 		handler.AttachRPCServer(srv) // /metricsz reports transport traffic
+		handler.SetMaxBody(*maxBody)
 		httpSrv = &http.Server{
 			Addr:              *httpAddr,
 			Handler:           handler,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
+		h2c := enableH2C(httpSrv) // OTLP/gRPC exporters need cleartext HTTP/2
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				// Route through the shutdown path: exiting here would skip
@@ -98,7 +104,7 @@ func main() {
 				fatal <- err
 			}
 		}()
-		fmt.Printf("mintd: http listening on %s (POST /v1/traces, /healthz, /metricsz)\n", *httpAddr)
+		fmt.Printf("mintd: http listening on %s (POST /v1/traces json+protobuf, gRPC Export h2c=%v, /healthz, /metricsz)\n", *httpAddr, h2c)
 	}
 	if *dataDir != "" {
 		fmt.Printf("mintd: durable store at %s (retention %v)\n", *dataDir, *retention)

@@ -7,11 +7,18 @@
 // resource.service.name, span ids, kind, timestamps, status and string/
 // numeric attributes. Everything else is ignored, matching the paper's
 // decoupling claim.
+//
+// The sibling package otlp/pb decodes the same request shape from the OTLP
+// binary protobuf encoding. Both decoders map OTLP fields to Mint spans
+// through the shared helpers in this package (KindFrom, StatusFrom,
+// TimesFromNanos), so a payload ingested as JSON and its re-encoding as
+// protobuf produce byte-identical spans.
 package otlp
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/trace"
@@ -45,8 +52,8 @@ type Span struct {
 	ParentSpanID      string     `json:"parentSpanId"`
 	Name              string     `json:"name"`
 	Kind              int        `json:"kind"`
-	StartTimeUnixNano string     `json:"startTimeUnixNano"`
-	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	StartTimeUnixNano Nanos      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   Nanos      `json:"endTimeUnixNano"`
 	Attributes        []KeyValue `json:"attributes"`
 	Status            Status     `json:"status"`
 }
@@ -69,8 +76,40 @@ type AnyValue struct {
 	DoubleValue *float64 `json:"doubleValue,omitempty"`
 }
 
-// kindFromOTLP maps OTLP SpanKind to the internal kind.
-func kindFromOTLP(k int) trace.Kind {
+// Nanos is an OTLP nanosecond timestamp in its JSON form. The OTLP/JSON
+// mapping renders uint64 timestamps as strings ("1719526800000000000"), but
+// hand-written exporters and several non-Go SDK serializers emit bare JSON
+// numbers — both appear in the wild, so Nanos unmarshals from either and
+// always marshals back to the spec's string form.
+type Nanos string
+
+// UnmarshalJSON accepts both the string and the number encoding.
+func (n *Nanos) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*n = Nanos(s)
+		return nil
+	}
+	if string(b) == "null" {
+		*n = ""
+		return nil
+	}
+	// A bare number: keep its literal text; parseNanos handles both integer
+	// and scientific forms.
+	*n = Nanos(b)
+	return nil
+}
+
+// MarshalJSON renders the spec's string encoding.
+func (n Nanos) MarshalJSON() ([]byte, error) { return json.Marshal(string(n)) }
+
+// KindFrom maps an OTLP SpanKind enum value to the internal kind. Unknown
+// and unspecified values collapse to KindInternal, as the OTLP spec directs
+// receivers to treat them.
+func KindFrom(k int) trace.Kind {
 	switch k {
 	case 2:
 		return trace.KindServer
@@ -83,6 +122,47 @@ func kindFromOTLP(k int) trace.Kind {
 	default:
 		return trace.KindInternal
 	}
+}
+
+// KindTo maps an internal kind back to the OTLP SpanKind enum value.
+func KindTo(k trace.Kind) int {
+	switch k {
+	case trace.KindServer:
+		return 2
+	case trace.KindClient:
+		return 3
+	case trace.KindProducer:
+		return 4
+	case trace.KindConsumer:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// StatusFrom maps an OTLP status code (0 unset, 1 ok, 2 error) to the
+// internal status.
+func StatusFrom(code int) trace.Status {
+	if code == 2 {
+		return trace.StatusError
+	}
+	return trace.StatusOK
+}
+
+// ErrEndBeforeStart reports a span whose end timestamp precedes its start.
+var ErrEndBeforeStart = fmt.Errorf("end before start")
+
+// TimesFromNanos converts OTLP start/end nanosecond timestamps into Mint's
+// microsecond start + duration. Both front-door decoders (JSON and
+// protobuf) share this conversion, which is what keeps their span mappings
+// byte-identical.
+func TimesFromNanos(startNs, endNs int64) (startUS, durationUS int64, err error) {
+	startUS = startNs / 1000
+	durationUS = (endNs - startNs) / 1000
+	if durationUS < 0 {
+		return 0, 0, ErrEndBeforeStart
+	}
+	return startUS, durationUS, nil
 }
 
 // Decode parses an OTLP/JSON export payload into Mint's span model. node
@@ -126,17 +206,17 @@ func convertSpan(s *Span, service, node string) (*trace.Span, error) {
 	if s.TraceID == "" || s.SpanID == "" {
 		return nil, fmt.Errorf("otlp: span missing trace or span id")
 	}
-	start, err := parseNanos(s.StartTimeUnixNano)
+	start, err := parseNanos(string(s.StartTimeUnixNano))
 	if err != nil {
 		return nil, fmt.Errorf("otlp: span %s: bad start time: %w", s.SpanID, err)
 	}
-	end, err := parseNanos(s.EndTimeUnixNano)
+	end, err := parseNanos(string(s.EndTimeUnixNano))
 	if err != nil {
 		return nil, fmt.Errorf("otlp: span %s: bad end time: %w", s.SpanID, err)
 	}
-	status := trace.StatusOK
-	if s.Status.Code == 2 {
-		status = trace.StatusError
+	startUS, durUS, err := TimesFromNanos(start, end)
+	if err != nil {
+		return nil, fmt.Errorf("otlp: span %s: %w", s.SpanID, err)
 	}
 	sp := &trace.Span{
 		TraceID:    s.TraceID,
@@ -145,14 +225,11 @@ func convertSpan(s *Span, service, node string) (*trace.Span, error) {
 		Service:    service,
 		Node:       node,
 		Operation:  s.Name,
-		Kind:       kindFromOTLP(s.Kind),
-		StartUnix:  start / 1000, // ns -> µs
-		Duration:   (end - start) / 1000,
-		Status:     status,
+		Kind:       KindFrom(s.Kind),
+		StartUnix:  startUS,
+		Duration:   durUS,
+		Status:     StatusFrom(s.Status.Code),
 		Attributes: map[string]trace.AttrValue{},
-	}
-	if sp.Duration < 0 {
-		return nil, fmt.Errorf("otlp: span %s: end before start", s.SpanID)
 	}
 	for _, kv := range s.Attributes {
 		switch {
@@ -171,17 +248,31 @@ func convertSpan(s *Span, service, node string) (*trace.Span, error) {
 	return sp, nil
 }
 
+// parseNanos parses a timestamp captured by Nanos: a decimal integer (the
+// spec's string form and the common number form) or, from serializers that
+// render large numbers in scientific notation, a float — accepted with the
+// precision float64 carries.
 func parseNanos(s string) (int64, error) {
 	if s == "" {
 		return 0, fmt.Errorf("empty timestamp")
 	}
-	return strconv.ParseInt(s, 10, 64)
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q", s)
+	}
+	if math.IsNaN(f) || f < math.MinInt64 || f >= math.MaxInt64 {
+		return 0, fmt.Errorf("timestamp %q out of range", s)
+	}
+	return int64(f), nil
 }
 
-// Encode renders internal spans as an OTLP/JSON export, grouping spans by
-// service. Round-tripping through Encode/Decode preserves every field Mint
-// parses.
-func Encode(spans []*trace.Span) ([]byte, error) {
+// Build groups internal spans by service into the OTLP export shape shared
+// by both wire encodings (Encode renders it as JSON, pb.AppendExport as
+// protobuf).
+func Build(spans []*trace.Span) *Export {
 	byService := map[string][]*trace.Span{}
 	var order []string
 	for _, s := range spans {
@@ -204,21 +295,17 @@ func Encode(spans []*trace.Span) ([]byte, error) {
 		}
 		ex.ResourceSpans = append(ex.ResourceSpans, rs)
 	}
-	return json.Marshal(&ex)
+	return &ex
+}
+
+// Encode renders internal spans as an OTLP/JSON export, grouping spans by
+// service. Round-tripping through Encode/Decode preserves every field Mint
+// parses.
+func Encode(spans []*trace.Span) ([]byte, error) {
+	return json.Marshal(Build(spans))
 }
 
 func encodeSpan(s *trace.Span) Span {
-	kind := 0
-	switch s.Kind {
-	case trace.KindServer:
-		kind = 2
-	case trace.KindClient:
-		kind = 3
-	case trace.KindProducer:
-		kind = 4
-	case trace.KindConsumer:
-		kind = 5
-	}
 	statusCode := 1
 	if s.Status >= 400 {
 		statusCode = 2
@@ -228,9 +315,9 @@ func encodeSpan(s *trace.Span) Span {
 		SpanID:            s.SpanID,
 		ParentSpanID:      s.ParentID,
 		Name:              s.Operation,
-		Kind:              kind,
-		StartTimeUnixNano: strconv.FormatInt(s.StartUnix*1000, 10),
-		EndTimeUnixNano:   strconv.FormatInt((s.StartUnix+s.Duration)*1000, 10),
+		Kind:              KindTo(s.Kind),
+		StartTimeUnixNano: Nanos(strconv.FormatInt(s.StartUnix*1000, 10)),
+		EndTimeUnixNano:   Nanos(strconv.FormatInt((s.StartUnix+s.Duration)*1000, 10)),
 		Status:            Status{Code: statusCode},
 	}
 	for _, k := range s.AttrKeys() {

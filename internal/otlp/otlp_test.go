@@ -124,9 +124,82 @@ func TestKindMapping(t *testing.T) {
 		3: trace.KindClient, 4: trace.KindProducer, 5: trace.KindConsumer,
 	}
 	for otlpKind, want := range kinds {
-		if got := kindFromOTLP(otlpKind); got != want {
+		if got := KindFrom(otlpKind); got != want {
 			t.Errorf("kind %d -> %v, want %v", otlpKind, got, want)
 		}
+	}
+}
+
+// TestParseNanosFlexible pins the timestamp forms the front door accepts:
+// the OTLP/JSON spec's string encoding, bare JSON numbers (common from
+// hand-written exporters and non-Go serializers), and scientific notation
+// from float-based serializers — both appear in the wild.
+func TestParseNanosFlexible(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{name: "string integer", in: "1719526800000000000", want: 1719526800000000000},
+		{name: "zero", in: "0", want: 0},
+		{name: "negative integer", in: "-5", want: -5},
+		{name: "scientific notation", in: "1.7195268e+18", want: 1719526800000000000},
+		{name: "float with fraction", in: "1500.75", want: 1500},
+		{name: "empty", in: "", wantErr: true},
+		{name: "garbage", in: "yesterday", wantErr: true},
+		{name: "NaN", in: "NaN", wantErr: true},
+		{name: "positive overflow", in: "1e300", wantErr: true},
+		{name: "negative overflow", in: "-1e300", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseNanos(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error, got %d", tc.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDecodeNumericTimestamps pins that a full payload whose timestamps are
+// JSON numbers (not the spec's strings) decodes identically to the string
+// form, including when one of the two stamps is scientific-notation.
+func TestDecodeNumericTimestamps(t *testing.T) {
+	payload := `{
+	  "resourceSpans": [{
+	    "resource": {"attributes": [{"key": "service.name", "value": {"stringValue": "cart"}}]},
+	    "scopeSpans": [{
+	      "spans": [{
+	        "traceId": "5b8aa5a2d2c872e8321cf37308d69df2",
+	        "spanId": "051581bf3cb55c13",
+	        "name": "GetCart",
+	        "kind": 2,
+	        "startTimeUnixNano": 1544712660000000000,
+	        "endTimeUnixNano": 1.544712661e+18,
+	        "status": {"code": 1}
+	      }]
+	    }]
+	  }]
+	}`
+	spans, err := Decode([]byte(payload), "host-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spans[0]
+	if s.StartUnix != 1544712660000000 {
+		t.Fatalf("start = %d", s.StartUnix)
+	}
+	if s.Duration != 1_000_000 {
+		t.Fatalf("duration = %d", s.Duration)
 	}
 }
 

@@ -1,0 +1,209 @@
+package pb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/otlp"
+	"repro/internal/trace"
+)
+
+// This file is the encoding half of the package: enough of the OTLP
+// protobuf writer to produce SDK-shaped payloads for fixtures, tests and
+// benchmarks. It is not on the ingest hot path, so it favors clarity
+// (nested sub-buffers) over allocation discipline.
+
+// AppendTag appends one field tag.
+func AppendTag(dst []byte, field, wt int) []byte {
+	return AppendVarint(dst, uint64(field)<<3|uint64(wt))
+}
+
+// AppendVarint appends one base-128 varint.
+func AppendVarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendFixed64 appends one little-endian 8-byte field value.
+func AppendFixed64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendBytesField appends a length-delimited field (tag, length, payload).
+func AppendBytesField(dst []byte, field int, b []byte) []byte {
+	dst = AppendTag(dst, field, wtLen)
+	dst = AppendVarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendStringField appends a length-delimited string field.
+func AppendStringField(dst []byte, field int, s string) []byte {
+	dst = AppendTag(dst, field, wtLen)
+	dst = AppendVarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendExport appends the OTLP/protobuf encoding of an export request —
+// the exact bytes a stock SDK exporter would POST with Content-Type
+// application/x-protobuf. Hex trace/span IDs in ex are re-encoded as binary
+// ID bytes; it errors on IDs that are not valid hex and on unparsable
+// timestamps.
+func AppendExport(dst []byte, ex *otlp.Export) ([]byte, error) {
+	for i := range ex.ResourceSpans {
+		body, err := appendResourceSpans(nil, &ex.ResourceSpans[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = AppendBytesField(dst, fExportResourceSpans, body)
+	}
+	return dst, nil
+}
+
+// MarshalSpans encodes internal spans as one export payload, grouping by
+// service exactly like otlp.Encode's JSON form — the protobuf twin used by
+// benchmarks and round-trip tests.
+func MarshalSpans(spans []*trace.Span) ([]byte, error) {
+	return AppendExport(nil, otlp.Build(spans))
+}
+
+func appendResourceSpans(dst []byte, rs *otlp.ResourceSpans) ([]byte, error) {
+	var res []byte
+	for i := range rs.Resource.Attributes {
+		kv, err := appendKeyValue(nil, &rs.Resource.Attributes[i])
+		if err != nil {
+			return nil, err
+		}
+		res = AppendBytesField(res, fResourceAttributes, kv)
+	}
+	dst = AppendBytesField(dst, fRSResource, res)
+	for i := range rs.ScopeSpans {
+		ss, err := appendScopeSpans(nil, &rs.ScopeSpans[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = AppendBytesField(dst, fRSScopeSpans, ss)
+	}
+	return dst, nil
+}
+
+func appendScopeSpans(dst []byte, ss *otlp.ScopeSpans) ([]byte, error) {
+	for i := range ss.Spans {
+		sp, err := appendSpan(nil, &ss.Spans[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = AppendBytesField(dst, fSSSpans, sp)
+	}
+	return dst, nil
+}
+
+func appendSpan(dst []byte, s *otlp.Span) ([]byte, error) {
+	id, err := hexID(s.TraceID)
+	if err != nil {
+		return nil, fmt.Errorf("otlp/pb: span %s: trace id: %w", s.SpanID, err)
+	}
+	dst = AppendBytesField(dst, fSpanTraceID, id)
+	if id, err = hexID(s.SpanID); err != nil {
+		return nil, fmt.Errorf("otlp/pb: span %s: span id: %w", s.SpanID, err)
+	}
+	dst = AppendBytesField(dst, fSpanSpanID, id)
+	if s.ParentSpanID != "" {
+		if id, err = hexID(s.ParentSpanID); err != nil {
+			return nil, fmt.Errorf("otlp/pb: span %s: parent id: %w", s.SpanID, err)
+		}
+		dst = AppendBytesField(dst, fSpanParentSpanID, id)
+	}
+	dst = AppendStringField(dst, fSpanName, s.Name)
+	if s.Kind != 0 {
+		dst = AppendTag(dst, fSpanKind, wtVarint)
+		dst = AppendVarint(dst, uint64(s.Kind))
+	}
+	start, err := nanosValue(s.StartTimeUnixNano)
+	if err != nil {
+		return nil, fmt.Errorf("otlp/pb: span %s: start time: %w", s.SpanID, err)
+	}
+	end, err := nanosValue(s.EndTimeUnixNano)
+	if err != nil {
+		return nil, fmt.Errorf("otlp/pb: span %s: end time: %w", s.SpanID, err)
+	}
+	dst = AppendTag(dst, fSpanStartTime, wtFixed64)
+	dst = AppendFixed64(dst, uint64(start))
+	dst = AppendTag(dst, fSpanEndTime, wtFixed64)
+	dst = AppendFixed64(dst, uint64(end))
+	for i := range s.Attributes {
+		kv, err := appendKeyValue(nil, &s.Attributes[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = AppendBytesField(dst, fSpanAttributes, kv)
+	}
+	if s.Status.Code != 0 {
+		var st []byte
+		st = AppendTag(st, fStatusCode, wtVarint)
+		st = AppendVarint(st, uint64(s.Status.Code))
+		dst = AppendBytesField(dst, fSpanStatus, st)
+	}
+	return dst, nil
+}
+
+func appendKeyValue(dst []byte, kv *otlp.KeyValue) ([]byte, error) {
+	dst = AppendStringField(dst, fKVKey, kv.Key)
+	var val []byte
+	switch {
+	case kv.Value.StringValue != nil:
+		val = AppendStringField(val, fAnyString, *kv.Value.StringValue)
+	case kv.Value.IntValue != nil:
+		n, err := strconv.ParseInt(*kv.Value.IntValue, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("otlp/pb: attribute %s: %w", kv.Key, err)
+		}
+		val = AppendTag(val, fAnyInt, wtVarint)
+		val = AppendVarint(val, uint64(n))
+	case kv.Value.DoubleValue != nil:
+		val = AppendTag(val, fAnyDouble, wtFixed64)
+		val = AppendFixed64(val, math.Float64bits(*kv.Value.DoubleValue))
+	}
+	return AppendBytesField(dst, fKVValue, val), nil
+}
+
+// hexID decodes a lowercase/uppercase hex ID string into its binary bytes.
+func hexID(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd-length hex id %q", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		hi, ok1 := hexNibble(s[i])
+		lo, ok2 := hexNibble(s[i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("bad hex id %q", s)
+		}
+		out[i/2] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// nanosValue parses the JSON-form timestamp into its uint64 wire value.
+func nanosValue(n otlp.Nanos) (int64, error) {
+	if n == "" {
+		return 0, fmt.Errorf("empty timestamp")
+	}
+	return strconv.ParseInt(string(n), 10, 64)
+}

@@ -1,0 +1,56 @@
+package pb
+
+import (
+	"testing"
+
+	"repro/internal/intern"
+)
+
+// FuzzOTLPProtoDecode drives arbitrary bytes through the wire walker. The
+// decoder's contract under fuzzing: never panic, never read past the
+// payload, and when it does accept a payload, return structurally complete
+// spans (IDs present, non-negative duration). Seeds cover a valid export,
+// every field shape, and the interesting structural corners.
+func FuzzOTLPProtoDecode(f *testing.F) {
+	valid, err := MarshalSpans(sampleSpans())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                              // truncated varint
+	f.Add([]byte{0x0a, 0x00})                        // empty ResourceSpans
+	f.Add([]byte{0x0a, 0x7f})                        // length overrun
+	f.Add(AppendTag(nil, 2, 3))                      // group wire type
+	f.Add(AppendVarint(AppendTag(nil, 7, 0), 1<<60)) // unknown varint field
+	// A decorated payload exercising the skip paths.
+	dec := AppendStringField(valid, 9999, "unknown tail field")
+	dec = AppendTag(dec, 3, wtFixed32)
+	dec = append(dec, 1, 2, 3, 4)
+	f.Add(dec)
+
+	dict := intern.NewDict()
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// One-shot decoder.
+		spans, err := Decode(payload, "fuzz")
+		if err == nil {
+			for _, s := range spans {
+				if s.TraceID == "" || s.SpanID == "" {
+					t.Fatalf("accepted span without IDs: %+v", s)
+				}
+				if s.Duration < 0 {
+					t.Fatalf("accepted negative duration: %+v", s)
+				}
+				if s.Service == "" {
+					t.Fatalf("accepted span without service: %+v", s)
+				}
+			}
+		}
+		// Reused decoder with a shared dictionary must agree on accept/reject.
+		d := NewDecoder(dict)
+		_, err2 := d.Decode(payload, "fuzz")
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("interned decoder disagreed: %v vs %v", err, err2)
+		}
+	})
+}

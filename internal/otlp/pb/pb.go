@@ -1,0 +1,713 @@
+// Package pb decodes OTLP/protobuf trace export payloads
+// (ExportTraceServiceRequest) into Mint's span model without generated code
+// or a protobuf runtime dependency. It is the binary twin of package otlp's
+// JSON decoder and the wire format real OpenTelemetry SDK fleets actually
+// export.
+//
+// The decoder is a hand-rolled wire-format walker in the spirit of
+// internal/wire: a varint/tag/length-delimited cursor descends
+// ExportTraceServiceRequest → ResourceSpans → ScopeSpans → Span, slicing
+// sub-messages out of the payload instead of copying them, skipping unknown
+// fields by wire type, and bounding every length-delimited read by its
+// enclosing message (nested length overruns are structural errors, never
+// over-reads).
+//
+// Allocation discipline matches the capture hot path it feeds: a Decoder
+// carries reusable scratch (a span arena, recycled attribute maps, a hex
+// buffer for trace/span IDs), and the strings that repeat across payloads —
+// service names, span names, attribute keys — are resolved through an
+// internal/intern dictionary so the steady state allocates only what is
+// genuinely unique per span (IDs and attribute values). High-cardinality
+// strings are never interned.
+//
+// Field mapping is shared with the JSON decoder (otlp.KindFrom,
+// otlp.StatusFrom, otlp.TimesFromNanos), so the same export ingested
+// through either encoding produces byte-identical spans — the parity the
+// golden corpus pins.
+package pb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/intern"
+	"repro/internal/otlp"
+	"repro/internal/trace"
+)
+
+// Wire types of the protobuf wire format. Groups (3, 4) are long
+// deprecated, never emitted by OTLP SDKs, and rejected.
+const (
+	wtVarint  = 0
+	wtFixed64 = 1
+	wtLen     = 2
+	wtFixed32 = 5
+)
+
+// Field numbers of the OTLP trace protos (opentelemetry/proto/trace/v1 and
+// collector/trace/v1), hand-transcribed — the schema is stable and tiny.
+const (
+	// ExportTraceServiceRequest
+	fExportResourceSpans = 1
+	// ResourceSpans
+	fRSResource   = 1
+	fRSScopeSpans = 2
+	// Resource
+	fResourceAttributes = 1
+	// ScopeSpans
+	fSSSpans = 2
+	// Span
+	fSpanTraceID      = 1
+	fSpanSpanID       = 2
+	fSpanParentSpanID = 4
+	fSpanName         = 5
+	fSpanKind         = 6
+	fSpanStartTime    = 7
+	fSpanEndTime      = 8
+	fSpanAttributes   = 9
+	fSpanStatus       = 15
+	// Status
+	fStatusCode = 3
+	// KeyValue
+	fKVKey   = 1
+	fKVValue = 2
+	// AnyValue (oneof)
+	fAnyString = 1
+	fAnyBool   = 2
+	fAnyInt    = 3
+	fAnyDouble = 4
+	fAnyArray  = 5
+	fAnyKvlist = 6
+	fAnyBytes  = 7
+)
+
+// Structural decode errors. Every malformed payload maps to one of these
+// (wrapped with positional context), never to a panic or an over-read.
+var (
+	// ErrTruncated reports a varint or fixed-width field cut off by the end
+	// of its enclosing message.
+	ErrTruncated = errors.New("otlp/pb: truncated field")
+	// ErrVarintOverflow reports a varint longer than 10 bytes or exceeding
+	// 64 bits.
+	ErrVarintOverflow = errors.New("otlp/pb: varint overflows 64 bits")
+	// ErrLengthOverrun reports a length-delimited field whose declared
+	// length exceeds its enclosing message.
+	ErrLengthOverrun = errors.New("otlp/pb: length-delimited field overruns message")
+	// ErrWireType reports an unsupported wire type (the deprecated group
+	// markers, or the reserved values 6 and 7).
+	ErrWireType = errors.New("otlp/pb: unsupported wire type")
+	// ErrMissingService reports a ResourceSpans block without a
+	// service.name resource attribute.
+	ErrMissingService = errors.New("otlp/pb: resource missing service.name")
+	// ErrMissingID reports a span without a trace or span ID.
+	ErrMissingID = errors.New("otlp/pb: span missing trace or span id")
+)
+
+// Decoder decodes OTLP/protobuf payloads into Mint spans, reusing scratch
+// across calls: the span structs, their attribute maps and the ID hex
+// buffer all come from per-Decoder arenas. The returned spans are valid
+// until the next Decode call on the same Decoder — hand them to the capture
+// path and recycle, exactly like the parse/encode scratch elsewhere on the
+// hot path. A Decoder is not safe for concurrent use; pool Decoders
+// instead.
+type Decoder struct {
+	dict *intern.Dict
+
+	spans  []trace.Span
+	out    []*trace.Span
+	maps   []map[string]trace.AttrValue
+	nmaps  int
+	hexBuf []byte
+}
+
+// NewDecoder creates a Decoder. dict, when non-nil, interns the
+// low-cardinality strings (service names, span names, attribute keys) so
+// repeated payloads resolve them without allocating; share one dictionary
+// across pooled Decoders. High-cardinality strings (IDs, attribute values)
+// are never interned.
+func NewDecoder(dict *intern.Dict) *Decoder {
+	return &Decoder{dict: dict}
+}
+
+// Decode parses one ExportTraceServiceRequest payload into Mint spans. node
+// names the application node the payload came from, as with otlp.Decode.
+// The result aliases the Decoder's scratch and is valid until the next
+// Decode call; it never aliases payload, so the caller may recycle the
+// payload buffer immediately.
+func (d *Decoder) Decode(payload []byte, node string) ([]*trace.Span, error) {
+	d.spans = d.spans[:0]
+	d.out = d.out[:0]
+	d.nmaps = 0
+
+	for pos := 0; pos < len(payload); {
+		field, wt, next, err := tag(payload, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+		if field == fExportResourceSpans && wt == wtLen {
+			var sub []byte
+			sub, pos, err = lenBytes(payload, pos)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.resourceSpans(sub, node); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pos, err = skip(payload, pos, wt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d.out, nil
+}
+
+// resourceSpans decodes one ResourceSpans block: a first pass resolves the
+// resource's service.name (fields may arrive in any order), a second
+// decodes the scope span batches.
+func (d *Decoder) resourceSpans(b []byte, node string) error {
+	service := ""
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		if field == fRSResource && wt == wtLen {
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			svc, err := d.resourceService(sub)
+			if err != nil {
+				return err
+			}
+			if svc != "" {
+				service = svc
+			}
+			continue
+		}
+		pos, err = skip(b, pos, wt)
+		if err != nil {
+			return err
+		}
+	}
+	if service == "" {
+		return ErrMissingService
+	}
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		if field == fRSScopeSpans && wt == wtLen {
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			if err := d.scopeSpans(sub, service, node); err != nil {
+				return err
+			}
+			continue
+		}
+		pos, err = skip(b, pos, wt)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resourceService extracts the service.name string attribute from a
+// Resource message; "" when absent. Later occurrences win, matching the
+// JSON decoder.
+func (d *Decoder) resourceService(b []byte) (string, error) {
+	service := ""
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return "", err
+		}
+		pos = next
+		if field == fResourceAttributes && wt == wtLen {
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return "", err
+			}
+			key, val, isStr, err := keyValueString(sub)
+			if err != nil {
+				return "", err
+			}
+			if isStr && string(key) == "service.name" && len(val) > 0 {
+				service = d.internString(val)
+			}
+			continue
+		}
+		pos, err = skip(b, pos, wt)
+		if err != nil {
+			return "", err
+		}
+	}
+	return service, nil
+}
+
+// scopeSpans decodes one ScopeSpans batch; the scope itself carries nothing
+// Mint consumes and is skipped.
+func (d *Decoder) scopeSpans(b []byte, service, node string) error {
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		if field == fSSSpans && wt == wtLen {
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			if err := d.span(sub, service, node); err != nil {
+				return err
+			}
+			continue
+		}
+		pos, err = skip(b, pos, wt)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// span decodes one Span message into the next arena slot.
+func (d *Decoder) span(b []byte, service, node string) error {
+	sp := d.nextSpan()
+	sp.Service = service
+	sp.Node = node
+	sp.Status = trace.StatusOK // OTLP code 0 (unset) and 1 (ok) both map here
+
+	var startNs, endNs int64
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		switch {
+		case field == fSpanTraceID && wt == wtLen:
+			var id []byte
+			id, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			sp.TraceID = d.hexString(id)
+		case field == fSpanSpanID && wt == wtLen:
+			var id []byte
+			id, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			sp.SpanID = d.hexString(id)
+		case field == fSpanParentSpanID && wt == wtLen:
+			var id []byte
+			id, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			sp.ParentID = d.hexString(id)
+		case field == fSpanName && wt == wtLen:
+			var name []byte
+			name, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			sp.Operation = d.internString(name)
+		case field == fSpanKind && wt == wtVarint:
+			var v uint64
+			v, pos, err = uvarint(b, pos)
+			if err != nil {
+				return err
+			}
+			sp.Kind = otlp.KindFrom(int(int64(v)))
+		case field == fSpanStartTime:
+			startNs, pos, err = timeField(b, pos, wt)
+			if err != nil {
+				return err
+			}
+		case field == fSpanEndTime:
+			endNs, pos, err = timeField(b, pos, wt)
+			if err != nil {
+				return err
+			}
+		case field == fSpanAttributes && wt == wtLen:
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			if err := d.keyValue(sub, sp.Attributes); err != nil {
+				return err
+			}
+		case field == fSpanStatus && wt == wtLen:
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			code, err := statusCode(sub)
+			if err != nil {
+				return err
+			}
+			sp.Status = otlp.StatusFrom(code)
+		default:
+			pos, err = skip(b, pos, wt)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if sp.TraceID == "" || sp.SpanID == "" {
+		return ErrMissingID
+	}
+	var err error
+	sp.StartUnix, sp.Duration, err = otlp.TimesFromNanos(startNs, endNs)
+	if err != nil {
+		return fmt.Errorf("otlp/pb: span %s: %w", sp.SpanID, err)
+	}
+	return nil
+}
+
+// timeField reads a span timestamp. The schema declares fixed64; varint is
+// also accepted for leniency toward hand-rolled exporters.
+func timeField(b []byte, pos, wt int) (int64, int, error) {
+	switch wt {
+	case wtFixed64:
+		v, pos, err := fixed64(b, pos)
+		return int64(v), pos, err
+	case wtVarint:
+		v, pos, err := uvarint(b, pos)
+		return int64(v), pos, err
+	default:
+		return 0, 0, ErrWireType
+	}
+}
+
+// statusCode extracts the code from a Status message.
+func statusCode(b []byte) (int, error) {
+	code := 0
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return 0, err
+		}
+		pos = next
+		if field == fStatusCode && wt == wtVarint {
+			var v uint64
+			v, pos, err = uvarint(b, pos)
+			if err != nil {
+				return 0, err
+			}
+			code = int(int64(v))
+			continue
+		}
+		pos, err = skip(b, pos, wt)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return code, nil
+}
+
+// keyValue decodes one KeyValue attribute into m. Value kinds outside
+// Mint's subset (bool, bytes, arrays, kv-lists) leave the attribute unset,
+// matching the JSON decoder.
+func (d *Decoder) keyValue(b []byte, m map[string]trace.AttrValue) error {
+	var key []byte
+	var val trace.AttrValue
+	set := false
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		switch {
+		case field == fKVKey && wt == wtLen:
+			key, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+		case field == fKVValue && wt == wtLen:
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return err
+			}
+			val, set, err = anyValue(sub)
+			if err != nil {
+				return err
+			}
+		default:
+			pos, err = skip(b, pos, wt)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if key == nil || !set {
+		return nil
+	}
+	m[d.internString(key)] = val
+	return nil
+}
+
+// anyValue decodes an AnyValue oneof. set is false for the kinds Mint
+// ignores; the last populated kind wins, per proto merge semantics.
+func anyValue(b []byte) (val trace.AttrValue, set bool, err error) {
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return val, false, err
+		}
+		pos = next
+		switch {
+		case field == fAnyString && wt == wtLen:
+			var s []byte
+			s, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return val, false, err
+			}
+			// Attribute values are high-cardinality (URLs, user IDs);
+			// materialize, never intern.
+			val, set = trace.Str(string(s)), true
+		case field == fAnyInt && wt == wtVarint:
+			var v uint64
+			v, pos, err = uvarint(b, pos)
+			if err != nil {
+				return val, false, err
+			}
+			val, set = trace.Num(float64(int64(v))), true
+		case field == fAnyDouble && wt == wtFixed64:
+			var v uint64
+			v, pos, err = fixed64(b, pos)
+			if err != nil {
+				return val, false, err
+			}
+			val, set = trace.Num(math.Float64frombits(v)), true
+		case (field == fAnyBool && wt == wtVarint) ||
+			(field == fAnyArray && wt == wtLen) ||
+			(field == fAnyKvlist && wt == wtLen) ||
+			(field == fAnyBytes && wt == wtLen):
+			// Outside Mint's subset: consume, leave unset.
+			pos, err = skip(b, pos, wt)
+			if err != nil {
+				return val, false, err
+			}
+			val, set = trace.AttrValue{}, false
+		default:
+			pos, err = skip(b, pos, wt)
+			if err != nil {
+				return val, false, err
+			}
+		}
+	}
+	return val, set, nil
+}
+
+// keyValueString decodes a KeyValue, returning its key and string value;
+// isStr is false when the value is not a string. Used for the resource
+// attribute walk, where only service.name matters.
+func keyValueString(b []byte) (key, val []byte, isStr bool, err error) {
+	for pos := 0; pos < len(b); {
+		field, wt, next, err := tag(b, pos)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		pos = next
+		switch {
+		case field == fKVKey && wt == wtLen:
+			key, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return nil, nil, false, err
+			}
+		case field == fKVValue && wt == wtLen:
+			var sub []byte
+			sub, pos, err = lenBytes(b, pos)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			for vp := 0; vp < len(sub); {
+				f, w, n, err := tag(sub, vp)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				vp = n
+				if f == fAnyString && w == wtLen {
+					val, vp, err = lenBytes(sub, vp)
+					if err != nil {
+						return nil, nil, false, err
+					}
+					isStr = true
+					continue
+				}
+				vp, err = skip(sub, vp, w)
+				if err != nil {
+					return nil, nil, false, err
+				}
+			}
+		default:
+			pos, err = skip(b, pos, wt)
+			if err != nil {
+				return nil, nil, false, err
+			}
+		}
+	}
+	return key, val, isStr, nil
+}
+
+// nextSpan appends a zeroed span to the arena and attaches a recycled
+// attribute map.
+func (d *Decoder) nextSpan() *trace.Span {
+	d.spans = append(d.spans, trace.Span{})
+	sp := &d.spans[len(d.spans)-1]
+	if d.nmaps == len(d.maps) {
+		d.maps = append(d.maps, make(map[string]trace.AttrValue, 8))
+	}
+	m := d.maps[d.nmaps]
+	d.nmaps++
+	clear(m)
+	sp.Attributes = m
+	d.out = append(d.out, sp)
+	return sp
+}
+
+// internString resolves b through the dictionary when one is attached (one
+// canonical copy per distinct string, no allocation on the steady-state
+// path) and falls back to a plain copy otherwise.
+func (d *Decoder) internString(b []byte) string {
+	if d.dict == nil {
+		return string(b)
+	}
+	if id, ok := d.dict.LookupBytes(b); ok {
+		return d.dict.Str(id)
+	}
+	s := string(b)
+	d.dict.Intern(s)
+	return s
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexString renders a binary trace/span ID as the lowercase hex string the
+// rest of the pipeline keys on, via the Decoder's append-hex scratch. Empty
+// IDs (absent or explicitly zero-length) render as "".
+func (d *Decoder) hexString(id []byte) string {
+	if len(id) == 0 {
+		return ""
+	}
+	buf := d.hexBuf[:0]
+	for _, c := range id {
+		buf = append(buf, hexDigits[c>>4], hexDigits[c&0xf])
+	}
+	d.hexBuf = buf
+	return string(buf)
+}
+
+// tag reads one field tag, returning the field number and wire type.
+func tag(b []byte, pos int) (field, wt, next int, err error) {
+	v, next, err := uvarint(b, pos)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wt = int(v & 7)
+	if v>>3 > uint64(math.MaxInt32) {
+		return 0, 0, 0, ErrVarintOverflow
+	}
+	field = int(v >> 3)
+	if field == 0 {
+		return 0, 0, 0, fmt.Errorf("otlp/pb: field number 0 at offset %d", pos)
+	}
+	return field, wt, next, nil
+}
+
+// uvarint reads one base-128 varint, rejecting truncation and 64-bit
+// overflow.
+func uvarint(b []byte, pos int) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < 10; i++ {
+		if pos+i >= len(b) {
+			return 0, 0, ErrTruncated
+		}
+		c := b[pos+i]
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0, ErrVarintOverflow
+			}
+			return v | uint64(c)<<(7*i), pos + i + 1, nil
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+	}
+	return 0, 0, ErrVarintOverflow
+}
+
+// fixed64 reads one little-endian 8-byte field.
+func fixed64(b []byte, pos int) (uint64, int, error) {
+	if len(b)-pos < 8 {
+		return 0, 0, ErrTruncated
+	}
+	v := uint64(b[pos]) | uint64(b[pos+1])<<8 | uint64(b[pos+2])<<16 | uint64(b[pos+3])<<24 |
+		uint64(b[pos+4])<<32 | uint64(b[pos+5])<<40 | uint64(b[pos+6])<<48 | uint64(b[pos+7])<<56
+	return v, pos + 8, nil
+}
+
+// lenBytes reads one length-delimited field, returning a capacity-capped
+// sub-slice of b — sliced, not copied, and structurally unable to over-read
+// past its enclosing message.
+func lenBytes(b []byte, pos int) ([]byte, int, error) {
+	l, pos, err := uvarint(b, pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l > uint64(len(b)-pos) {
+		return nil, 0, ErrLengthOverrun
+	}
+	end := pos + int(l)
+	return b[pos:end:end], end, nil
+}
+
+// skip consumes one field of the given wire type without interpreting it.
+func skip(b []byte, pos, wt int) (int, error) {
+	switch wt {
+	case wtVarint:
+		_, next, err := uvarint(b, pos)
+		return next, err
+	case wtFixed64:
+		if len(b)-pos < 8 {
+			return 0, ErrTruncated
+		}
+		return pos + 8, nil
+	case wtLen:
+		_, next, err := lenBytes(b, pos)
+		return next, err
+	case wtFixed32:
+		if len(b)-pos < 4 {
+			return 0, ErrTruncated
+		}
+		return pos + 4, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrWireType, wt)
+	}
+}
+
+// Decode is the one-shot convenience form: a fresh Decoder, no interning.
+// Use a pooled Decoder on the ingest path.
+func Decode(payload []byte, node string) ([]*trace.Span, error) {
+	return NewDecoder(nil).Decode(payload, node)
+}

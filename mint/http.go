@@ -1,10 +1,16 @@
 package mint
 
 import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/rpc"
@@ -13,12 +19,25 @@ import (
 // HTTPHandler is the HTTP surface of a Mint deployment, served by mintd
 // next to the binary RPC port:
 //
-//	POST /v1/traces — OTLP/JSON trace ingest (the standard OTLP/HTTP path),
-//	                  so unmodified OpenTelemetry SDK exporters can feed the
-//	                  cluster. The originating node comes from the
-//	                  X-Mint-Node header or ?node= query parameter, falling
-//	                  back to the handler's default node (OTLP itself
-//	                  carries no host placement).
+//	POST /v1/traces — OTLP trace ingest (the standard OTLP/HTTP path), so
+//	                  unmodified OpenTelemetry SDK exporters can feed the
+//	                  cluster. Content-Type selects the encoding:
+//	                  application/json (or none) for OTLP/JSON,
+//	                  application/x-protobuf for OTLP/protobuf on the
+//	                  pooled zero-allocation decode path; anything else is
+//	                  415. Request bodies may be gzip-compressed
+//	                  (Content-Encoding: gzip), and payloads over the
+//	                  configured bound (SetMaxBody) are 413. The
+//	                  originating node comes from the X-Mint-Node header
+//	                  or ?node= query parameter, falling back to the
+//	                  handler's default node (OTLP itself carries no host
+//	                  placement).
+//	POST /opentelemetry.proto.collector.trace.v1.TraceService/Export
+//	                — the same protobuf ingest framed as gRPC
+//	                  (TraceService/Export), for exporters configured with
+//	                  the OTLP/gRPC protocol. Served over cleartext HTTP/2
+//	                  when the server enables it (mintd does) and over
+//	                  HTTP/1.1 chunked trailers otherwise.
 //	GET  /healthz   — liveness: "ok" while the cluster is open, 503 after
 //	                  Close.
 //	GET  /metricsz  — operational counters in Prometheus text format:
@@ -29,6 +48,13 @@ type HTTPHandler struct {
 	defaultNode string
 	mux         *http.ServeMux
 	rpcSrv      *rpc.Server // optional; wires transport counters into /metricsz
+	maxBody     int64
+
+	// bodyBufs pools payload read buffers and gzips pools decompressors,
+	// so the request framing allocates as little as the decode path it
+	// feeds.
+	bodyBufs sync.Pool
+	gzips    sync.Pool
 
 	otlpRequests atomic.Int64
 	otlpSpans    atomic.Int64
@@ -41,16 +67,30 @@ type HTTPHandler struct {
 // process's collectors.
 func (h *HTTPHandler) AttachRPCServer(s *rpc.Server) { h.rpcSrv = s }
 
-// maxOTLPBody bounds one OTLP/JSON export payload (32 MB, far above any
-// sane SDK batch).
+// SetMaxBody bounds one ingest payload (after decompression, and per gRPC
+// message) to n bytes; n <= 0 restores the default. Configure before
+// serving — the bound is read without synchronization.
+func (h *HTTPHandler) SetMaxBody(n int64) {
+	if n <= 0 {
+		n = maxOTLPBody
+	}
+	h.maxBody = n
+}
+
+// maxOTLPBody is the default bound on one OTLP export payload (32 MB, far
+// above any sane SDK batch); mintd overrides it with -max-body.
 const maxOTLPBody = 32 << 20
+
+// grpcExportPath is the gRPC method the OTLP/gRPC exporter protocol calls.
+const grpcExportPath = "/opentelemetry.proto.collector.trace.v1.TraceService/Export"
 
 // NewHTTPHandler builds the HTTP surface over a cluster. defaultNode names
 // the node OTLP payloads ingest as when the request does not say (it must
 // be one of the cluster's nodes).
 func NewHTTPHandler(c *Cluster, defaultNode string) *HTTPHandler {
-	h := &HTTPHandler{cluster: c, defaultNode: defaultNode, mux: http.NewServeMux()}
+	h := &HTTPHandler{cluster: c, defaultNode: defaultNode, mux: http.NewServeMux(), maxBody: maxOTLPBody}
 	h.mux.HandleFunc("/v1/traces", h.handleOTLP)
+	h.mux.HandleFunc(grpcExportPath, h.handleGRPCExport)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/metricsz", h.handleMetrics)
 	return h
@@ -72,27 +112,105 @@ func (h *HTTPHandler) nodeOf(r *http.Request) string {
 	return h.defaultNode
 }
 
-// handleOTLP ingests one OTLP/JSON export payload.
+// mediaType normalizes a Content-Type header value to its bare media type.
+func mediaType(v string) string {
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v = v[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+func (h *HTTPHandler) getBuf() *bytes.Buffer {
+	if b, _ := h.bodyBufs.Get().(*bytes.Buffer); b != nil {
+		b.Reset()
+		return b
+	}
+	return &bytes.Buffer{}
+}
+
+// putBuf recycles a payload buffer, dropping outliers so one giant batch
+// does not pin its backing array in the pool forever.
+func (h *HTTPHandler) putBuf(b *bytes.Buffer) {
+	if b.Cap() <= 4<<20 {
+		h.bodyBufs.Put(b)
+	}
+}
+
+// readBody reads one request payload into a pooled buffer, enforcing the
+// size bound and transparently decompressing Content-Encoding: gzip (the
+// decompressed size is bounded too, so a tiny bomb cannot expand past the
+// limit). On error it returns the HTTP status to answer with.
+func (h *HTTPHandler) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, int, error) {
+	var src io.Reader = http.MaxBytesReader(w, r.Body, h.maxBody)
+	gzipped := false
+	switch enc := r.Header.Get("Content-Encoding"); {
+	case enc == "" || strings.EqualFold(enc, "identity"):
+	case strings.EqualFold(enc, "gzip"):
+		gz, _ := h.gzips.Get().(*gzip.Reader)
+		if gz == nil {
+			gz = new(gzip.Reader)
+		}
+		if err := gz.Reset(src); err != nil {
+			h.gzips.Put(gz)
+			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %w", err)
+		}
+		defer h.gzips.Put(gz)
+		src = io.LimitReader(gz, h.maxBody+1)
+		gzipped = true
+	default:
+		return nil, http.StatusUnsupportedMediaType, fmt.Errorf("unsupported Content-Encoding %q (use gzip or identity)", enc)
+	}
+	buf := h.getBuf()
+	if _, err := buf.ReadFrom(src); err != nil {
+		h.putBuf(buf)
+		// Only an actual size overrun is 413; a dropped or truncated client
+		// body is the client's transient failure, not an oversized batch.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	if gzipped && int64(buf.Len()) > h.maxBody {
+		h.putBuf(buf)
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("gzip body decompresses past %d bytes", h.maxBody)
+	}
+	return buf, 0, nil
+}
+
+// handleOTLP ingests one OTLP export payload, dispatching on Content-Type
+// between the JSON and protobuf decoders.
 func (h *HTTPHandler) handleOTLP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
 	h.otlpRequests.Add(1)
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxOTLPBody))
-	if err != nil {
+	proto := false
+	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
+	case "", "application/json":
+	case "application/x-protobuf", "application/protobuf":
+		proto = true
+	default:
 		h.otlpErrors.Add(1)
-		// Only an actual size overrun is 413; a dropped or truncated client
-		// body is the client's transient failure, not an oversized batch.
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-		} else {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+		http.Error(w, fmt.Sprintf("unsupported Content-Type %q (use application/json or application/x-protobuf)", ct),
+			http.StatusUnsupportedMediaType)
 		return
 	}
-	n, err := h.cluster.captureOTLPCounted(h.nodeOf(r), body)
+	buf, status, err := h.readBody(w, r)
+	if err != nil {
+		h.otlpErrors.Add(1)
+		http.Error(w, err.Error(), status)
+		return
+	}
+	var n int
+	if proto {
+		n, err = h.cluster.captureOTLPProtoCounted(h.nodeOf(r), buf.Bytes())
+	} else {
+		n, err = h.cluster.captureOTLPCounted(h.nodeOf(r), buf.Bytes())
+	}
+	h.putBuf(buf)
 	h.otlpSpans.Add(int64(n))
 	if err != nil {
 		h.otlpErrors.Add(1)
@@ -103,9 +221,116 @@ func (h *HTTPHandler) handleOTLP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	if proto {
+		// The OTLP/protobuf success body: an empty ExportTraceServiceResponse,
+		// which encodes as zero bytes.
+		w.Header().Set("Content-Type", "application/x-protobuf")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	// The OTLP/HTTP success body: a full success is an empty partialSuccess.
 	_, _ = w.Write([]byte(`{"partialSuccess":{}}`))
+}
+
+// gRPC status codes the Export handler answers with.
+const (
+	grpcOK                = 0
+	grpcInvalidArgument   = 3
+	grpcResourceExhausted = 8
+	grpcUnimplemented     = 12
+	grpcUnavailable       = 14
+)
+
+// handleGRPCExport serves TraceService/Export: the protobuf ingest framed
+// as gRPC (5-byte message prefix, status in trailers). The handler is
+// transport-agnostic — real gRPC clients need the server's cleartext
+// HTTP/2; anything speaking HTTP/1.1 chunked trailers works too.
+func (h *HTTPHandler) handleGRPCExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if ct := mediaType(r.Header.Get("Content-Type")); ct != "application/grpc" &&
+		ct != "application/grpc+proto" {
+		http.Error(w, fmt.Sprintf("unsupported Content-Type %q (use application/grpc)", ct),
+			http.StatusUnsupportedMediaType)
+		return
+	}
+	h.otlpRequests.Add(1)
+	// Trailers carry the status; declare them before the response starts.
+	w.Header().Set("Trailer", "Grpc-Status, Grpc-Message")
+	w.Header().Set("Content-Type", "application/grpc")
+
+	buf, status, msg := h.readGRPCMessage(r)
+	var n int
+	if status == grpcOK {
+		var err error
+		n, err = h.cluster.captureOTLPProtoCounted(h.nodeOf(r), buf.Bytes())
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrClosed):
+			status, msg = grpcUnavailable, err.Error()
+		default:
+			status, msg = grpcInvalidArgument, err.Error()
+		}
+	}
+	if buf != nil {
+		h.putBuf(buf)
+	}
+	h.otlpSpans.Add(int64(n))
+	if status != grpcOK {
+		h.otlpErrors.Add(1)
+	}
+	w.WriteHeader(http.StatusOK)
+	if status == grpcOK {
+		// Empty ExportTraceServiceResponse: one uncompressed zero-length
+		// message frame.
+		_, _ = w.Write([]byte{0, 0, 0, 0, 0})
+	}
+	w.Header().Set("Grpc-Status", strconv.Itoa(status))
+	if msg != "" {
+		w.Header().Set("Grpc-Message", grpcEncodeMessage(msg))
+	}
+}
+
+// readGRPCMessage reads one length-prefixed gRPC message into a pooled
+// buffer. On failure it returns a nil buffer and the gRPC status code plus
+// message to answer with.
+func (h *HTTPHandler) readGRPCMessage(r *http.Request) (*bytes.Buffer, int, string) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.Body, hdr[:]); err != nil {
+		return nil, grpcInvalidArgument, "short gRPC frame header"
+	}
+	if hdr[0] != 0 {
+		return nil, grpcUnimplemented, "compressed gRPC messages are not supported"
+	}
+	size := int64(binary.BigEndian.Uint32(hdr[1:]))
+	if size > h.maxBody {
+		return nil, grpcResourceExhausted,
+			fmt.Sprintf("message of %d bytes exceeds the %d byte limit", size, h.maxBody)
+	}
+	buf := h.getBuf()
+	if n, err := buf.ReadFrom(io.LimitReader(r.Body, size)); err != nil || n != size {
+		h.putBuf(buf)
+		return nil, grpcInvalidArgument, "truncated gRPC message"
+	}
+	return buf, grpcOK, ""
+}
+
+// grpcEncodeMessage percent-encodes a grpc-message trailer value per the
+// gRPC HTTP/2 spec (space and printable ASCII except % pass through).
+func grpcEncodeMessage(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= ' ' && c <= '~' && c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&b, "%%%02X", c)
+	}
+	return b.String()
 }
 
 // handleHealth answers liveness probes. A probe is not misuse, so it reads

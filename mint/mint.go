@@ -127,6 +127,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/backend"
 	"repro/internal/collector"
+	"repro/internal/intern"
 	"repro/internal/parser"
 	"repro/internal/rpc"
 	"repro/internal/sampler"
@@ -292,6 +293,13 @@ type Cluster struct {
 	// path itself allocates nothing in steady state. Pooled, not
 	// per-Cluster, because captures may run on many goroutines at once.
 	capScratch sync.Pool
+
+	// otlpDict interns the strings that repeat across OTLP/protobuf
+	// payloads (service names, span names, attribute keys); otlpDecoders
+	// pools the wire walkers that resolve through it, so concurrent
+	// CaptureOTLPProto calls reuse decode scratch instead of allocating.
+	otlpDict     *intern.Dict
+	otlpDecoders sync.Pool
 }
 
 // captureScratch is one goroutine's reusable capture state. The byNode
@@ -397,6 +405,7 @@ func assemble(nodes []string, cfg Config, b *backend.Backend, cli *rpc.Client) *
 		meter:      m,
 		nodes:      append([]string(nil), nodes...),
 		collectors: map[string]*collector.Collector{},
+		otlpDict:   intern.NewDict(),
 	}
 	async := cfg.IngestWorkers > 0
 	for _, n := range nodes {

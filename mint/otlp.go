@@ -2,6 +2,7 @@ package mint
 
 import (
 	"repro/internal/otlp"
+	"repro/internal/otlp/pb"
 	"repro/internal/trace"
 )
 
@@ -29,6 +30,51 @@ func (c *Cluster) captureOTLPCounted(node string, payload []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return c.captureSpans(node, spans)
+}
+
+// CaptureOTLPProto ingests an OTLP/protobuf export payload
+// (ExportTraceServiceRequest, the binary encoding stock SDK exporters emit)
+// received on one node. It is the zero-allocation twin of CaptureOTLP: the
+// payload is decoded by a pooled wire walker whose scratch spans feed the
+// capture path and are recycled before returning, and the low-cardinality
+// strings (service names, span names, attribute keys) resolve through the
+// cluster's intern dictionary. A payload ingested here and its OTLP/JSON
+// equivalent ingested through CaptureOTLP produce byte-identical query
+// results.
+// On a closed cluster it ingests nothing and returns ErrClosed.
+func (c *Cluster) CaptureOTLPProto(node string, payload []byte) error {
+	_, err := c.captureOTLPProtoCounted(node, payload)
+	return err
+}
+
+// captureOTLPProtoCounted is CaptureOTLPProto returning the span count
+// ingested, for the HTTP endpoint's metrics.
+func (c *Cluster) captureOTLPProtoCounted(node string, payload []byte) (int, error) {
+	if err := c.checkOpen(); err != nil {
+		return 0, err
+	}
+	dec, _ := c.otlpDecoders.Get().(*pb.Decoder)
+	if dec == nil {
+		dec = pb.NewDecoder(c.otlpDict)
+	}
+	spans, err := dec.Decode(payload, node)
+	if err != nil {
+		c.otlpDecoders.Put(dec)
+		return 0, err
+	}
+	n, err := c.captureSpans(node, spans)
+	// The agents copied what they keep (parsed patterns and immutable
+	// strings, never the span structs or attribute maps), so the decoder's
+	// scratch can recycle immediately.
+	c.otlpDecoders.Put(dec)
+	return n, err
+}
+
+// captureSpans feeds decoded OTLP spans to one node's collector, grouped
+// into per-trace sub-traces — the ingest tail shared by both front-door
+// encodings, which is what keeps their query results byte-identical.
+func (c *Cluster) captureSpans(node string, spans []*trace.Span) (int, error) {
 	col, ok := c.collectors[node]
 	if !ok {
 		return 0, errUnknownNode(node)
@@ -47,6 +93,11 @@ func (c *Cluster) captureOTLPCounted(node string, payload []byte) (int, error) {
 // EncodeOTLP renders spans as an OTLP/JSON export payload, for shipping
 // Mint-reconstructed traces back into OpenTelemetry tooling.
 func EncodeOTLP(spans []*Span) ([]byte, error) { return otlp.Encode(spans) }
+
+// EncodeOTLPProto renders spans as an OTLP/protobuf export payload — the
+// binary twin of EncodeOTLP, byte-compatible with what an SDK exporter
+// would POST as application/x-protobuf.
+func EncodeOTLPProto(spans []*Span) ([]byte, error) { return pb.MarshalSpans(spans) }
 
 type errUnknownNode string
 
