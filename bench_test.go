@@ -217,3 +217,68 @@ func BenchmarkRemoteCaptureSerial(b *testing.B) {
 		b.Fatalf("transport error: %v", err)
 	}
 }
+
+// benchRemoteQueryCluster captures a fixed workload through a dialed cluster
+// against a mintd-shaped loopback server and returns the remote handle plus
+// the captured trace IDs, for the remote query benchmarks.
+func benchRemoteQueryCluster(b *testing.B) (*mint.Cluster, []string) {
+	b.Helper()
+	sys := sim.OnlineBoutique(1)
+	server := mint.NewCluster(nil, mint.Config{Shards: 4})
+	srv := rpc.NewServer(server.Backend())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cluster, err := mint.Dial(addr.String(), sys.Nodes, mint.Defaults())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	b.Cleanup(func() {
+		if err := cluster.Err(); err != nil {
+			b.Fatalf("transport error: %v", err)
+		}
+		cluster.Close()
+	})
+	cluster.Warmup(sim.GenTraces(sys, 300))
+	traces := sim.GenTraces(sys, 2048)
+	ids := make([]string, len(traces))
+	for i, t := range traces {
+		ids[i] = t.TraceID
+		_ = cluster.Capture(t)
+	}
+	_ = cluster.Flush()
+	return cluster, ids
+}
+
+// BenchmarkRemoteQueryMany measures a 64-ID positional batch lookup over the
+// multiplexed transport: the batch fans out into pipelined chunk frames
+// across the connection pool instead of one lock-step round trip. Its
+// allocs/op is budget-gated in CI (tools/benchbudget).
+func BenchmarkRemoteQueryMany(b *testing.B) {
+	cluster, ids := benchRemoteQueryCluster(b)
+	batch := ids[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cluster.QueryMany(batch)
+	}
+}
+
+// BenchmarkRemoteMark measures the fire-and-forget sampling-mark path over
+// the transport: marks coalesce into shared envelope frames instead of
+// paying one synchronous round trip each, so steady-state cost is an
+// append under a lock. Its allocs/op is budget-gated in CI
+// (tools/benchbudget).
+func BenchmarkRemoteMark(b *testing.B) {
+	cluster, ids := benchRemoteQueryCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.MarkSampled(ids[i%len(ids)], "bench")
+	}
+	// The final flush stays in the timed region so the server-side envelope
+	// application is always counted, whichever side of a timer flush the
+	// last iteration lands on — keeps allocs/op stable for the CI budget.
+	_ = cluster.Flush()
+	b.StopTimer()
+}

@@ -9,15 +9,22 @@
 //	mintbench -light          # skip the heavy (multi-second) experiments
 //	mintbench -workers 8      # capture-throughput benchmark: serial vs
 //	                          # 8 ingest workers on a sharded backend
+//	mintbench -json BENCH_remote.json
+//	                          # remote-transport benchmark (loopback mintd):
+//	                          # capture throughput, allocs/op, query latency,
+//	                          # written as a machine-readable JSON artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/mint"
 )
@@ -29,7 +36,16 @@ func main() {
 	workers := flag.Int("workers", 0, "measure capture throughput with N ingest workers vs the serial baseline")
 	shards := flag.Int("shards", 0, "backend shards for -workers (default 2×workers)")
 	capTraces := flag.Int("captraces", 20000, "traces captured per run in the -workers benchmark")
+	jsonOut := flag.String("json", "", "run the remote-transport benchmark against a loopback mintd and write the results as JSON to this file")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runRemoteBenchJSON(*jsonOut, *capTraces); err != nil {
+			fmt.Fprintf(os.Stderr, "mintbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workers > 0 {
 		runCaptureBench(*workers, *shards, *capTraces)
@@ -99,6 +115,120 @@ func runCaptureBench(workers, shards, n int) {
 	fmt.Printf("%-36s %8.0f traces/sec\n",
 		fmt.Sprintf("pipelined (%d workers, %d shards):", workers, shards), parallel)
 	fmt.Printf("speedup: %.2fx\n", parallel/serial)
+}
+
+// remoteBenchResult is the machine-readable artifact -json writes
+// (BENCH_remote.json in CI): remote-transport capture throughput and
+// allocation cost plus query latency over the multiplexed protocol.
+type remoteBenchResult struct {
+	Schema         string `json:"schema"`
+	RemoteConns    int    `json:"remote_conns"`
+	CapturedTraces int    `json:"captured_traces"`
+	Capture        struct {
+		TracesPerSec float64 `json:"traces_per_sec"`
+		AllocsPerOp  float64 `json:"allocs_per_op"`
+	} `json:"capture"`
+	Query struct {
+		SingleUS float64 `json:"single_us"`
+		Many64US float64 `json:"many64_us"`
+	} `json:"query"`
+	Mark struct {
+		PerOpUS float64 `json:"per_op_us"`
+	} `json:"mark"`
+}
+
+// runRemoteBenchJSON drives the networked deployment end to end in-process
+// — a mintd-shaped loopback server and a dialed client cluster — and writes
+// the measured numbers to path as JSON.
+func runRemoteBenchJSON(path string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-captraces must be positive")
+	}
+	sys := sim.OnlineBoutique(1)
+	warm := sim.GenTraces(sys, 300)
+	traces := sim.GenTraces(sys, n)
+
+	server := mint.NewCluster(nil, mint.Config{Shards: 4})
+	defer server.Close()
+	srv := rpc.NewServer(server.Backend())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cluster, err := mint.Dial(addr.String(), sys.Nodes, mint.Defaults())
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	cluster.Warmup(warm)
+
+	var res remoteBenchResult
+	res.Schema = "mint-bench-remote/v1"
+	res.RemoteConns = mint.DefaultRemoteConns
+	res.CapturedTraces = n
+
+	start := time.Now()
+	for _, t := range traces {
+		if err := cluster.Capture(t); err != nil {
+			return err
+		}
+	}
+	if err := cluster.Flush(); err != nil {
+		return err
+	}
+	res.Capture.TracesPerSec = float64(n) / time.Since(start).Seconds()
+
+	allocRuns, i := 2000, 0
+	res.Capture.AllocsPerOp = testing.AllocsPerRun(allocRuns, func() {
+		_ = cluster.Capture(traces[i%len(traces)])
+		i++
+	})
+
+	ids := make([]string, len(traces))
+	for j, t := range traces {
+		ids[j] = t.TraceID
+	}
+	const singleReps = 400
+	start = time.Now()
+	for j := 0; j < singleReps; j++ {
+		_ = cluster.Query(ids[(j*17)%len(ids)])
+	}
+	res.Query.SingleUS = float64(time.Since(start).Microseconds()) / singleReps
+
+	many := ids[:64]
+	const manyReps = 50
+	start = time.Now()
+	for j := 0; j < manyReps; j++ {
+		_ = cluster.QueryMany(many)
+	}
+	res.Query.Many64US = float64(time.Since(start).Microseconds()) / manyReps
+
+	const markReps = 2000
+	start = time.Now()
+	for j := 0; j < markReps; j++ {
+		cluster.MarkSampled(ids[j%len(ids)], "bench")
+	}
+	if err := cluster.Flush(); err != nil {
+		return err
+	}
+	res.Mark.PerOpUS = float64(time.Since(start).Microseconds()) / markReps
+
+	if err := cluster.Err(); err != nil {
+		return fmt.Errorf("transport error: %w", err)
+	}
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("remote transport bench (%d conns): %.0f traces/sec capture, %.1f allocs/op, %.0fus single query, %.0fus QueryMany(64), %.2fus mark -> %s\n",
+		res.RemoteConns, res.Capture.TracesPerSec, res.Capture.AllocsPerOp,
+		res.Query.SingleUS, res.Query.Many64US, res.Mark.PerOpUS, path)
+	return nil
 }
 
 func captureRate(nodes []string, cfg mint.Config, warm, traces []*mint.Trace) float64 {

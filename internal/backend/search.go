@@ -162,45 +162,98 @@ func (b *Backend) findMatches(f Filter) []foundMatch {
 
 	var out []foundMatch
 	seen := map[string]bool{}
-	record := func(id string, res QueryResult) {
-		out = append(out, foundMatch{
-			ft: FoundTrace{TraceID: id, Kind: res.Kind, Reason: res.Reason, Spans: len(res.Trace.Spans)},
-			t:  res.Trace,
-		})
-	}
 
 	// Exact side: enumerate sampled traces and test their reconstructions.
+	out = b.appendExactMatches(out, &f, seen)
+
+	// Approximate side: test candidates, pre-screened by a targeted Bloom
+	// probe over the topo patterns the filter could match.
+	if !f.SampledOnly && f.Reason == "" {
+		out = b.appendCandidateMatches(out, &f, seen, prefiltered, topoSet)
+	}
+
+	return sortLimitMatches(out, f.Limit)
+}
+
+// foundFrom shapes one query outcome into a search answer.
+func foundFrom(id string, res QueryResult) foundMatch {
+	return foundMatch{
+		ft: FoundTrace{TraceID: id, Kind: res.Kind, Reason: res.Reason, Spans: len(res.Trace.Spans)},
+		t:  res.Trace,
+	}
+}
+
+// appendExactMatches appends every sampled trace satisfying the filter,
+// recording each visited ID in seen so the candidate pass skips it.
+func (b *Backend) appendExactMatches(out []foundMatch, f *Filter, seen map[string]bool) []foundMatch {
 	for _, id := range b.sampledTraceIDs(f.Reason) {
 		res := b.Query(id)
 		if res.Kind == Miss || !f.matchTrace(res.Trace) {
 			continue
 		}
 		seen[id] = true
-		record(id, res)
+		out = append(out, foundFrom(id, res))
 	}
+	return out
+}
 
-	// Approximate side: test candidates, pre-screened by a targeted Bloom
-	// probe over the topo patterns the filter could match.
-	if !f.SampledOnly && f.Reason == "" {
-		for _, id := range f.Candidates {
-			if seen[id] || b.Sampled(id) {
-				continue
-			}
-			seen[id] = true
-			if prefiltered && !b.probeCandidate(id, topoSet) {
-				continue
-			}
-			res := b.Query(id)
-			if res.Kind == Miss || !f.matchTrace(res.Trace) {
-				continue
-			}
-			record(id, res)
+// appendCandidateMatches appends every unsampled candidate satisfying the
+// filter, deduplicating against seen (and within the candidate list itself)
+// and pre-screening through the matching patterns' Bloom segments when the
+// filter narrowed any.
+func (b *Backend) appendCandidateMatches(out []foundMatch, f *Filter, seen map[string]bool, prefiltered bool, topoSet map[intern.Sym]bool) []foundMatch {
+	for _, id := range f.Candidates {
+		if seen[id] || b.Sampled(id) {
+			continue
 		}
+		seen[id] = true
+		if prefiltered && !b.probeCandidate(id, topoSet) {
+			continue
+		}
+		res := b.Query(id)
+		if res.Kind == Miss || !f.matchTrace(res.Trace) {
+			continue
+		}
+		out = append(out, foundFrom(id, res))
 	}
+	return out
+}
 
+// sortLimitMatches orders matches by trace ID and applies the filter cap.
+func sortLimitMatches(out []foundMatch, limit int) []foundMatch {
 	sort.Slice(out, func(i, j int) bool { return out[i].ft.TraceID < out[j].ft.TraceID })
-	if f.Limit > 0 && len(out) > f.Limit {
-		out = out[:f.Limit]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// FindCandidates answers the approximate side of FindTraces alone: the
+// filter's candidate IDs are pre-screened and tested, sampled traces are
+// skipped entirely. It exists for the RPC transport, which decomposes one
+// large remote FindTraces into an exact search plus parallel candidate
+// chunks: a candidate is either sampled (answered by the exact search) or
+// not (answered here), so merging the sorted pieces by trace ID reproduces
+// FindTraces exactly. Filters whose trace-level predicates exclude
+// approximate answers (SampledOnly, a Reason) have none to give and answer
+// empty.
+func (b *Backend) FindCandidates(f Filter) []FoundTrace {
+	if f.SampledOnly || f.Reason != "" {
+		return []FoundTrace{}
+	}
+	spanSet, prefiltered := b.matchingSpanPatterns(&f)
+	var topoSet map[intern.Sym]bool
+	if prefiltered {
+		if len(spanSet) == 0 {
+			return []FoundTrace{}
+		}
+		topoSet = b.matchingTopoPatterns(spanSet)
+	}
+	matches := b.appendCandidateMatches(nil, &f, map[string]bool{}, prefiltered, topoSet)
+	matches = sortLimitMatches(matches, f.Limit)
+	out := make([]FoundTrace, len(matches))
+	for i, m := range matches {
+		out[i] = m.ft
 	}
 	return out
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
@@ -17,200 +19,387 @@ import (
 // ErrClientClosed reports a call on a client after Close.
 var ErrClientClosed = errors.New("rpc: client closed")
 
-// Client is one connection to a mintd backend server. It implements
-// collector.Sink (and its batch extension), so collectors and async
-// reporters ship their reports over it unchanged, and the query surface the
-// mint.Cluster read path uses (Query, QueryMany, BatchQuery, FindTraces,
-// FindAnalyze, storage stats), which is how mint.Dial hands back a
-// Cluster-compatible remote handle.
+// Client is a pooled, multiplexed connection to a mintd backend server. It
+// implements collector.Sink (and its batch extension), so collectors and
+// async reporters ship their reports over it unchanged, and the query
+// surface the mint.Cluster read path uses (Query, QueryMany, BatchQuery,
+// FindTraces, FindAnalyze, storage stats), which is how mint.Dial hands back
+// a Cluster-compatible remote handle.
 //
-// All methods are safe for concurrent use; requests are serialized on the
-// single connection, response decode included. The first transport error
-// latches: the connection closes, every later call fails fast, ingest
-// methods become no-ops, and query methods answer with zero values. Err
-// surfaces the latched error — check it when a remote cluster's answers
-// suddenly go empty.
+// All methods are safe for concurrent use. Each pooled connection runs a
+// demultiplexing reader goroutine, so many requests pipeline in flight at
+// once; queries round-robin across healthy connections, and large batch
+// lookups fan out in chunks. Ingest writes (reports, sampling marks) are
+// fire-and-forget: they coalesce into a single envelope frame per flush
+// interval or size threshold on one designated write connection, preserving
+// their order, and every synchronous operation (queries, Flush, Close) first
+// flushes the coalescer and waits for the server to acknowledge the
+// outstanding writes — a query never runs ahead of the reports that precede
+// it.
+//
+// The first transport error on a connection latches there: that connection
+// closes, its in-flight calls fail, and the pool quarantines it while
+// healthy siblings keep serving. Err surfaces the first such error (queries
+// answer zero values on failure) — check it when a remote cluster's answers
+// suddenly go empty. A cleanly closed client reports nil.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	closed bool
-	err    error // sticky first transport error
+	conns []*clientConn // immutable after dial
+	rr    atomic.Uint32 // round-robin cursor for query picks
+
+	// errMu guards the client-wide sticky errors; it is a leaf lock.
+	errMu sync.Mutex
+	err   error // first transport error on any connection
 	// serverErr is the first server rejection (error frame) of any request
 	// whose caller cannot return the error itself — a refused report is
 	// telemetry lost, a refused query is an answer silently gone empty.
-	// Rejections do not poison the connection, but Err must surface them,
+	// Rejections do not poison a connection, but Err must surface them,
 	// not swallow them.
 	serverErr error
-	enc       []byte // reused request encode buffer
-	rbuf      []byte // reused response payload buffer
+
+	// mu guards lifecycle and the ingest coalescer.
+	mu       sync.Mutex
+	closed   bool
+	coBuf    []byte      // pending coalesced ingest ops (wire envelope)
+	coTimer  *time.Timer // flush timer armed while coBuf is non-empty
+	writeIdx int         // connection carrying the ingest write lane
+
+	closing atomic.Bool // gates error latching during a clean Close
+	quit    chan struct{}
+	bg      sync.WaitGroup
+}
+
+// clientConn is one pooled connection: a writer half serialized by wmu
+// (frames are written atomically with a single Write call) and a reader
+// goroutine that demultiplexes responses to their in-flight calls by
+// request ID.
+type clientConn struct {
+	cli *Client
+	nc  net.Conn
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+	enc []byte // reused frame encode buffer, guarded by wmu
+
+	mu          sync.Mutex
+	cond        *sync.Cond       // signals write acknowledgements and failure
+	pending     map[uint64]*call // in-flight requests by ID
+	nextID      uint64
+	err         error // sticky first transport error on this connection
+	writeIssued int64 // fire-and-forget writes sent
+	writeAcked  int64 // fire-and-forget writes acknowledged (or failed)
+}
+
+// call is one in-flight request. Background calls (fire-and-forget ingest,
+// keepalive pings) are finished by the reader; synchronous calls hand their
+// response through done. Calls are pooled; a pooled call's done channel is
+// always drained.
+type call struct {
+	done       chan struct{}
+	typ        byte        // response frame type
+	buf        *payloadBuf // response payload (pooled copy)
+	err        error       // transport error, set by fail
+	background bool
+	isWrite    bool // counts toward the write barrier
+}
+
+// payloadBuf is a pooled byte buffer for response payloads.
+type payloadBuf struct{ b []byte }
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+var bufPool = sync.Pool{New: func() any { return new(payloadBuf) }}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+func putCall(ca *call) {
+	ca.typ, ca.buf, ca.err, ca.background, ca.isWrite = 0, nil, nil, false, false
+	callPool.Put(ca)
+}
+
+func getBuf() *payloadBuf { return bufPool.Get().(*payloadBuf) }
+
+func putBuf(pb *payloadBuf) {
+	if cap(pb.b) > maxRetainedBuf {
+		pb.b = nil
+	}
+	bufPool.Put(pb)
 }
 
 // DialTimeout bounds how long Dial waits for the TCP connect and the
-// handshake echo.
+// handshake answer, per connection.
 const DialTimeout = 10 * time.Second
 
-// CallTimeout bounds one request/response exchange. A server that stalls
-// past it (host partition, frozen process) surfaces as the sticky
-// transport error instead of wedging every cluster operation behind the
-// connection mutex forever. Generous: the largest legitimate exchanges
-// (multi-thousand-ID QueryMany against a cold store) finish orders of
-// magnitude faster.
+// CallTimeout bounds how long a connection with requests in flight may go
+// without receiving a response frame. A server that stalls past it (host
+// partition, frozen process) surfaces as that connection's sticky transport
+// error instead of wedging callers forever. Generous: the largest
+// legitimate exchanges (multi-thousand-ID QueryMany against a cold store)
+// finish orders of magnitude faster. An idle connection carries no read
+// deadline at all — only in-flight requests arm one.
 const CallTimeout = 2 * time.Minute
 
-// Dial connects to a mintd backend server and performs the protocol
-// handshake.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+// KeepaliveInterval is how often the client pings connections that have
+// nothing in flight, so a dead peer or dropped NAT mapping is noticed while
+// idle instead of on the first real request.
+const KeepaliveInterval = 30 * time.Second
+
+// ReportFlushInterval bounds how long a coalesced ingest write (report,
+// sampling mark) may sit in the client before it is shipped. Synchronous
+// operations flush sooner: every query, Flush and Close first drains the
+// coalescer and waits for the server's acknowledgement.
+const ReportFlushInterval = 20 * time.Millisecond
+
+// ReportFlushBytes is the coalescing buffer size that triggers an immediate
+// flush regardless of the interval.
+const ReportFlushBytes = 64 << 10
+
+// Tunable mirrors of the exported constants, overridden by tests that need
+// short timeouts or quiet keepalives.
+var (
+	callTimeout         = time.Duration(CallTimeout)
+	keepaliveInterval   = time.Duration(KeepaliveInterval)
+	reportFlushInterval = time.Duration(ReportFlushInterval)
+	reportFlushBytes    = ReportFlushBytes
+)
+
+// Dial connects to a mintd backend server over a single connection and
+// performs the protocol handshake. Use DialPool for a multi-connection
+// client.
+func Dial(addr string) (*Client, error) { return DialPool(addr, 1) }
+
+// DialPool connects a pool of conns connections (at least one) to a mintd
+// backend server, performing the protocol handshake on each. The pool
+// pipelines and fans out queries across connections; ingest writes ride one
+// designated connection so their order is preserved.
+func DialPool(addr string, conns int) (*Client, error) {
+	if conns < 1 {
+		conns = 1
 	}
-	c, err := NewClientConn(conn)
-	if err != nil {
-		return nil, fmt.Errorf("rpc: handshake with %s: %w", addr, err)
+	c := &Client{quit: make(chan struct{})}
+	for i := 0; i < conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, DialTimeout)
+		if err == nil {
+			var cc *clientConn
+			cc, err = newClientConn(c, nc)
+			if err == nil {
+				c.conns = append(c.conns, cc)
+				continue
+			}
+			err = fmt.Errorf("rpc: handshake with %s: %w", addr, err)
+		} else {
+			err = fmt.Errorf("rpc: dial %s: %w", addr, err)
+		}
+		for _, cc := range c.conns {
+			cc.nc.Close()
+		}
+		return nil, err
 	}
+	c.start()
 	return c, nil
 }
 
 // NewClientConn wraps an established connection (TCP, or an in-memory pipe
-// in tests) and performs the client side of the handshake.
+// in tests) into a single-connection client, performing the client side of
+// the handshake.
 func NewClientConn(conn net.Conn) (*Client, error) {
-	c := &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}
-	_ = conn.SetDeadline(time.Now().Add(DialTimeout))
-	if _, err := c.bw.Write(handshakeBytes()); err != nil {
-		conn.Close()
+	c := &Client{quit: make(chan struct{})}
+	cc, err := newClientConn(c, conn)
+	if err != nil {
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	c.conns = []*clientConn{cc}
+	c.start()
+	return c, nil
+}
+
+// newClientConn performs the client half of the handshake on conn.
+func newClientConn(c *Client, conn net.Conn) (*clientConn, error) {
+	br := bufio.NewReader(conn)
+	_ = conn.SetDeadline(time.Now().Add(DialTimeout))
+	if _, err := conn.Write(handshakeBytes()); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	echo := make([]byte, len(Magic)+1)
-	if _, err := io.ReadFull(c.br, echo); err != nil {
+	if _, err := io.ReadFull(br, echo); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	if err := checkHandshake(echo); err != nil {
+		// A version-1 server answers a handshake it cannot speak with a
+		// v1-framed error instead of a preamble; decode it (bounded) so the
+		// operator sees the server's words, not a bare "bad magic".
+		if echo[0] == respErr {
+			if n := binary.BigEndian.Uint32(echo[1:5]); n <= 4096 {
+				body := make([]byte, n)
+				if _, rerr := io.ReadFull(br, body); rerr == nil {
+					d := wire.NewDecoder(body)
+					if msg := d.Str(); d.Done() == nil && msg != "" {
+						err = fmt.Errorf("%w: peer rejected the handshake: %s", ErrProtocol, msg)
+					}
+				}
+			}
+		}
 		conn.Close()
 		return nil, err
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return c, nil
+	cc := &clientConn{cli: c, nc: conn, br: br, pending: map[uint64]*call{}}
+	cc.cond = sync.NewCond(&cc.mu)
+	return cc, nil
 }
 
-// fail latches the first transport error and closes the connection.
-// Callers hold c.mu.
-func (c *Client) fail(err error) error {
+// start launches the per-connection reader goroutines and the keepalive
+// loop once every connection has completed its handshake.
+func (c *Client) start() {
+	for _, cc := range c.conns {
+		c.bg.Add(1)
+		go cc.readLoop()
+	}
+	c.bg.Add(1)
+	go c.keepaliveLoop()
+}
+
+// healthy reports whether the connection has not latched a transport error.
+func (cc *clientConn) healthy() bool {
+	cc.mu.Lock()
+	ok := cc.err == nil
+	cc.mu.Unlock()
+	return ok
+}
+
+// readLoop demultiplexes response frames to their in-flight calls until the
+// connection dies.
+func (cc *clientConn) readLoop() {
+	defer cc.cli.bg.Done()
+	var buf []byte
+	for {
+		typ, id, payload, nbuf, err := readFrame(cc.br, buf)
+		buf = nbuf
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		if !cc.dispatch(typ, id, payload) {
+			return
+		}
+		if cap(buf) > maxRetainedBuf {
+			buf = nil
+		}
+	}
+}
+
+// dispatch routes one response frame to its call. It returns false when the
+// connection can no longer be trusted (the error has been latched).
+func (cc *clientConn) dispatch(typ byte, id uint64, payload []byte) bool {
+	cc.mu.Lock()
+	ca, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+	}
+	// The read deadline tracks in-flight requests: armed while any remain
+	// (and re-armed per response, so a streak of slow answers is fine as
+	// long as the server keeps answering), cleared the moment the
+	// connection goes idle — an idle connection must be allowed to sit
+	// quiet indefinitely between keepalive pings.
+	if len(cc.pending) == 0 {
+		_ = cc.nc.SetReadDeadline(time.Time{})
+	} else {
+		_ = cc.nc.SetReadDeadline(time.Now().Add(callTimeout))
+	}
+	cc.mu.Unlock()
+	if !ok {
+		cc.fail(fmt.Errorf("%w: response for unknown request id %d", ErrProtocol, id))
+		return false
+	}
+	if !ca.background {
+		pb := getBuf()
+		pb.b = append(pb.b[:0], payload...)
+		ca.typ, ca.buf = typ, pb
+		ca.done <- struct{}{}
+		return true
+	}
+	// Background call: the reader is its only owner. Acknowledge, surface
+	// rejections, recycle.
+	var serverErr error
+	switch typ {
+	case respOK:
+	case respErr:
+		d := wire.NewDecoder(payload)
+		msg := d.Str()
+		if derr := d.Done(); derr != nil {
+			cc.ackWrite(ca)
+			putCall(ca)
+			cc.fail(derr)
+			return false
+		}
+		serverErr = fmt.Errorf("rpc: server: %s", msg)
+	default:
+		cc.ackWrite(ca)
+		putCall(ca)
+		cc.fail(fmt.Errorf("%w: response type 0x%02x for a write", ErrProtocol, typ))
+		return false
+	}
+	cc.ackWrite(ca)
+	putCall(ca)
+	if serverErr != nil {
+		cc.cli.recordServerErr(serverErr)
+	}
+	return true
+}
+
+// ackWrite credits a finished fire-and-forget write toward the barrier.
+func (cc *clientConn) ackWrite(ca *call) {
+	if !ca.isWrite {
+		return
+	}
+	cc.mu.Lock()
+	cc.writeAcked++
+	cc.cond.Broadcast()
+	cc.mu.Unlock()
+}
+
+// fail latches the connection's first transport error, closes it, and
+// drains every in-flight call: synchronous callers are woken with the
+// error, background writes are force-acknowledged so the write barrier
+// cannot hang on a dead connection.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	cc.nc.Close()
+	pending := cc.pending
+	cc.pending = map[uint64]*call{}
+	for _, ca := range pending {
+		if ca.isWrite {
+			cc.writeAcked++
+		}
+		if ca.background {
+			putCall(ca)
+		} else {
+			ca.err = err
+			ca.done <- struct{}{}
+		}
+	}
+	cc.cond.Broadcast()
+	cc.mu.Unlock()
+	cc.cli.noteTransportErr(err)
+}
+
+// noteTransportErr latches the first connection failure client-wide. A
+// clean Close tears connections down on purpose; the errors that teardown
+// provokes are not failures and must not turn a healthy Close into Err.
+func (c *Client) noteTransportErr(err error) {
+	if c.closing.Load() {
+		return
+	}
+	c.errMu.Lock()
 	if c.err == nil {
 		c.err = err
-		c.conn.Close()
 	}
-	return c.err
-}
-
-// roundTrip performs one request/response exchange under the connection
-// lock: send the request, read the response, enforce its type, and decode
-// it in place (the payload aliases a reused buffer, so decoding must finish
-// before the lock is released). decode may be nil for empty respOK bodies.
-// A respErr response decodes into a returned error without poisoning the
-// connection; transport, framing and decode errors latch.
-func (c *Client) roundTrip(reqType, respType byte, payload []byte, decode func(*wire.Decoder)) error {
-	return c.roundTripEnc(reqType, respType, func(dst []byte) []byte {
-		return append(dst, payload...)
-	}, decode)
-}
-
-// roundTripEnc is roundTrip with the request body appended directly into
-// the reused frame buffer by encode — the batch hot path encodes once,
-// with no intermediate payload allocation or copy.
-func (c *Client) roundTripEnc(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClientClosed
-	}
-	if c.err != nil {
-		return c.err
-	}
-	_ = c.conn.SetDeadline(time.Now().Add(CallTimeout))
-	// Reserve the frame header, encode the body in place, backfill the
-	// length.
-	c.enc = append(c.enc[:0], reqType, 0, 0, 0, 0)
-	c.enc = encode(c.enc)
-	if len(c.enc)-frameHeaderBytes > MaxFrameBytes {
-		// Refuse to send a frame the server's reader must reject (which
-		// would poison the connection); surface a caller error instead.
-		return fmt.Errorf("%w: request of %d bytes exceeds the %d-byte frame limit",
-			ErrProtocol, len(c.enc)-frameHeaderBytes, MaxFrameBytes)
-	}
-	binary.BigEndian.PutUint32(c.enc[1:frameHeaderBytes], uint32(len(c.enc)-frameHeaderBytes))
-	if _, err := c.bw.Write(c.enc); err != nil {
-		return c.fail(err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
-	}
-	typ, resp, rbuf, err := readFrame(c.br, c.rbuf)
-	c.rbuf = rbuf
-	if err != nil {
-		return c.fail(err)
-	}
-	_ = c.conn.SetDeadline(time.Time{})
-	d := wire.NewDecoder(resp)
-	switch {
-	case typ == respErr:
-		msg := d.Str()
-		if err := d.Done(); err != nil {
-			return c.fail(err)
-		}
-		return fmt.Errorf("rpc: server: %s", msg)
-	case typ != respType:
-		return c.fail(fmt.Errorf("%w: response type 0x%02x, want 0x%02x", ErrProtocol, typ, respType))
-	}
-	if decode != nil {
-		decode(d)
-	}
-	if err := d.Done(); err != nil {
-		// A server that emits undecodable responses is as broken as a dead
-		// socket: latch, so the desync cannot corrupt later exchanges.
-		return c.fail(err)
-	}
-	c.shedBuffers()
-	return nil
-}
-
-// maxRetainedBuf bounds the reusable per-connection buffers between
-// exchanges: one huge QueryMany must not pin hundreds of MB on a long-lived
-// connection whose steady-state frames are a few KB.
-const maxRetainedBuf = 1 << 20
-
-// shedBuffers drops oversized reusable buffers. Callers hold c.mu.
-func (c *Client) shedBuffers() {
-	if cap(c.enc) > maxRetainedBuf {
-		c.enc = nil
-	}
-	if cap(c.rbuf) > maxRetainedBuf {
-		c.rbuf = nil
-	}
-}
-
-// Err returns the connection's sticky error, if any: the first transport
-// failure, or the first server rejection of a request whose result had to
-// be answered with zero values (a dropped report violates no-discard, an
-// error-framed query would otherwise masquerade as misses). A cleanly
-// closed client reports nil.
-func (c *Client) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
-	}
-	return c.serverErr
+	c.errMu.Unlock()
 }
 
 // recordServerErr latches the first server rejection for Err.
@@ -218,52 +407,396 @@ func (c *Client) recordServerErr(err error) {
 	if err == nil || errors.Is(err, ErrClientClosed) {
 		return
 	}
-	c.mu.Lock()
+	c.errMu.Lock()
 	if c.serverErr == nil && c.err == nil {
 		c.serverErr = err
 	}
-	c.mu.Unlock()
+	c.errMu.Unlock()
 }
+
+// Err returns the client's sticky error, if any: the first transport
+// failure on any pooled connection, or the first server rejection of a
+// request whose result had to be answered with zero values (a dropped
+// report violates no-discard, an error-framed query would otherwise
+// masquerade as misses). A cleanly closed client reports nil.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return c.serverErr
+}
+
+// send registers ca as an in-flight request and writes its frame. On a nil
+// return the machinery owns the call (the reader or fail will finish it);
+// on an error return the call was never exposed and the caller keeps it.
+func (cc *clientConn) send(reqType byte, ca *call, encode func([]byte) []byte) error {
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ca
+	if len(cc.pending) == 1 {
+		_ = cc.nc.SetReadDeadline(time.Now().Add(callTimeout))
+	}
+	if ca.isWrite {
+		cc.writeIssued++
+	}
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	cc.enc = appendFrame(cc.enc[:0], reqType, id, encode)
+	if len(cc.enc)-frameHeaderBytes > MaxFrameBytes {
+		cc.wmu.Unlock()
+		// Refuse to send a frame the server's reader must reject (which
+		// would poison the connection); surface a caller error instead.
+		if cc.unregister(id) {
+			return fmt.Errorf("%w: request of %d bytes exceeds the %d-byte frame limit",
+				ErrProtocol, len(cc.enc)-frameHeaderBytes, MaxFrameBytes)
+		}
+		// The connection failed concurrently and fail() already finished
+		// the call; the machinery owns it.
+		return nil
+	}
+	_ = cc.nc.SetWriteDeadline(time.Now().Add(callTimeout))
+	_, werr := cc.nc.Write(cc.enc)
+	if werr == nil {
+		_ = cc.nc.SetWriteDeadline(time.Time{})
+	}
+	if cap(cc.enc) > maxRetainedBuf {
+		cc.enc = nil
+	}
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail(werr) // finishes the registered call
+	}
+	return nil
+}
+
+// unregister withdraws a never-sent request. It reports whether the call
+// was still registered (false means fail() raced in and finished it).
+func (cc *clientConn) unregister(id uint64) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	ca, ok := cc.pending[id]
+	if !ok {
+		return false
+	}
+	delete(cc.pending, id)
+	if ca.isWrite {
+		// Credit rather than un-issue: a concurrent barrier may have
+		// snapshotted writeIssued already and would hang on a decrement.
+		cc.writeAcked++
+		cc.cond.Broadcast()
+	}
+	if len(cc.pending) == 0 {
+		_ = cc.nc.SetReadDeadline(time.Time{})
+	}
+	return true
+}
+
+// exchange performs one synchronous request/response over this connection.
+// Many exchanges pipeline concurrently; the reader hands each its response
+// by request ID. A respErr response decodes into a returned error without
+// poisoning the connection; transport, framing and decode errors latch.
+func (cc *clientConn) exchange(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	ca := getCall()
+	if err := cc.send(reqType, ca, encode); err != nil {
+		putCall(ca)
+		return err
+	}
+	<-ca.done
+	if ca.err != nil {
+		err := ca.err
+		putCall(ca)
+		return err
+	}
+	typ, pb := ca.typ, ca.buf
+	putCall(ca)
+	d := wire.NewDecoder(pb.b)
+	var err error
+	switch {
+	case typ == respErr:
+		msg := d.Str()
+		if derr := d.Done(); derr != nil {
+			cc.fail(derr)
+			err = derr
+		} else {
+			err = fmt.Errorf("rpc: server: %s", msg)
+		}
+	case typ != respType:
+		err = fmt.Errorf("%w: response type 0x%02x, want 0x%02x", ErrProtocol, typ, respType)
+		cc.fail(err)
+	default:
+		if decode != nil {
+			decode(d)
+		}
+		if derr := d.Done(); derr != nil {
+			// A server that emits undecodable responses is as broken as a
+			// dead socket: latch, so the desync cannot corrupt later
+			// exchanges.
+			cc.fail(derr)
+			err = derr
+		}
+	}
+	putBuf(pb)
+	return err
+}
+
+// awaitWrites blocks until every fire-and-forget write issued on this
+// connection so far has been acknowledged (applied by the server) or the
+// connection has failed. It returns nil once the issued writes are
+// accounted for — the write barrier every synchronous operation runs before
+// touching server state.
+func (cc *clientConn) awaitWrites() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	target := cc.writeIssued
+	for cc.writeAcked < target && cc.err == nil {
+		cc.cond.Wait()
+	}
+	if cc.writeAcked >= target {
+		return nil
+	}
+	return cc.err
+}
+
+// keepaliveLoop pings idle connections so silent peer death is noticed
+// between requests. A ping is a background call: it arms the read deadline
+// for its own flight and clears it when answered, so an idle connection
+// never accumulates a stale deadline (the bug class this design retires:
+// the old transport left the per-call deadline logic to each caller and an
+// idle pooled connection could sit past it and fail spuriously).
+func (c *Client) keepaliveLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(keepaliveInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+			for _, cc := range c.conns {
+				cc.pingIfIdle()
+			}
+		}
+	}
+}
+
+// pingIfIdle issues a background ping on a healthy connection with nothing
+// in flight.
+func (cc *clientConn) pingIfIdle() {
+	cc.mu.Lock()
+	busy := cc.err != nil || len(cc.pending) > 0
+	cc.mu.Unlock()
+	if busy {
+		return
+	}
+	ca := getCall()
+	ca.background = true
+	if err := cc.send(reqPing, ca, nil); err != nil {
+		putCall(ca)
+	}
+}
+
+// pick selects a healthy connection round-robin for a query exchange.
+func (c *Client) pick() (*clientConn, error) {
+	n := uint32(len(c.conns))
+	start := c.rr.Add(1)
+	for i := uint32(0); i < n; i++ {
+		cc := c.conns[(start+i)%n]
+		if cc.healthy() {
+			return cc, nil
+		}
+	}
+	c.errMu.Lock()
+	err := c.err
+	c.errMu.Unlock()
+	if err == nil {
+		err = ErrClientClosed
+	}
+	return nil, err
+}
+
+// call runs one synchronous exchange on a round-robin connection, without
+// the write barrier — fan-out chunks run it concurrently after their caller
+// ran the barrier once.
+func (c *Client) call(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	return cc.exchange(reqType, respType, encode, decode)
+}
+
+// syncPrepare flushes the ingest coalescer and returns the write-lane
+// connection whose acknowledgements the caller must await.
+func (c *Client) syncPrepare() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	c.flushOpsLocked()
+	return c.conns[c.writeIdx], nil
+}
+
+// barrier flushes pending coalesced writes and waits until the server has
+// acknowledged them.
+func (c *Client) barrier() error {
+	wc, err := c.syncPrepare()
+	if err != nil {
+		return err
+	}
+	return wc.awaitWrites()
+}
+
+// roundTrip is the full synchronous path: write barrier, then one exchange
+// on a pooled connection.
+func (c *Client) roundTrip(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	if err := c.barrier(); err != nil {
+		return err
+	}
+	return c.call(reqType, respType, encode, decode)
+}
+
+// maxRetainedBuf bounds the reusable buffers kept between exchanges: one
+// huge QueryMany must not pin hundreds of MB on a long-lived connection
+// whose steady-state frames are a few KB.
+const maxRetainedBuf = 1 << 20
 
 // Ping round-trips an empty frame, verifying the server is responsive.
 func (c *Client) Ping() error {
 	return c.roundTrip(reqPing, respOK, nil, nil)
 }
 
-// Close closes the connection. Further calls fail fast with ErrClientClosed.
-// Safe to call more than once.
+// Close flushes and awaits outstanding coalesced writes best-effort, then
+// closes every pooled connection. Further calls fail fast with
+// ErrClientClosed. Safe to call more than once.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	c.flushOpsLocked()
+	wc := c.conns[c.writeIdx]
+	c.mu.Unlock()
+	_ = wc.awaitWrites()
+	c.closing.Store(true)
+	close(c.quit)
+	var err error
+	for _, cc := range c.conns {
+		if cerr := cc.nc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.bg.Wait()
+	return err
 }
 
-// --- collector.Sink ---
+// --- ingest coalescing (collector.Sink) ---
 
-// AcceptBatch ships one coalesced report batch as a single frame — the
-// remote form of the async reporter's amortized delivery. The envelope is
-// encoded straight into the connection's reused frame buffer.
+// noteOpsLocked reacts to freshly appended coalesced ops: flush immediately
+// past the size threshold, otherwise make sure the interval timer is armed.
+// Callers hold c.mu.
+func (c *Client) noteOpsLocked() {
+	if len(c.coBuf) >= reportFlushBytes {
+		c.flushOpsLocked()
+		return
+	}
+	if c.coTimer == nil && len(c.coBuf) > 0 {
+		c.coTimer = time.AfterFunc(reportFlushInterval, c.flushOpsTimer)
+	}
+}
+
+// flushOpsTimer is the interval flush. A timer that fires after a
+// synchronous flush already drained the buffer is a harmless no-op.
+func (c *Client) flushOpsTimer() {
+	c.mu.Lock()
+	c.coTimer = nil
+	c.flushOpsLocked()
+	c.mu.Unlock()
+}
+
+// flushOpsLocked ships the coalesced ingest ops as one envelope frame on
+// the write-lane connection, migrating the lane to a healthy sibling if it
+// has failed. With every connection dead the ops are dropped — the
+// transport error is already latched and Err reports it. Callers hold c.mu.
+func (c *Client) flushOpsLocked() {
+	if c.coTimer != nil {
+		c.coTimer.Stop()
+		c.coTimer = nil
+	}
+	if len(c.coBuf) == 0 {
+		return
+	}
+	buf := c.coBuf
+	for i := 0; i < len(c.conns); i++ {
+		cc := c.conns[c.writeIdx]
+		if !cc.healthy() {
+			c.writeIdx = (c.writeIdx + 1) % len(c.conns)
+			continue
+		}
+		ca := getCall()
+		ca.background, ca.isWrite = true, true
+		err := cc.send(reqEnvelope, ca, func(dst []byte) []byte { return append(dst, buf...) })
+		if err == nil {
+			break
+		}
+		putCall(ca)
+		c.recordServerErr(err) // oversize envelope: lost telemetry must surface
+		c.writeIdx = (c.writeIdx + 1) % len(c.conns)
+	}
+	c.coBuf = c.coBuf[:0]
+	if cap(c.coBuf) > maxRetainedBuf {
+		c.coBuf = nil
+	}
+}
+
+// AcceptBatch coalesces one report batch into the ingest envelope — the
+// remote form of the async reporter's amortized delivery. Like every ingest
+// method it is fire-and-forget: the envelope ships on the flush interval or
+// size threshold, and synchronous operations flush it first.
 func (c *Client) AcceptBatch(b *wire.Batch) {
-	c.recordServerErr(c.roundTripEnc(reqBatch, respOK, func(dst []byte) []byte {
-		return wire.AppendBatch(dst, b)
-	}, nil))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	for _, msg := range b.Reports {
+		switch m := msg.(type) {
+		case *wire.PatternReport:
+			c.coBuf = wire.AppendPatternOp(c.coBuf, m)
+		case *wire.BloomReport:
+			c.coBuf = wire.AppendBloomOp(c.coBuf, m)
+		case *wire.ParamsReport:
+			c.coBuf = wire.AppendParamsOp(c.coBuf, m)
+		default:
+			panic(fmt.Sprintf("rpc: batch cannot carry %T", msg))
+		}
+	}
+	c.noteOpsLocked()
 }
 
-// sendOne ships a single report wrapped in a one-report batch envelope (the
-// synchronous reporting path).
-func (c *Client) sendOne(msg wire.Message) {
-	b := wire.Batch{Reports: []wire.Message{msg}}
-	c.AcceptBatch(&b)
+// AcceptPatterns coalesces one pattern report.
+func (c *Client) AcceptPatterns(r *wire.PatternReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.coBuf = wire.AppendPatternOp(c.coBuf, r)
+	c.noteOpsLocked()
 }
 
-// AcceptPatterns ships one pattern report.
-func (c *Client) AcceptPatterns(r *wire.PatternReport) { c.sendOne(r) }
-
-// AcceptBloom ships one Bloom filter report. The report's Full field is
+// AcceptBloom coalesces one Bloom filter report. The report's Full field is
 // the wire carrier of the immutable flag: the server re-derives immutable
 // from Full on receipt. Every current Sink caller passes r.Full, but the
 // interface allows them to diverge, so a mismatched call is realigned
@@ -273,29 +806,66 @@ func (c *Client) AcceptBloom(r *wire.BloomReport, immutable bool) {
 	if r.Full != immutable {
 		clone := *r
 		clone.Full = immutable
-		c.sendOne(&clone)
+		r = &clone
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
 		return
 	}
-	c.sendOne(r)
+	c.coBuf = wire.AppendBloomOp(c.coBuf, r)
+	c.noteOpsLocked()
 }
 
-// AcceptParams ships one sampled trace's parameter report.
-func (c *Client) AcceptParams(r *wire.ParamsReport) { c.sendOne(r) }
+// AcceptParams coalesces one sampled trace's parameter report.
+func (c *Client) AcceptParams(r *wire.ParamsReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.coBuf = wire.AppendParamsOp(c.coBuf, r)
+	c.noteOpsLocked()
+}
 
-// MarkSampled records a trace-coherence sampling decision on the server.
+// MarkSampled coalesces a trace-coherence sampling decision — the per-trace
+// write the lock-step transport paid a full round trip for.
 func (c *Client) MarkSampled(traceID, reason string) {
-	c.recordServerErr(c.roundTripEnc(reqMark, respOK, func(dst []byte) []byte {
-		return appendMark(dst, traceID, reason)
-	}, nil))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.coBuf = wire.AppendMarkOp(c.coBuf, traceID, reason)
+	c.noteOpsLocked()
 }
 
 // --- query surface ---
+
+// fanoutThreshold is the batch size at which QueryMany/BatchQuery split
+// into pipelined chunks instead of one round trip.
+const fanoutThreshold = 16
+
+// findFanoutThreshold is the candidate count at which FindTraces decomposes
+// into an exact search plus parallel candidate chunks.
+const findFanoutThreshold = 64
+
+// fanChunk sizes fan-out chunks: enough chunks to keep every pooled
+// connection a few requests deep, but never chunks so small the per-frame
+// overhead dominates.
+func fanChunk(n, conns int) int {
+	per := (n + 4*conns - 1) / (4 * conns)
+	if per < 8 {
+		per = 8
+	}
+	return per
+}
 
 // Query answers one trace lookup from the remote backend. Transport errors
 // answer Miss; check Err.
 func (c *Client) Query(traceID string) backend.QueryResult {
 	var r backend.QueryResult
-	err := c.roundTripEnc(reqQuery, respQueryResult,
+	err := c.roundTrip(reqQuery, respQueryResult,
 		func(dst []byte) []byte { return wire.AppendString(dst, traceID) },
 		func(d *wire.Decoder) { r = decodeQueryResult(d) })
 	if err != nil {
@@ -305,32 +875,72 @@ func (c *Client) Query(traceID string) backend.QueryResult {
 	return r
 }
 
-// QueryMany answers one query per trace ID in a single round-trip. Results
-// are positional, identical to serial Query calls. Transport errors answer
-// all-Miss; check Err.
-func (c *Client) QueryMany(traceIDs []string) []backend.QueryResult {
-	var out []backend.QueryResult
-	err := c.roundTripEnc(reqQueryMany, respQueryMany,
-		func(dst []byte) []byte { return appendStringSlice(dst, traceIDs) },
+// queryManyChunk exchanges one positional QueryMany over ids, decoding into
+// out (len(out) == len(ids)). A response with the wrong result count is a
+// broken server, not a miss — it latches through the decoder so callers see
+// Err, not silent all-Miss data.
+func (c *Client) queryManyChunk(ids []string, out []backend.QueryResult) error {
+	return c.call(reqQueryMany, respQueryMany,
+		func(dst []byte) []byte { return appendStringSlice(dst, ids) },
 		func(d *wire.Decoder) {
 			n := d.Count()
-			out = make([]backend.QueryResult, 0, wire.CapHint(n))
+			if n != len(ids) && d.Err() == nil {
+				d.Fail(fmt.Sprintf("QueryMany answered %d results for %d ids", n, len(ids)))
+				return
+			}
 			for i := 0; i < n && d.Err() == nil; i++ {
-				out = append(out, decodeQueryResult(d))
+				out[i] = decodeQueryResult(d)
 			}
 		})
-	if err != nil {
+}
+
+// QueryMany answers one query per trace ID. Results are positional,
+// identical to serial Query calls. Large batches split into chunks
+// pipelined concurrently across the connection pool, each decoding into its
+// disjoint region of the result slice — fewer round-trip waves than
+// sequential queries, byte-identical answers. Transport errors answer
+// all-Miss; check Err.
+func (c *Client) QueryMany(traceIDs []string) []backend.QueryResult {
+	miss := func() []backend.QueryResult { return make([]backend.QueryResult, len(traceIDs)) }
+	if err := c.barrier(); err != nil {
 		c.recordServerErr(err)
-		return make([]backend.QueryResult, len(traceIDs))
+		return miss()
 	}
-	if len(out) != len(traceIDs) {
-		// The backend always answers positionally; a wrong count is a broken
-		// server, not a miss — latch it so callers see Err, not silent
-		// all-Miss data.
-		c.mu.Lock()
-		_ = c.fail(fmt.Errorf("%w: QueryMany answered %d results for %d ids", ErrProtocol, len(out), len(traceIDs)))
-		c.mu.Unlock()
-		return make([]backend.QueryResult, len(traceIDs))
+	out := make([]backend.QueryResult, len(traceIDs))
+	if len(traceIDs) < fanoutThreshold {
+		if err := c.queryManyChunk(traceIDs, out); err != nil {
+			c.recordServerErr(err)
+			return miss()
+		}
+		return out
+	}
+	per := fanChunk(len(traceIDs), len(c.conns))
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		cerr error
+	)
+	for start := 0; start < len(traceIDs); start += per {
+		end := start + per
+		if end > len(traceIDs) {
+			end = len(traceIDs)
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			if err := c.queryManyChunk(traceIDs[start:end], out[start:end]); err != nil {
+				emu.Lock()
+				if cerr == nil {
+					cerr = err
+				}
+				emu.Unlock()
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	if cerr != nil {
+		c.recordServerErr(cerr)
+		return miss()
 	}
 	return out
 }
@@ -340,32 +950,210 @@ func emptyBatchStats() *backend.BatchStats {
 	return &backend.BatchStats{ByService: map[string]*backend.ServiceStats{}, Edges: map[string]int{}}
 }
 
-// BatchQuery aggregates many traces server-side in one round-trip,
-// returning the batch statistics and the number of misses.
-func (c *Client) BatchQuery(traceIDs []string) (*backend.BatchStats, int) {
+// mergeBatchStats folds src into dst the same way the backend's own chunked
+// aggregation does: counters sum, maxima take the max, per-service duration
+// lists concatenate in chunk order — so merging contiguous input-range
+// chunks in order reproduces the serial aggregation byte for byte.
+func mergeBatchStats(dst, src *backend.BatchStats) {
+	dst.Traces += src.Traces
+	dst.Spans += src.Spans
+	for svc, ss := range src.ByService {
+		cur, ok := dst.ByService[svc]
+		if !ok {
+			dst.ByService[svc] = ss
+			continue
+		}
+		cur.Spans += ss.Spans
+		cur.Errors += ss.Errors
+		cur.TotalDurUS += ss.TotalDurUS
+		if ss.MaxDurUS > cur.MaxDurUS {
+			cur.MaxDurUS = ss.MaxDurUS
+		}
+		cur.DurationsUS = append(cur.DurationsUS, ss.DurationsUS...)
+	}
+	for e, n := range src.Edges {
+		dst.Edges[e] += n
+	}
+}
+
+// batchQueryChunk exchanges one BatchQuery over ids.
+func (c *Client) batchQueryChunk(ids []string) (*backend.BatchStats, int, error) {
 	var st *backend.BatchStats
 	var miss int
-	err := c.roundTripEnc(reqBatchAnalyze, respBatchStats,
-		func(dst []byte) []byte { return appendStringSlice(dst, traceIDs) },
+	err := c.call(reqBatchAnalyze, respBatchStats,
+		func(dst []byte) []byte { return appendStringSlice(dst, ids) },
 		func(d *wire.Decoder) {
 			st = decodeBatchStats(d)
 			miss = int(d.Uvarint())
 		})
-	if err != nil {
+	return st, miss, err
+}
+
+// BatchQuery aggregates many traces server-side, returning the batch
+// statistics and the number of misses. Large batches split into contiguous
+// chunks pipelined across the pool and merged in input order — the same
+// chunked, order-preserving aggregation the backend runs internally, so the
+// result is byte-identical to one serial call.
+func (c *Client) BatchQuery(traceIDs []string) (*backend.BatchStats, int) {
+	if err := c.barrier(); err != nil {
 		c.recordServerErr(err)
 		return emptyBatchStats(), len(traceIDs)
 	}
-	return st, miss
+	if len(traceIDs) < fanoutThreshold {
+		st, miss, err := c.batchQueryChunk(traceIDs)
+		if err != nil {
+			c.recordServerErr(err)
+			return emptyBatchStats(), len(traceIDs)
+		}
+		return st, miss
+	}
+	per := fanChunk(len(traceIDs), len(c.conns))
+	nChunks := (len(traceIDs) + per - 1) / per
+	stats := make([]*backend.BatchStats, nChunks)
+	misses := make([]int, nChunks)
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		cerr error
+	)
+	for i := 0; i < nChunks; i++ {
+		start, end := i*per, (i+1)*per
+		if end > len(traceIDs) {
+			end = len(traceIDs)
+		}
+		wg.Add(1)
+		go func(i, start, end int) {
+			defer wg.Done()
+			st, miss, err := c.batchQueryChunk(traceIDs[start:end])
+			if err != nil {
+				emu.Lock()
+				if cerr == nil {
+					cerr = err
+				}
+				emu.Unlock()
+				return
+			}
+			stats[i], misses[i] = st, miss
+		}(i, start, end)
+	}
+	wg.Wait()
+	if cerr != nil {
+		c.recordServerErr(cerr)
+		return emptyBatchStats(), len(traceIDs)
+	}
+	merged := emptyBatchStats()
+	miss := 0
+	for i := 0; i < nChunks; i++ {
+		mergeBatchStats(merged, stats[i])
+		miss += misses[i]
+	}
+	return merged, miss
 }
 
-// FindTraces runs a predicate search server-side.
+// FindTraces runs a predicate search server-side. A search with many
+// candidate IDs decomposes into one exact search plus parallel candidate
+// chunks (every candidate is either sampled — answered by the exact side —
+// or not, answered by its chunk), merged in trace-ID order and capped at
+// the filter's limit: the exact answer of the serial search, in fewer
+// round-trip waves.
 func (c *Client) FindTraces(f backend.Filter) []backend.FoundTrace {
-	var out []backend.FoundTrace
-	if err := c.roundTripEnc(reqFindTraces, respFound,
-		func(dst []byte) []byte { return appendFilter(dst, f) },
-		func(d *wire.Decoder) { out = decodeFoundTraces(d) }); err != nil {
+	if err := c.barrier(); err != nil {
 		c.recordServerErr(err)
 		return nil
+	}
+	if len(f.Candidates) < findFanoutThreshold || f.SampledOnly || f.Reason != "" {
+		var out []backend.FoundTrace
+		if err := c.call(reqFindTraces, respFound,
+			func(dst []byte) []byte { return appendFilter(dst, f) },
+			func(d *wire.Decoder) { out = decodeFoundTraces(d) }); err != nil {
+			c.recordServerErr(err)
+			return nil
+		}
+		return out
+	}
+	return c.findTracesFanned(f)
+}
+
+// findTracesFanned is the decomposed FindTraces: exact search and candidate
+// chunks in flight concurrently.
+func (c *Client) findTracesFanned(f backend.Filter) []backend.FoundTrace {
+	// Deduplicate candidates once: the server deduplicates within one
+	// request, so no chunk may re-test an ID another chunk already covers.
+	cands := make([]string, 0, len(f.Candidates))
+	seen := make(map[string]struct{}, len(f.Candidates))
+	for _, id := range f.Candidates {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		cands = append(cands, id)
+	}
+
+	exact := f
+	exact.Candidates = nil
+	exact.Limit = 0
+
+	per := fanChunk(len(cands), len(c.conns))
+	nChunks := (len(cands) + per - 1) / per
+	pieces := make([][]backend.FoundTrace, nChunks+1)
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		cerr error
+	)
+	report := func(err error) {
+		emu.Lock()
+		if cerr == nil {
+			cerr = err
+		}
+		emu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.call(reqFindTraces, respFound,
+			func(dst []byte) []byte { return appendFilter(dst, exact) },
+			func(d *wire.Decoder) { pieces[0] = decodeFoundTraces(d) }); err != nil {
+			report(err)
+		}
+	}()
+	for i := 0; i < nChunks; i++ {
+		start, end := i*per, (i+1)*per
+		if end > len(cands) {
+			end = len(cands)
+		}
+		cf := f
+		cf.Candidates = cands[start:end]
+		cf.Limit = 0
+		wg.Add(1)
+		go func(i int, cf backend.Filter) {
+			defer wg.Done()
+			if err := c.call(reqFindCandidates, respFound,
+				func(dst []byte) []byte { return appendFilter(dst, cf) },
+				func(d *wire.Decoder) { pieces[i+1] = decodeFoundTraces(d) }); err != nil {
+				report(err)
+			}
+		}(i, cf)
+	}
+	wg.Wait()
+	if cerr != nil {
+		c.recordServerErr(cerr)
+		return nil
+	}
+	total := 0
+	for _, p := range pieces {
+		total += len(p)
+	}
+	out := make([]backend.FoundTrace, 0, total)
+	for _, p := range pieces {
+		out = append(out, p...)
+	}
+	// Trace IDs are unique across pieces (sampled IDs answer exactly,
+	// unsampled ones in exactly one chunk), so sorting by ID alone is the
+	// full serial order.
+	sort.Slice(out, func(i, j int) bool { return out[i].TraceID < out[j].TraceID })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
 	}
 	return out
 }
@@ -375,7 +1163,7 @@ func (c *Client) FindTraces(f backend.Filter) []backend.FoundTrace {
 func (c *Client) FindAnalyze(f backend.Filter) (*backend.BatchStats, []backend.FoundTrace) {
 	var st *backend.BatchStats
 	var found []backend.FoundTrace
-	err := c.roundTripEnc(reqFindAnalyze, respFindAnalyze,
+	err := c.roundTrip(reqFindAnalyze, respFindAnalyze,
 		func(dst []byte) []byte { return appendFilter(dst, f) },
 		func(d *wire.Decoder) {
 			st = decodeBatchStats(d)
@@ -431,14 +1219,16 @@ func (c *Client) ShardCount() int {
 	return st.BackendShards
 }
 
-// FlushPersistence asks the server to force its write-ahead logs to durable
-// storage, so everything reported before the call survives a server crash.
+// FlushPersistence flushes the coalesced ingest writes, waits for their
+// acknowledgement, then asks the server to force its write-ahead logs to
+// durable storage — everything reported before the call survives a server
+// crash.
 func (c *Client) FlushPersistence() error {
 	return c.roundTrip(reqFlush, respOK, nil, nil)
 }
 
 // ClosePersistence is the remote analogue of detaching the durable store on
-// Close: it flushes the server's WAL durable, then closes the connection.
+// Close: it flushes the server's WAL durable, then closes the connections.
 // The server itself stays up for other clients.
 func (c *Client) ClosePersistence() error {
 	err := c.FlushPersistence()

@@ -1,9 +1,10 @@
 // Package rpc is the network transport that turns the in-process Mint
-// library into a deployable client/server system: a length-prefixed binary
-// protocol over TCP carrying the same report payloads the collectors and the
-// durable storage engine already encode (wire.Batch and friends), plus the
-// backend's query surface (Query, QueryMany, BatchQuery, FindTraces,
-// FindAnalyze) and an operations surface (stats, durable flush).
+// library into a deployable client/server system: a multiplexed,
+// length-prefixed binary protocol over TCP carrying the same report payloads
+// the collectors and the durable storage engine already encode (wire.Batch
+// and friends), plus the backend's query surface (Query, QueryMany,
+// BatchQuery, FindTraces, FindAnalyze) and an operations surface (stats,
+// durable flush).
 //
 // The Server side hosts a *backend.Backend — typically the sharded, durable
 // backend inside a mintd daemon. The Client side implements collector.Sink,
@@ -15,25 +16,28 @@
 // # Framing
 //
 // After a 5-byte handshake (4-byte magic "MINT", 1-byte protocol version,
-// sent by the client and echoed by the server), the connection carries
-// frames in both directions:
+// sent by the client and answered by the server with its own preamble), the
+// connection carries frames in both directions:
 //
-//	[1-byte type][4-byte big-endian payload length][payload]
+//	[1-byte type][8-byte big-endian request ID][4-byte big-endian length][payload]
 //
 // Payload encodings follow the wire package's layout conventions (uvarint
-// lengths, zigzag varints, fixed field order, no tags). Every request frame
-// receives exactly one response frame; requests on one connection are
-// serialized, and concurrency comes from dialing multiple connections
-// (every client goroutine shares one here — queries batch instead).
+// lengths, zigzag varints, fixed field order, no tags). The request ID
+// multiplexes the stream: a client may have many requests in flight on one
+// connection, the server may answer them out of order (each response echoes
+// the ID of the request it answers), and fire-and-forget ingest writes
+// pipeline without waiting. Responses to the ingest lane stay ordered
+// per-connection so report application order matches a serial client.
 //
 // # Failure semantics
 //
-// A malformed frame or handshake terminates the connection: the server
-// replies with an error frame when it still can, then closes. Client-side
-// I/O errors are sticky — the first one latches, the connection closes, and
-// every later call fails fast with the same error (surfaced through
-// Client.Err). Server-side application errors (a durable-flush I/O failure)
-// travel back as error frames and do not poison the connection.
+// A malformed frame or handshake terminates the connection: a server that
+// rejects a handshake answers with its own preamble (so a version-mismatched
+// peer can say which versions disagreed) and closes. Client-side I/O errors
+// are sticky per connection — the first one latches, that connection closes
+// and its in-flight calls fail, while pooled siblings keep serving (surfaced
+// through Client.Err). Server-side application errors (a durable-flush I/O
+// failure) travel back as error frames and do not poison the connection.
 package rpc
 
 import (
@@ -50,7 +54,10 @@ const (
 	// Magic opens every connection, client-first.
 	Magic = "MINT"
 	// ProtoVersion is the protocol generation this package speaks.
-	ProtoVersion = 1
+	// Version 2 added the 8-byte request ID to the frame header
+	// (multiplexing), the coalesced ingest envelope and the candidate-only
+	// search request; version-1 peers are rejected at the handshake.
+	ProtoVersion = 2
 )
 
 // MaxFrameBytes bounds a frame payload (256 MB). A length beyond it is
@@ -60,16 +67,18 @@ const MaxFrameBytes = 1 << 28
 
 // Request frame types.
 const (
-	reqPing         = 0x01 // empty payload; respOK
-	reqBatch        = 0x02 // wire.MarshalBatch payload; respOK
-	reqMark         = 0x03 // traceID, reason; respOK
-	reqQuery        = 0x04 // traceID; respQueryResult
-	reqQueryMany    = 0x05 // id list; respQueryMany
-	reqBatchAnalyze = 0x06 // id list; respBatchStats
-	reqFindTraces   = 0x07 // filter; respFound
-	reqFindAnalyze  = 0x08 // filter; respFindAnalyze
-	reqStats        = 0x09 // empty payload; respStats
-	reqFlush        = 0x0A // empty payload; respOK (durable flush)
+	reqPing           = 0x01 // empty payload; respOK
+	reqBatch          = 0x02 // wire.MarshalBatch payload; respOK
+	reqMark           = 0x03 // traceID, reason; respOK
+	reqQuery          = 0x04 // traceID; respQueryResult
+	reqQueryMany      = 0x05 // id list; respQueryMany
+	reqBatchAnalyze   = 0x06 // id list; respBatchStats
+	reqFindTraces     = 0x07 // filter; respFound
+	reqFindAnalyze    = 0x08 // filter; respFindAnalyze
+	reqStats          = 0x09 // empty payload; respStats
+	reqFlush          = 0x0A // empty payload; respOK (durable flush)
+	reqEnvelope       = 0x0B // wire envelope of coalesced ingest ops; respOK
+	reqFindCandidates = 0x0C // filter; respFound (approximate side only)
 )
 
 // Response frame types.
@@ -85,33 +94,49 @@ const (
 )
 
 // ErrProtocol reports a violation of the framing or handshake rules (bad
-// magic, unknown frame type, oversized frame). Errors wrap it.
+// magic, version mismatch, unknown frame type, oversized frame). Errors wrap
+// it.
 var ErrProtocol = errors.New("rpc: protocol error")
 
-// frameHeaderBytes is the fixed per-frame header size: type byte plus
-// 32-bit payload length.
-const frameHeaderBytes = 5
+// frameHeaderBytes is the fixed per-frame header size: type byte, 64-bit
+// request ID, 32-bit payload length.
+const frameHeaderBytes = 13
 
 // readFrame reads one frame from r, enforcing MaxFrameBytes. buf is an
 // optional reusable payload buffer; the returned payload aliases it when it
 // is large enough.
-func readFrame(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, payload, newBuf []byte, err error) {
 	var hdr [frameHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, buf, err
+		return 0, 0, nil, buf, err
 	}
-	n := binary.BigEndian.Uint32(hdr[1:])
+	id = binary.BigEndian.Uint64(hdr[1:9])
+	n := binary.BigEndian.Uint32(hdr[9:13])
 	if n > MaxFrameBytes {
-		return 0, nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+		return 0, 0, nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
 	}
 	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, buf, fmt.Errorf("rpc: truncated frame: %w", err)
+		return 0, 0, nil, buf, fmt.Errorf("rpc: truncated frame: %w", err)
 	}
-	return hdr[0], payload, buf, nil
+	return hdr[0], id, payload, buf, nil
+}
+
+// appendFrame appends one frame to dst with the body encoded in place:
+// reserve the header, encode, backfill the length. No intermediate body
+// allocation or copy — both sides reuse their frame buffers.
+func appendFrame(dst []byte, typ byte, id uint64, body func([]byte) []byte) []byte {
+	dst = append(dst, typ, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	start := len(dst)
+	binary.BigEndian.PutUint64(dst[start-12:start-4], id)
+	if body != nil {
+		dst = body(dst)
+	}
+	binary.BigEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
 }
 
 // handshake is the 5-byte connection preamble.

@@ -104,12 +104,35 @@ func TestFrameRejectsOversize(t *testing.T) {
 	defer srv.Close()
 	go func() {
 		// Hand-written frame header claiming a payload beyond MaxFrameBytes.
-		hdr := []byte{reqPing, 0xFF, 0xFF, 0xFF, 0xFF}
+		hdr := []byte{reqPing, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
 		srv.Write(hdr)
 	}()
-	_, _, _, err := readFrame(cli, nil)
+	_, _, _, _, err := readFrame(cli, nil)
 	if !errors.Is(err, ErrProtocol) {
 		t.Fatalf("oversize frame: err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestFrameRoundTripCarriesRequestID(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		f := appendFrame(nil, reqQuery, 0xDEADBEEFCAFE, func(b []byte) []byte {
+			return wire.AppendString(b, "trace-1")
+		})
+		srv.Write(f)
+	}()
+	typ, id, payload, _, err := readFrame(cli, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if typ != reqQuery || id != 0xDEADBEEFCAFE {
+		t.Fatalf("frame header: typ=0x%02x id=%#x", typ, id)
+	}
+	d := wire.NewDecoder(payload)
+	if got := d.Str(); got != "trace-1" || d.Done() != nil {
+		t.Fatalf("payload: %q", got)
 	}
 }
 
@@ -178,6 +201,11 @@ func TestClientServerIngestAndQuery(t *testing.T) {
 	cli.MarkSampled("t7", "symptom")
 	if spans, ok := a.TakeParams("t7"); ok {
 		cli.AcceptParams(&wire.ParamsReport{Node: "n1", TraceID: "t7", Spans: spans})
+	}
+	// Ingest is fire-and-forget and coalesced; flush it server-side before
+	// comparing against direct backend reads.
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("flush barrier: %v", err)
 	}
 
 	// Every read answered over the wire must be byte-identical to the same

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,17 +27,31 @@ const (
 	frameBodyTimeout = 2 * time.Minute
 )
 
+// testHookQueryDispatch, when set, observes every request frame dispatched
+// to the concurrent query pool (as opposed to handled inline on the reader).
+// Tests use it to pin the concurrency structure deterministically.
+var testHookQueryDispatch func(typ byte)
+
 // Server serves the backend protocol on accepted connections: ingest
-// (batches of pattern/Bloom/params reports, sampling marks), the query
-// surface, stats and durable flush. One goroutine per connection; requests
-// on a connection are handled in order, and the backend's own
-// synchronization makes concurrent connections safe.
+// (batches and coalesced envelopes of pattern/Bloom/params reports,
+// sampling marks), the query surface, stats and durable flush.
+//
+// Each connection runs a reader goroutine that demultiplexes by request
+// type: ingest frames are applied inline in arrival order (so a
+// connection's writes land exactly as a serial client would have landed
+// them, and the acknowledgement the client's write barrier waits for means
+// applied, not just received), while queries dispatch to a bounded
+// server-wide worker pool and may answer out of order — a slow cold-storage
+// lookup no longer blocks the pings, marks and fast queries pipelined
+// behind it. Response frames are written atomically under a per-connection
+// write lock.
 //
 // The server holds only a *backend.Backend — agents and collectors live on
 // the client side of the wire, exactly as the paper's topology places them
 // (per-host agents and collectors, one central backend).
 type Server struct {
 	backend *backend.Backend
+	sem     chan struct{} // bounds concurrently executing query requests
 
 	mu     sync.Mutex
 	lns    []net.Listener
@@ -44,15 +59,25 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
-	requests atomic.Int64
+	bytesIn     atomic.Int64
+	bytesOut    atomic.Int64
+	requests    atomic.Int64
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
 }
 
-// NewServer creates a server over a backend. Call Serve (or ServeConn) to
+// NewServer creates a server over a backend. Call Listen (or ServeConn) to
 // start handling traffic.
 func NewServer(b *backend.Backend) *Server {
-	return &Server{backend: b, conns: map[net.Conn]struct{}{}}
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	return &Server{
+		backend: b,
+		sem:     make(chan struct{}, workers),
+		conns:   map[net.Conn]struct{}{},
+	}
 }
 
 // Listen starts a TCP listener on addr and serves it on a background
@@ -160,6 +185,22 @@ func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
 // Requests returns the total request frames handled.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
+// MaxInFlight returns the high-water mark of query requests executing
+// concurrently on the worker pool — an observability counter that also lets
+// tests assert pipelining actually overlapped request execution.
+func (s *Server) MaxInFlight() int64 { return s.maxInflight.Load() }
+
+// serverConn is the per-connection server state: the write lock that keeps
+// concurrently produced response frames atomic on the wire, and the wait
+// group that keeps ServeConn from returning while dispatched queries still
+// hold the connection.
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+	wmu sync.Mutex
+	wg  sync.WaitGroup
+}
+
 // ServeConn handles one connection's handshake and request loop, returning
 // when the peer disconnects or violates the protocol. It is exported so
 // tests and embedded deployments can drive the protocol over in-memory
@@ -167,28 +208,26 @@ func (s *Server) Requests() int64 { return s.requests.Load() }
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
 
-	// Handshake: expect the magic+version preamble promptly, echo it back.
+	// Handshake: expect the magic+version preamble promptly, answer with our
+	// own. On a mismatch the answer still goes out before the close — a
+	// version-1 client reads "MINT\x02" and reports the exact version
+	// disagreement instead of a bare EOF.
 	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	pre := make([]byte, len(Magic)+1)
 	if _, err := io.ReadFull(br, pre); err != nil {
 		return
 	}
-	if err := checkHandshake(pre); err != nil {
-		// Best-effort diagnostic before dropping the connection, so a
-		// version-mismatched client sees why instead of a bare EOF.
-		_, _ = bw.Write(errFrame(nil, err.Error()))
-		_ = bw.Flush()
-		return
-	}
-	if _, err := bw.Write(handshakeBytes()); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
+	hsErr := checkHandshake(pre)
+	_ = conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(handshakeBytes()); err != nil || hsErr != nil {
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	_ = conn.SetWriteDeadline(time.Time{})
+
+	sc := &serverConn{srv: s, nc: conn}
+	defer sc.wg.Wait()
 
 	var rbuf, resp []byte
 	for {
@@ -198,12 +237,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		n := binary.BigEndian.Uint32(hdr[1:])
+		id := binary.BigEndian.Uint64(hdr[1:9])
+		n := binary.BigEndian.Uint32(hdr[9:13])
 		if n > MaxFrameBytes {
 			// Framing violation: say why (best-effort), then drop the
 			// connection — the stream position can no longer be trusted.
-			_, _ = bw.Write(errFrame(nil, fmt.Sprintf("frame of %d bytes exceeds limit", n)))
-			_ = bw.Flush()
+			sc.respond(errFrame(nil, id, fmt.Sprintf("frame of %d bytes exceeds limit", n)))
 			return
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(frameBodyTimeout))
@@ -217,68 +256,103 @@ func (s *Server) ServeConn(conn net.Conn) {
 		_ = conn.SetReadDeadline(time.Time{})
 		typ := hdr[0]
 		s.requests.Add(1)
-		s.bytesIn.Add(int64(len(payload)) + frameHeaderBytes)
-		resp = s.handle(resp[:0], typ, payload)
-		if len(resp)-frameHeaderBytes > MaxFrameBytes {
-			// Never emit a frame our own protocol declares malformed: a
-			// response this large would latch a sticky error on a healthy
-			// client. Tell the caller to narrow the request instead.
-			resp = errFrame(resp[:0], fmt.Sprintf(
-				"response of %d bytes exceeds the %d-byte frame limit; narrow the query", len(resp)-frameHeaderBytes, MaxFrameBytes))
+		s.bytesIn.Add(int64(n) + frameHeaderBytes)
+
+		switch typ {
+		case reqPing, reqBatch, reqMark, reqEnvelope:
+			// Ingest lane: apply inline on the reader, zero-copy, in arrival
+			// order. The respOK goes out after the apply, which is what makes
+			// the client's write barrier mean "the server has these reports".
+			resp = s.handle(resp[:0], typ, id, payload)
+			sc.respond(resp)
+			if cap(resp) > maxRetainedBuf {
+				resp = nil
+			}
+		default:
+			// Query lane: copy the payload (the reader buffer is about to be
+			// reused) and execute on the bounded pool; the response may
+			// overtake slower queries dispatched earlier.
+			s.sem <- struct{}{}
+			cur := s.inflight.Add(1)
+			for {
+				max := s.maxInflight.Load()
+				if cur <= max || s.maxInflight.CompareAndSwap(max, cur) {
+					break
+				}
+			}
+			pb := getBuf()
+			pb.b = append(pb.b[:0], payload...)
+			sc.wg.Add(1)
+			go func(typ byte, id uint64, pb *payloadBuf) {
+				defer sc.wg.Done()
+				defer func() {
+					s.inflight.Add(-1)
+					<-s.sem
+				}()
+				if testHookQueryDispatch != nil {
+					testHookQueryDispatch(typ)
+				}
+				rb := getBuf()
+				rb.b = s.handle(rb.b[:0], typ, id, pb.b)
+				putBuf(pb)
+				sc.respond(rb.b)
+				putBuf(rb)
+			}(typ, id, pb)
 		}
-		s.bytesOut.Add(int64(len(resp)))
-		// Bound the response write too: a peer that requests but never
-		// reads would otherwise pin this goroutine (and a multi-MB response
-		// buffer) once the TCP send buffer fills.
-		_ = conn.SetWriteDeadline(time.Now().Add(frameBodyTimeout))
-		if _, err := bw.Write(resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		_ = conn.SetWriteDeadline(time.Time{})
 		// Shed high-water buffers: steady-state frames are small, and one
 		// huge exchange must not pin its peak allocation per connection.
 		if cap(rbuf) > maxRetainedBuf {
 			rbuf = nil
 		}
-		if cap(resp) > maxRetainedBuf {
-			resp = nil
-		}
 	}
 }
 
-// frame appends one response frame to dst with the body encoded in place:
-// reserve the header, encode, backfill the length. No intermediate body
-// allocation or copy — the response buffer is reused across a
-// connection's requests.
-func frame(dst []byte, typ byte, body func([]byte) []byte) []byte {
-	dst = append(dst, typ, 0, 0, 0, 0)
-	start := len(dst)
-	if body != nil {
-		dst = body(dst)
+// respond writes one response frame atomically. Oversized responses are
+// rewritten into an error frame for the same request ID — the server never
+// emits a frame its own protocol declares malformed. A write failure closes
+// the connection; the reader notices and winds the connection down.
+func (sc *serverConn) respond(resp []byte) {
+	if len(resp)-frameHeaderBytes > MaxFrameBytes {
+		id := binary.BigEndian.Uint64(resp[1:9])
+		resp = errFrame(nil, id, fmt.Sprintf(
+			"response of %d bytes exceeds the %d-byte frame limit; narrow the query",
+			len(resp)-frameHeaderBytes, MaxFrameBytes))
 	}
-	binary.BigEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
-	return dst
+	sc.srv.bytesOut.Add(int64(len(resp)))
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	// Bound the response write: a peer that requests but never reads would
+	// otherwise pin this goroutine (and a multi-MB response buffer) once
+	// the TCP send buffer fills.
+	_ = sc.nc.SetWriteDeadline(time.Now().Add(frameBodyTimeout))
+	if _, err := sc.nc.Write(resp); err != nil {
+		sc.nc.Close()
+		return
+	}
+	_ = sc.nc.SetWriteDeadline(time.Time{})
 }
 
-// errFrame appends an error response.
-func errFrame(dst []byte, msg string) []byte {
-	return frame(dst, respErr, func(b []byte) []byte { return wire.AppendString(b, msg) })
+// frame appends one response frame to dst with the body encoded in place.
+func frame(dst []byte, typ byte, id uint64, body func([]byte) []byte) []byte {
+	return appendFrame(dst, typ, id, body)
+}
+
+// errFrame appends an error response for request id.
+func errFrame(dst []byte, id uint64, msg string) []byte {
+	return frame(dst, respErr, id, func(b []byte) []byte { return wire.AppendString(b, msg) })
 }
 
 // handle dispatches one request frame and appends the response frame to
 // dst.
-func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
+func (s *Server) handle(dst []byte, typ byte, id uint64, payload []byte) []byte {
 	switch typ {
 	case reqPing:
-		return frame(dst, respOK, nil)
+		return frame(dst, respOK, id, nil)
 
 	case reqBatch:
 		b, err := wire.UnmarshalBatch(payload)
 		if err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
 		for _, msg := range b.Reports {
 			switch m := msg.(type) {
@@ -290,24 +364,30 @@ func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
 				s.backend.AcceptParams(m)
 			}
 		}
-		return frame(dst, respOK, nil)
+		return frame(dst, respOK, id, nil)
 
 	case reqMark:
 		d := wire.NewDecoder(payload)
 		traceID, reason := d.Str(), d.Str()
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
 		s.backend.MarkSampled(traceID, reason)
-		return frame(dst, respOK, nil)
+		return frame(dst, respOK, id, nil)
+
+	case reqEnvelope:
+		if err := wire.WalkEnvelope(payload, s.backend); err != nil {
+			return errFrame(dst, id, err.Error())
+		}
+		return frame(dst, respOK, id, nil)
 
 	case reqQuery:
 		d := wire.NewDecoder(payload)
 		traceID := d.Str()
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
-		return frame(dst, respQueryResult, func(b []byte) []byte {
+		return frame(dst, respQueryResult, id, func(b []byte) []byte {
 			return appendQueryResult(b, s.backend.Query(traceID))
 		})
 
@@ -315,10 +395,10 @@ func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
 		d := wire.NewDecoder(payload)
 		ids := decodeStringSlice(d)
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
 		results := s.backend.QueryMany(ids)
-		return frame(dst, respQueryMany, func(b []byte) []byte {
+		return frame(dst, respQueryMany, id, func(b []byte) []byte {
 			b = binary.AppendUvarint(b, uint64(len(results)))
 			for _, r := range results {
 				b = appendQueryResult(b, r)
@@ -330,10 +410,10 @@ func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
 		d := wire.NewDecoder(payload)
 		ids := decodeStringSlice(d)
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
 		stats, miss := s.backend.BatchQuery(ids)
-		return frame(dst, respBatchStats, func(b []byte) []byte {
+		return frame(dst, respBatchStats, id, func(b []byte) []byte {
 			b = appendBatchStats(b, stats)
 			return binary.AppendUvarint(b, uint64(miss))
 		})
@@ -342,20 +422,30 @@ func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
 		d := wire.NewDecoder(payload)
 		f := decodeFilter(d)
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
-		return frame(dst, respFound, func(b []byte) []byte {
+		return frame(dst, respFound, id, func(b []byte) []byte {
 			return appendFoundTraces(b, s.backend.FindTraces(f))
+		})
+
+	case reqFindCandidates:
+		d := wire.NewDecoder(payload)
+		f := decodeFilter(d)
+		if err := d.Done(); err != nil {
+			return errFrame(dst, id, err.Error())
+		}
+		return frame(dst, respFound, id, func(b []byte) []byte {
+			return appendFoundTraces(b, s.backend.FindCandidates(f))
 		})
 
 	case reqFindAnalyze:
 		d := wire.NewDecoder(payload)
 		f := decodeFilter(d)
 		if err := d.Done(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
 		stats, found := s.backend.FindAnalyze(f)
-		return frame(dst, respFindAnalyze, func(b []byte) []byte {
+		return frame(dst, respFindAnalyze, id, func(b []byte) []byte {
 			b = appendBatchStats(b, stats)
 			return appendFoundTraces(b, found)
 		})
@@ -371,15 +461,15 @@ func (s *Server) handle(dst []byte, typ byte, payload []byte) []byte {
 			TopoPatterns:  s.backend.TopoPatternCount(),
 			BackendShards: s.backend.ShardCount(),
 		}
-		return frame(dst, respStats, func(b []byte) []byte { return appendStats(b, st) })
+		return frame(dst, respStats, id, func(b []byte) []byte { return appendStats(b, st) })
 
 	case reqFlush:
 		if err := s.backend.FlushPersistence(); err != nil {
-			return errFrame(dst, err.Error())
+			return errFrame(dst, id, err.Error())
 		}
-		return frame(dst, respOK, nil)
+		return frame(dst, respOK, id, nil)
 
 	default:
-		return errFrame(dst, fmt.Sprintf("unknown request type 0x%02x", typ))
+		return errFrame(dst, id, fmt.Sprintf("unknown request type 0x%02x", typ))
 	}
 }

@@ -67,6 +67,11 @@ func (d *Decoder) Fail(what string) {
 // Err returns the latched decode error, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// More reports whether undecoded payload bytes remain and no error has
+// latched — the loop condition for envelopes that carry tagged entries until
+// the payload is exhausted instead of a leading count.
+func (d *Decoder) More() bool { return d.err == nil && len(d.b) > 0 }
+
 // Uvarint reads one unsigned varint.
 func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bloom"
+)
+
+// recordingSink logs envelope operations in arrival order.
+type recordingSink struct {
+	ops []string
+}
+
+func (s *recordingSink) AcceptPatterns(r *PatternReport) {
+	s.ops = append(s.ops, "patterns:"+r.Node)
+}
+
+func (s *recordingSink) AcceptBloom(r *BloomReport, immutable bool) {
+	tag := "bloom:" + r.Node
+	if immutable {
+		tag += ":full"
+	}
+	s.ops = append(s.ops, tag)
+}
+
+func (s *recordingSink) AcceptParams(r *ParamsReport) {
+	s.ops = append(s.ops, "params:"+r.TraceID)
+}
+
+func (s *recordingSink) MarkSampled(traceID, reason string) {
+	s.ops = append(s.ops, "mark:"+traceID+":"+reason)
+}
+
+func TestEnvelopeRoundTripPreservesOrder(t *testing.T) {
+	var env []byte
+	env = AppendMarkOp(env, "t1", "symptom")
+	env = AppendPatternOp(env, &PatternReport{Node: "n1"})
+	env = AppendBloomOp(env, &BloomReport{Node: "n2", PatternID: "p7", Filter: bloom.New(64, 0.01), Full: true})
+	env = AppendMarkOp(env, "t2", "edge-case")
+	env = AppendParamsOp(env, &ParamsReport{Node: "n1", TraceID: "t2"})
+
+	var sink recordingSink
+	if err := WalkEnvelope(env, &sink); err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	want := []string{"mark:t1:symptom", "patterns:n1", "bloom:n2:full", "mark:t2:edge-case", "params:t2"}
+	if !reflect.DeepEqual(sink.ops, want) {
+		t.Fatalf("ops = %v, want %v", sink.ops, want)
+	}
+}
+
+func TestEnvelopeRejectsUnknownTag(t *testing.T) {
+	env := AppendMarkOp(nil, "t1", "symptom")
+	env = append(env, 0xEE) // unknown op tag
+
+	var sink recordingSink
+	err := WalkEnvelope(env, &sink)
+	if err == nil || !strings.Contains(err.Error(), "unknown envelope op tag") {
+		t.Fatalf("walk: err = %v, want unknown-tag error", err)
+	}
+	// The intact prefix is applied before the malformed tail errors.
+	if !reflect.DeepEqual(sink.ops, []string{"mark:t1:symptom"}) {
+		t.Fatalf("prefix ops = %v", sink.ops)
+	}
+}
+
+func TestEnvelopeRejectsTruncatedTail(t *testing.T) {
+	env := AppendMarkOp(nil, "t1", "symptom")
+	full := AppendMarkOp(env, "t2", "edge-case")
+	var sink recordingSink
+	if err := WalkEnvelope(full[:len(full)-3], &sink); err == nil {
+		t.Fatal("truncated envelope decoded cleanly")
+	}
+	if len(sink.ops) != 1 {
+		t.Fatalf("prefix ops = %v, want just the first mark", sink.ops)
+	}
+}

@@ -110,10 +110,16 @@
 //	res := cluster.Query(traces[0].TraceID)
 //	err = cluster.Close()          // flush durable, then disconnect
 //
+// The transport multiplexes pipelined requests over a small connection
+// pool (Config.RemoteConns) and coalesces fire-and-forget report writes
+// into batched frames; every synchronous call flushes and awaits those
+// writes first, so remote answers stay byte-identical to in-process ones.
+//
 // Backend-side knobs (Shards, DataDir, retention, query cache/workers)
 // are configured on mintd and rejected by Dial. Transport failures are
-// sticky: captures become no-ops, queries answer zero values, and Err
-// reports the first error. After Close — local or remote — every
+// sticky per connection: healthy pooled siblings keep serving, captures
+// become no-ops once the pool is exhausted, queries answer zero values,
+// and Err reports the first error. After Close — local or remote — every
 // operation fails with ErrClosed.
 package mint
 
@@ -243,7 +249,17 @@ type Config struct {
 	// once the WAL exceeds this size. 0 takes
 	// backend.DefaultSnapshotEveryBytes. Requires DataDir.
 	SnapshotEveryBytes int64
+	// RemoteConns sizes the connection pool Dial opens to the backend
+	// server. Queries round-robin (and large batches fan out) across the
+	// pool while coalesced ingest writes ride one designated connection to
+	// preserve order. 0 takes DefaultRemoteConns; negative values are
+	// rejected. A client-transport knob: Open and NewCluster ignore it.
+	RemoteConns int
 }
+
+// DefaultRemoteConns is the connection pool size Dial uses when
+// Config.RemoteConns is zero.
+const DefaultRemoteConns = 2
 
 // Defaults returns the paper's default configuration.
 func Defaults() Config { return Config{} }
@@ -378,7 +394,11 @@ func Dial(addr string, nodes []string, cfg Config) (*Cluster, error) {
 		cfg.DataDir != "" || cfg.RetentionTTL != 0 || cfg.SnapshotEveryBytes != 0 {
 		return nil, fmt.Errorf("mint: invalid config: backend-side fields (Shards, QueryWorkers, QueryCacheSize, DataDir, RetentionTTL, SnapshotEveryBytes) are owned by the server; configure them on mintd")
 	}
-	cli, err := rpc.Dial(addr)
+	conns := cfg.RemoteConns
+	if conns == 0 {
+		conns = DefaultRemoteConns
+	}
+	cli, err := rpc.DialPool(addr, conns)
 	if err != nil {
 		return nil, err
 	}

@@ -73,6 +73,9 @@ func (c Config) validate() error {
 	if c.RetentionTTL < 0 {
 		return bad("RetentionTTL", fmt.Sprintf("= %v; want >= 0 (0 keeps everything forever)", c.RetentionTTL))
 	}
+	if c.RemoteConns < 0 {
+		return bad("RemoteConns", fmt.Sprintf("= %d; want >= 0 (0 takes DefaultRemoteConns)", c.RemoteConns))
+	}
 	if c.DataDir == "" {
 		if c.RetentionTTL != 0 {
 			return bad("RetentionTTL", "requires DataDir: retention sweeps run on the durable store")

@@ -231,6 +231,88 @@ func TestLoopbackParityConcurrentIngest(t *testing.T) {
 	assertRemoteParity(t, "concurrent ingest", inproc, remote, ids)
 }
 
+// TestSharedRemoteClusterConcurrentMixed shares one dialed Cluster between
+// many goroutines that interleave captures, sampling marks and every kind
+// of query — the workload shape the multiplexed transport exists for: all
+// of it pipelines over a small connection pool concurrently. Run with
+// -race. Sampling is hash-based head sampling plus explicit marks so
+// decisions are interleaving-independent, and the final state must be
+// byte-identical to a serial in-process run of the same workload.
+func TestSharedRemoteClusterConcurrentMixed(t *testing.T) {
+	sys := sim.OnlineBoutique(55)
+	warm := sim.GenTraces(sys, 150)
+	traces := sim.GenTraces(sys, 400)
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		ids[i] = tr.TraceID
+	}
+	cfg := mint.Config{DisableSamplers: true, HeadSampleRate: 0.15}
+
+	// Serial in-process reference: capture each trace, marking every tenth
+	// right after its capture.
+	inprocCfg := cfg
+	inprocCfg.Shards = 4
+	inproc := mint.NewCluster(sys.Nodes, inprocCfg)
+	defer inproc.Close()
+	inproc.Warmup(warm)
+	for i, tr := range traces {
+		if err := inproc.Capture(tr); err != nil {
+			t.Fatalf("in-process Capture: %v", err)
+		}
+		if i%10 == 0 {
+			inproc.MarkSampled(tr.TraceID, "parity-test")
+		}
+	}
+	if err := inproc.Flush(); err != nil {
+		t.Fatalf("in-process Flush: %v", err)
+	}
+
+	server := startMintd(t, t.TempDir(), 4)
+	defer server.stop(t)
+	remoteCfg := cfg
+	remoteCfg.RemoteConns = 3
+	remote, err := mint.Dial(server.addr, sys.Nodes, remoteCfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+	remote.Warmup(warm)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(traces); i += workers {
+				if err := remote.Capture(traces[i]); err != nil {
+					t.Errorf("remote Capture: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					remote.MarkSampled(traces[i].TraceID, "parity-test")
+				}
+				// Interleave reads with the writes: queries pipeline on the
+				// same pooled connections the marks and reports ride.
+				switch {
+				case i%31 == 0:
+					remote.QueryMany(ids[:20])
+				case i%13 == 0:
+					remote.BatchAnalyze(ids[:64])
+				case i%7 == 0:
+					remote.Query(ids[(i*3+w)%len(ids)])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := remote.Flush(); err != nil {
+		t.Fatalf("remote Flush: %v", err)
+	}
+
+	assertRemoteParity(t, "shared remote cluster", inproc, remote, ids)
+}
+
 // TestDialRejectsServerSideConfig pins the config ownership rule: backend
 // deployment knobs belong to mintd, not to the dialing client.
 func TestDialRejectsServerSideConfig(t *testing.T) {
