@@ -16,13 +16,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"testing"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -88,7 +88,7 @@ func main() {
 
 func runOne(e experiments.Entry) {
 	start := time.Now()
-	res := e.Run()
+	res := experiments.RunOn(e, experiments.TopoInProc)
 	fmt.Print(res.Render())
 	fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 }
@@ -117,26 +117,6 @@ func runCaptureBench(workers, shards, n int) {
 	fmt.Printf("speedup: %.2fx\n", parallel/serial)
 }
 
-// remoteBenchResult is the machine-readable artifact -json writes
-// (BENCH_remote.json in CI): remote-transport capture throughput and
-// allocation cost plus query latency over the multiplexed protocol.
-type remoteBenchResult struct {
-	Schema         string `json:"schema"`
-	RemoteConns    int    `json:"remote_conns"`
-	CapturedTraces int    `json:"captured_traces"`
-	Capture        struct {
-		TracesPerSec float64 `json:"traces_per_sec"`
-		AllocsPerOp  float64 `json:"allocs_per_op"`
-	} `json:"capture"`
-	Query struct {
-		SingleUS float64 `json:"single_us"`
-		Many64US float64 `json:"many64_us"`
-	} `json:"query"`
-	Mark struct {
-		PerOpUS float64 `json:"per_op_us"`
-	} `json:"mark"`
-}
-
 // runRemoteBenchJSON drives the networked deployment end to end in-process
 // — a mintd-shaped loopback server and a dialed client cluster — and writes
 // the measured numbers to path as JSON.
@@ -163,8 +143,8 @@ func runRemoteBenchJSON(path string, n int) error {
 	defer cluster.Close()
 	cluster.Warmup(warm)
 
-	var res remoteBenchResult
-	res.Schema = "mint-bench-remote/v1"
+	var res benchfmt.RemoteBench
+	res.Schema = benchfmt.RemoteSchema
 	res.RemoteConns = mint.DefaultRemoteConns
 	res.CapturedTraces = n
 
@@ -217,12 +197,7 @@ func runRemoteBenchJSON(path string, n int) error {
 	if err := cluster.Err(); err != nil {
 		return fmt.Errorf("transport error: %w", err)
 	}
-	out, err := json.MarshalIndent(&res, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := benchfmt.WriteFile(path, &res); err != nil {
 		return err
 	}
 	fmt.Printf("remote transport bench (%d conns): %.0f traces/sec capture, %.1f allocs/op, %.0fus single query, %.0fus QueryMany(64), %.2fus mark -> %s\n",

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+)
+
+// Regenerate with: go test ./cmd/mintexp -run TestGoldenArtifact -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenArtifact builds the artifact for a small, fast experiment subset —
+// one non-cluster driver (fig13) and one cluster driver on every topology
+// (abl-hap) — with probes skipped, then normalizes away the wall-clock
+// fields. What remains is the schema surface: field set, ordering, row
+// counts and stable hashes, all deterministic run to run.
+func goldenArtifact() *benchfmt.ExpArtifact {
+	artifact := &benchfmt.ExpArtifact{Schema: benchfmt.ExpSchema}
+	for _, id := range []string{"fig13", "abl-hap"} {
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			panic("golden subset lists unknown experiment " + id)
+		}
+		if !e.Cluster {
+			artifact.Experiments = append(artifact.Experiments,
+				runRecord(e, "any", func() *experiments.Result { return e.Run(nil) }, probeStats{}, true, ""))
+			continue
+		}
+		for _, kind := range experiments.AllTopologies() {
+			kind := kind
+			artifact.Experiments = append(artifact.Experiments,
+				runRecord(e, kind.String(), func() *experiments.Result {
+					return experiments.RunOn(e, kind)
+				}, probeStats{}, true, ""))
+		}
+	}
+	artifact.Sort()
+	artifact.Normalize()
+	return artifact
+}
+
+// TestGoldenArtifactSchema pins BENCH_experiments.json's deterministic
+// surface byte-for-byte against a committed golden file: the schema tag, the
+// field set and order the JSON encoder emits, the (id, topology) sort, and
+// the per-run stable hashes. A failing diff means either an intended figure
+// or schema change (regenerate with -update-golden, review the diff) or a
+// determinism regression (investigate before touching the golden).
+func TestGoldenArtifactSchema(t *testing.T) {
+	got, err := json.MarshalIndent(goldenArtifact(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "BENCH_experiments.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("artifact drifted from golden (regenerate with -update-golden if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestArtifactRoundTrip runs the golden subset through WriteFile/ReadExp and
+// checks the decoded artifact survives unchanged — the CI consumer's path.
+func TestArtifactRoundTrip(t *testing.T) {
+	artifact := goldenArtifact()
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := benchfmt.WriteFile(path, artifact); err != nil {
+		t.Fatal(err)
+	}
+	back, err := benchfmt.ReadExp(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != len(artifact.Experiments) {
+		t.Fatalf("round trip lost records: %d != %d", len(back.Experiments), len(artifact.Experiments))
+	}
+	for i := range back.Experiments {
+		a, _ := json.Marshal(back.Experiments[i])
+		b, _ := json.Marshal(artifact.Experiments[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("record %d changed in round trip:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+func TestCheckParity(t *testing.T) {
+	ok := map[string]map[string]string{
+		"fig11": {"inproc": "aaaa_aaaa_aaaa", "reopen": "aaaa_aaaa_aaaa", "remote": "aaaa_aaaa_aaaa"},
+	}
+	if bad := checkParity(ok); len(bad) != 0 {
+		t.Fatalf("false positive: %v", bad)
+	}
+	diverged := map[string]map[string]string{
+		"fig11": {"inproc": "aaaa_aaaa_aaaa", "reopen": "bbbb_bbbb_bbbb"},
+	}
+	if bad := checkParity(diverged); len(bad) != 1 {
+		t.Fatalf("missed divergence: %v", bad)
+	}
+}
+
+func TestSelectTopos(t *testing.T) {
+	kinds, err := selectTopos("inproc, remote")
+	if err != nil || len(kinds) != 2 || kinds[0] != experiments.TopoInProc || kinds[1] != experiments.TopoRemote {
+		t.Fatalf("selectTopos: %v %v", kinds, err)
+	}
+	if _, err := selectTopos("serial"); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+func TestSelectEntries(t *testing.T) {
+	all, err := selectEntries("", false)
+	if err != nil || len(all) != len(experiments.All()) {
+		t.Fatalf("default selection: %d, %v", len(all), err)
+	}
+	light, err := selectEntries("", true)
+	if err != nil || len(light) >= len(all) {
+		t.Fatalf("-light must skip heavy entries: %d of %d", len(light), len(all))
+	}
+	subset, err := selectEntries("fig13,abl-hap", false)
+	if err != nil || len(subset) != 2 {
+		t.Fatalf("subset: %v %v", subset, err)
+	}
+	if _, err := selectEntries("nope", false); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+}

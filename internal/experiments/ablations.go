@@ -16,7 +16,7 @@ import (
 // network/storage cost and the resulting filter report cadence. Larger
 // buffers amortize better per trace but hold more memory per pattern and
 // delay reports (the paper chose 4 KB).
-func AblationBloomBuffer() *Result {
+func AblationBloomBuffer(tp *Topo) *Result {
 	res := &Result{
 		ID:     "abl-bloom",
 		Title:  "Ablation: Bloom buffer size vs overhead (OnlineBoutique, 2000 traces)",
@@ -24,21 +24,21 @@ func AblationBloomBuffer() *Result {
 	}
 	for _, buf := range []int{128, 512, 2048, 4096, 16384} {
 		sys := sim.OnlineBoutique(321)
-		cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: buf})
-		fw := NewMintFramework(cluster, 0)
+		fw := tp.NewMintFramework(sys.Nodes, mint.Config{BloomBufferBytes: buf}, 0)
 		fw.Warmup(sim.GenTraces(sys, 200))
 		for _, t := range genMixedTraffic(sys, 2000, 0.05) {
 			fw.Capture(t)
 		}
-		fw.Flush()
+		fw.Seal()
 		net := float64(fw.NetworkBytes()) / 1e3
 		sto := float64(fw.StorageBytes()) / 1e3
-		_, blooms, _ := cluster.StorageBreakdown()
+		_, blooms, _ := fw.StorageBreakdown()
 		capTraces := capacityOf(buf)
 		res.Rows = append(res.Rows, []string{
 			fmtI(buf), fmtI(capTraces), fmtF(net, 1), fmtF(sto, 1),
 			fmtPct(float64(blooms) / (sto * 1e3)),
 		})
+		fw.Close()
 	}
 	res.Notes = append(res.Notes,
 		"small buffers cut fixed cost at low volume; at production volume 4 KB amortizes to ~1.2 B/trace")
@@ -55,7 +55,7 @@ func capacityOf(bufBytes int) int {
 // AblationParamsBuffer sweeps the Params Buffer capacity and reports how
 // many parameter blocks were evicted before a sampling decision could
 // retrieve them — the cost of under-provisioning the 4 MB default.
-func AblationParamsBuffer() *Result {
+func AblationParamsBuffer(tp *Topo) *Result {
 	res := &Result{
 		ID:     "abl-params",
 		Title:  "Ablation: Params Buffer size vs evictions (OnlineBoutique, 3000 traces)",
@@ -63,11 +63,10 @@ func AblationParamsBuffer() *Result {
 	}
 	for _, buf := range []int{8 << 10, 32 << 10, 128 << 10, 4 << 20} {
 		sys := sim.OnlineBoutique(654)
-		cluster := mint.NewCluster(sys.Nodes, mint.Config{
+		fw := tp.NewMintFramework(sys.Nodes, mint.Config{
 			BloomBufferBytes:  512,
 			ParamsBufferBytes: buf,
-		})
-		fw := NewMintFramework(cluster, 0)
+		}, 0)
 		fw.Warmup(sim.GenTraces(sys, 200))
 		traffic := genMixedTraffic(sys, 3000, 0.05)
 		var abnormal []string
@@ -79,7 +78,9 @@ func AblationParamsBuffer() *Result {
 				}
 			}
 		}
-		fw.Flush()
+		// Seal snapshots the eviction counters, so the reopen topology
+		// reports the same counts as the in-process one.
+		fw.Seal()
 		exact, partial := 0, 0
 		for _, id := range abnormal {
 			switch fw.Query(id).Kind {
@@ -89,13 +90,10 @@ func AblationParamsBuffer() *Result {
 				partial++
 			}
 		}
-		var evicted uint64
-		for _, node := range cluster.Nodes() {
-			evicted += cluster.AgentEvictions(node)
-		}
 		res.Rows = append(res.Rows, []string{
-			fmtI(buf), fmtI(exact), fmtI(partial), fmt.Sprintf("%d", evicted),
+			fmtI(buf), fmtI(exact), fmtI(partial), fmt.Sprintf("%d", fw.Evictions()),
 		})
+		fw.Close()
 	}
 	res.Notes = append(res.Notes,
 		"an under-sized buffer evicts parameter blocks before the cross-agent sampling notice arrives, "+
@@ -105,7 +103,7 @@ func AblationParamsBuffer() *Result {
 
 // AblationParallelHAP compares sequential vs parallel hierarchical
 // attribute parsing wall time over identical traffic.
-func AblationParallelHAP() *Result {
+func AblationParallelHAP(tp *Topo) *Result {
 	res := &Result{
 		ID:     "abl-hap",
 		Title:  "Ablation: sequential vs parallel HAP (identical parse results)",
@@ -114,22 +112,22 @@ func AblationParallelHAP() *Result {
 	sys := sim.OnlineBoutique(987)
 	traffic := sim.GenTraces(sys, 500)
 	for _, parallel := range []bool{false, true} {
-		cluster := mint.NewCluster(sys.Nodes, mint.Config{
+		fw := tp.NewMintFramework(sys.Nodes, mint.Config{
 			BloomBufferBytes: 512,
 			ParallelHAP:      parallel,
-		})
-		fw := NewMintFramework(cluster, 0)
+		}, 0)
 		for _, t := range traffic {
 			fw.Capture(t)
 		}
-		fw.Flush()
+		fw.Seal()
 		mode := "sequential"
 		if parallel {
 			mode = "parallel"
 		}
 		res.Rows = append(res.Rows, []string{
-			mode, fmtI(cluster.SpanPatternCount()), "identical pattern sets by construction",
+			mode, fmtI(fw.SpanPatternCount()), "identical pattern sets by construction",
 		})
+		fw.Close()
 	}
 	res.Notes = append(res.Notes,
 		"the parallel path fans numeric attribute parsing across goroutines; results are byte-identical "+

@@ -20,18 +20,17 @@ const abnormalFlag = "is_abnormal"
 const sweepScale = 100
 
 // newFrameworkSet builds the six frameworks of Fig. 11 over a system's
-// nodes. Mint uses paper defaults; 4 KB Bloom buffers amortize poorly at
-// 1/100 scale, so the buffer scales down with the workload (documented in
-// EXPERIMENTS.md).
-func newFrameworkSet(nodes []string, seed int64) []baseline.Framework {
-	cluster := mint.NewCluster(nodes, mint.Config{BloomBufferBytes: 512})
+// nodes, with the Mint deployment shaped by the topology under test. Mint
+// uses paper defaults; 4 KB Bloom buffers amortize poorly at 1/100 scale, so
+// the buffer scales down with the workload (documented in EXPERIMENTS.md).
+func newFrameworkSet(tp *Topo, nodes []string, seed int64) []baseline.Framework {
 	return []baseline.Framework{
 		baseline.NewOTFull(),
 		baseline.NewOTHead(0.05),
 		baseline.NewOTTailOnFlag(abnormalFlag),
 		baseline.NewSieve(8, 256, seed),
 		baseline.NewHindsightOnFlag(abnormalFlag),
-		NewMintFramework(cluster, 0),
+		tp.NewMintFramework(nodes, mint.Config{BloomBufferBytes: 512}, 0),
 	}
 }
 
@@ -54,7 +53,7 @@ func genMixedTraffic(sys *sim.System, n int, abnormalFrac float64) []*trace.Trac
 // storage overhead (MB/min) versus request throughput on OnlineBoutique and
 // TrainTicket for six tracing frameworks. 5% of traffic is tagged abnormal
 // and every biased method samples on the tag.
-func Fig11OverheadSweep() *Result {
+func Fig11OverheadSweep(tp *Topo) *Result {
 	res := &Result{
 		ID:    "fig11",
 		Title: "Network and storage overhead vs request throughput (MB/min, production scale)",
@@ -71,11 +70,11 @@ func Fig11OverheadSweep() *Result {
 		{"TrainTicket", sim.TrainTicket},
 	}
 	for bi, bm := range benchmarks {
-		for _, tp := range workload.Fig11Throughputs {
-			n := tp / sweepScale
+		for _, rate := range workload.Fig11Throughputs {
+			n := rate / sweepScale
 			sys := bm.mk(int64(1000 + bi))
 			warm := sim.GenTraces(sys, 200)
-			fws := newFrameworkSet(sys.Nodes, int64(42+bi))
+			fws := newFrameworkSet(tp, sys.Nodes, int64(42+bi))
 			for _, fw := range fws {
 				fw.Warmup(warm)
 			}
@@ -86,6 +85,7 @@ func Fig11OverheadSweep() *Result {
 				}
 				fw.Flush()
 			}
+			sealMint(fws)
 			var fullNet, fullSto float64
 			for fi, fw := range fws {
 				net := float64(fw.NetworkBytes()) * sweepScale / 1e6
@@ -101,9 +101,10 @@ func Fig11OverheadSweep() *Result {
 					stoPct = fmtPct(sto / fullSto)
 				}
 				res.Rows = append(res.Rows, []string{
-					bm.name, fw.Name(), fmtI(tp), fmtF(net, 1), fmtF(sto, 1), netPct, stoPct,
+					bm.name, fw.Name(), fmtI(rate), fmtF(net, 1), fmtF(sto, 1), netPct, stoPct,
 				})
 			}
+			closeMint(fws)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -114,25 +115,26 @@ func Fig11OverheadSweep() *Result {
 
 // MintReductionSummary computes the headline abstract numbers (storage
 // reduced to ~2.7%, network to ~4.2%) by averaging Mint's share of OT-Full
-// across the Fig. 11 sweep. Used by tests and the README quickstart.
-func MintReductionSummary() (netShare, stoShare float64) {
+// across the Fig. 11 sweep under the given topology. Used by tests and the
+// README quickstart.
+func MintReductionSummary(tp *Topo) (netShare, stoShare float64) {
 	benchmarks := []func(int64) *sim.System{sim.OnlineBoutique, sim.TrainTicket}
 	var nets, stos, count float64
 	for bi, mk := range benchmarks {
 		sys := mk(int64(2000 + bi))
 		warm := sim.GenTraces(sys, 200)
 		full := baseline.NewOTFull()
-		cluster := mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512})
-		mintFW := NewMintFramework(cluster, 0)
+		mintFW := tp.NewMintFramework(sys.Nodes, mint.Config{BloomBufferBytes: 512}, 0)
 		mintFW.Warmup(warm)
 		traffic := genMixedTraffic(sys, 600, 0.05)
 		for _, t := range traffic {
 			full.Capture(t)
 			mintFW.Capture(t)
 		}
-		mintFW.Flush()
+		mintFW.Seal()
 		nets += float64(mintFW.NetworkBytes()) / float64(full.NetworkBytes())
 		stos += float64(mintFW.StorageBytes()) / float64(full.StorageBytes())
+		mintFW.Close()
 		count++
 	}
 	return nets / count, stos / count

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("registry lists %d experiments, want 16 (every paper table and figure plus 3 ablations)", len(all))
 	}
 	seen := map[string]bool{}
+	clustered := 0
 	for _, e := range all {
 		if seen[e.ID] {
 			t.Fatalf("duplicate experiment ID %s", e.ID)
@@ -24,15 +25,39 @@ func TestRegistryComplete(t *testing.T) {
 		if e.Run == nil || e.Title == "" {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
+		if e.Cluster {
+			clustered++
+		}
 	}
-	if _, ok := Lookup("fig11"); !ok {
-		t.Fatal("lookup fig11")
+	if clustered != 8 {
+		t.Fatalf("%d cluster-backed experiments, want 8 (fig11 fig12 tab3 fig14 fig15 abl-*)", clustered)
+	}
+	for _, id := range []string{"fig11", "fig12", "tab3", "fig14", "fig15", "abl-bloom", "abl-params", "abl-hap"} {
+		e, ok := Lookup(id)
+		if !ok || !e.Cluster {
+			t.Fatalf("%s must be registered as a cluster experiment", id)
+		}
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("lookup should miss unknown IDs")
 	}
 	if len(IDs()) != 16 {
 		t.Fatal("IDs()")
+	}
+}
+
+func TestTopoKindRoundTrip(t *testing.T) {
+	if len(AllTopologies()) != 3 {
+		t.Fatal("three topologies")
+	}
+	for _, k := range AllTopologies() {
+		got, ok := ParseTopo(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseTopo(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseTopo("serial"); ok {
+		t.Fatal("ParseTopo must reject unknown names")
 	}
 }
 
@@ -51,15 +76,43 @@ func TestResultRender(t *testing.T) {
 	}
 }
 
+func TestRenderStableMasksVolatileCols(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "demo",
+		Header: []string{"metric", "det", "wallclock"},
+		Rows:   [][]string{{"a", "1", "3.14"}, {"b", "2", "2.71"}},
+	}
+	r.MarkVolatileCols(2)
+	if got := r.VolatileCols(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("VolatileCols() = %v", got)
+	}
+	stable := r.RenderStable()
+	if strings.Contains(stable, "3.14") || strings.Contains(stable, "2.71") {
+		t.Fatalf("stable render leaks volatile cells:\n%s", stable)
+	}
+	if !strings.Contains(stable, volatileMask) {
+		t.Fatalf("stable render missing mask:\n%s", stable)
+	}
+	// Deterministic columns survive, and the plain render is untouched.
+	if !strings.Contains(stable, "1") || !strings.Contains(r.Render(), "3.14") {
+		t.Fatal("masking must not rewrite deterministic cells or Render()")
+	}
+	if r.StableHash() == "" || r.StableHash() != r.StableHash() {
+		t.Fatal("StableHash must be non-empty and stable")
+	}
+}
+
 func TestMintFrameworkAdapter(t *testing.T) {
+	tp := NewTopo(TopoInProc)
+	defer tp.Close()
 	sys := sim.OnlineBoutique(55)
-	fw := NewMintFramework(mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512}), 0)
+	fw := tp.NewMintFramework(sys.Nodes, mint.Config{BloomBufferBytes: 512}, 0)
 	fw.Warmup(sim.GenTraces(sys, 100))
 	traffic := sim.GenTraces(sys, 200)
 	for _, tr := range traffic {
 		fw.Capture(tr)
 	}
-	fw.Flush()
+	fw.Seal()
 	if fw.Name() != "Mint" {
 		t.Fatal("name")
 	}
@@ -79,6 +132,7 @@ func TestMintFrameworkAdapter(t *testing.T) {
 func TestMintFrameworkPeriodicFlush(t *testing.T) {
 	sys := sim.OnlineBoutique(56)
 	fw := NewMintFramework(mint.NewCluster(sys.Nodes, mint.Config{BloomBufferBytes: 512}), 50)
+	defer fw.Close()
 	for _, tr := range sim.GenTraces(sys, 120) {
 		fw.Capture(tr)
 	}
@@ -88,9 +142,70 @@ func TestMintFrameworkPeriodicFlush(t *testing.T) {
 	}
 }
 
+// TestSealReopenAccounting pins the Seal contract on the reopen topology:
+// the network meter and eviction counters freeze at their pre-reopen values
+// (the writing agents are gone), queries answer from the replayed store, and
+// the reopened cluster runs the resharded count.
+func TestSealReopenAccounting(t *testing.T) {
+	tp := NewTopo(TopoReopen)
+	defer tp.Close()
+	sys := sim.OnlineBoutique(57)
+	fw := tp.NewMintFramework(sys.Nodes, mint.Config{BloomBufferBytes: 512}, 0)
+	fw.Warmup(sim.GenTraces(sys, 100))
+	traffic := sim.GenTraces(sys, 150)
+	for _, tr := range traffic {
+		fw.Capture(tr)
+	}
+	fw.Flush()
+	preNet := fw.NetworkBytes()
+	if preNet <= 0 {
+		t.Fatal("capture phase must meter network bytes")
+	}
+	if got := fw.Cluster().Shards(); got != reopenWriteShards {
+		t.Fatalf("write phase shards = %d, want %d", got, reopenWriteShards)
+	}
+	fw.Seal()
+	if got := fw.Cluster().Shards(); got != reopenReopenShards {
+		t.Fatalf("reopened shards = %d, want %d", got, reopenReopenShards)
+	}
+	if fw.NetworkBytes() != preNet {
+		t.Fatalf("Seal must snapshot the meter: %d != %d", fw.NetworkBytes(), preNet)
+	}
+	fw.Seal() // idempotent
+	if fw.NetworkBytes() != preNet {
+		t.Fatal("second Seal changed the snapshot")
+	}
+	if fw.StorageBytes() <= 0 {
+		t.Fatal("replayed store is empty")
+	}
+	for _, tr := range traffic[:20] {
+		if fw.Query(tr.TraceID).Kind == backend.Miss {
+			t.Fatalf("trace %s lost across the reopen", tr.TraceID)
+		}
+	}
+}
+
+func TestCaptureAfterSealPanics(t *testing.T) {
+	tp := NewTopo(TopoInProc)
+	defer tp.Close()
+	sys := sim.OnlineBoutique(58)
+	fw := tp.NewMintFramework(sys.Nodes, mint.Config{BloomBufferBytes: 512}, 0)
+	traffic := sim.GenTraces(sys, 5)
+	for _, tr := range traffic[:4] {
+		fw.Capture(tr)
+	}
+	fw.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Capture after Seal must panic")
+		}
+	}()
+	fw.Capture(traffic[4])
+}
+
 func TestFig01Fig02Fig13Light(t *testing.T) {
-	for _, run := range []func() *Result{Fig01DailyVolume, Fig02ServiceOverhead, Fig13DatasetInfo} {
-		res := run()
+	for _, run := range []func(*Topo) *Result{Fig01DailyVolume, Fig02ServiceOverhead, Fig13DatasetInfo} {
+		res := run(nil) // non-cluster drivers ignore the topology
 		if len(res.Rows) == 0 {
 			t.Fatalf("%s produced no rows", res.ID)
 		}
@@ -98,7 +213,7 @@ func TestFig01Fig02Fig13Light(t *testing.T) {
 }
 
 func TestFig16SensitivityMonotonicTendency(t *testing.T) {
-	res := Fig16Sensitivity()
+	res := Fig16Sensitivity(nil)
 	if len(res.Rows) != 4 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}

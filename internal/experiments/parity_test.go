@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// parityIDs is the default cross-topology parity set: every cluster-backed
+// experiment except fig12, whose 14-day window takes ~16 s per topology
+// (set MINT_EXP_PARITY_ALL=1 to include it). Under -short the set trims to
+// the three fastest drivers.
+func parityIDs(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"abl-hap", "fig11", "fig15"}
+	}
+	ids := []string{"fig11", "fig14", "fig15", "tab3", "abl-bloom", "abl-params", "abl-hap"}
+	if os.Getenv("MINT_EXP_PARITY_ALL") != "" {
+		ids = append(ids, "fig12")
+	}
+	return ids
+}
+
+// TestCrossTopologyParity pins the harness's headline invariant: a
+// topology-sensitive experiment's stable render (volatile wall-clock cells
+// masked) is byte-identical whether the deployment is the in-process sharded
+// engine, the durable engine replayed from its DataDir under a different
+// shard count, or a cluster dialed into a loopback RPC server. The three
+// topologies run concurrently, so under -race this also exercises the
+// sharded capture path, the WAL replay, and the RPC transport against each
+// other.
+func TestCrossTopologyParity(t *testing.T) {
+	for _, id := range parityIDs(t) {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			if !e.Cluster {
+				t.Fatalf("%s is not a cluster experiment; parity is trivial", id)
+			}
+			renders := make([]string, len(AllTopologies()))
+			var wg sync.WaitGroup
+			for i, kind := range AllTopologies() {
+				i, kind := i, kind
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					renders[i] = RunOn(e, kind).RenderStable()
+				}()
+			}
+			wg.Wait()
+			for i, kind := range AllTopologies() {
+				if renders[i] == "" {
+					t.Fatalf("%s/%s produced an empty render", id, kind)
+				}
+				if renders[i] != renders[0] {
+					t.Errorf("%s: stable render differs between %s and %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+						id, AllTopologies()[0], kind,
+						AllTopologies()[0], renders[0], kind, renders[i])
+				}
+			}
+		})
+	}
+}
+
+// TestNonClusterExperimentsIgnoreTopology spot-checks that a driver flagged
+// Cluster=false really is topology-independent (it receives the Topo but
+// must not build a deployment from it).
+func TestNonClusterExperimentsIgnoreTopology(t *testing.T) {
+	e, ok := Lookup("fig13")
+	if !ok || e.Cluster {
+		t.Fatal("fig13 must be a non-cluster experiment")
+	}
+	a := RunOn(e, TopoInProc).RenderStable()
+	b := RunOn(e, TopoRemote).RenderStable()
+	if a == "" || a != b {
+		t.Fatal("non-cluster experiment output must not depend on topology")
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+// The evaluation used to run against one hard-coded in-process cluster; now
+// every cluster-backed experiment is parameterized by a deployment topology,
+// so the same figure can be regenerated against the sharded in-process
+// engine, the durable engine reopened from its DataDir, and the networked
+// deployment dialed over the RPC transport. The cross-topology invariant the
+// rest of the repo pins test-by-test — Query/BatchAnalyze/FindTraces and
+// byte accounting identical in every deployment shape — makes the figure
+// outputs themselves byte-comparable: RenderStable of a topology-sensitive
+// experiment must not depend on which topology produced it.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/mint"
+)
+
+// TopoKind names one of the three deployment topologies experiments run
+// against.
+type TopoKind int
+
+const (
+	// TopoInProc is the sharded in-process engine (mint.Open, no DataDir).
+	TopoInProc TopoKind = iota
+	// TopoReopen is the durable engine: captures flow through a DataDir-backed
+	// cluster and Seal closes it and reopens the directory with a different
+	// shard count, so the query phase runs against replayed on-disk state.
+	TopoReopen
+	// TopoRemote is the networked deployment: a mintd-shaped loopback RPC
+	// server owns the backend and the experiment's cluster is dialed into it.
+	TopoRemote
+)
+
+// topology shard counts: the in-process and server backends run sharded, and
+// the reopen topology reopens with a different count than it wrote with, so
+// every topology run also exercises the shard-count-independent layout.
+const (
+	inprocShards       = 4
+	reopenWriteShards  = 2
+	reopenReopenShards = 3
+	remoteServerShards = 4
+)
+
+// String returns the topology's artifact name ("inproc", "reopen", "remote").
+func (k TopoKind) String() string {
+	switch k {
+	case TopoInProc:
+		return "inproc"
+	case TopoReopen:
+		return "reopen"
+	case TopoRemote:
+		return "remote"
+	}
+	return fmt.Sprintf("TopoKind(%d)", int(k))
+}
+
+// ParseTopo maps an artifact name back to its TopoKind.
+func ParseTopo(s string) (TopoKind, bool) {
+	switch s {
+	case "inproc":
+		return TopoInProc, true
+	case "reopen":
+		return TopoReopen, true
+	case "remote":
+		return TopoRemote, true
+	}
+	return 0, false
+}
+
+// AllTopologies lists every topology in artifact order.
+func AllTopologies() []TopoKind { return []TopoKind{TopoInProc, TopoReopen, TopoRemote} }
+
+// Topo is one experiment run's deployment context: it builds clusters shaped
+// by its TopoKind and owns their scratch state (DataDirs, loopback servers)
+// until Close. A Topo is safe for concurrent framework construction, so
+// parity tests can run one experiment's topologies in parallel.
+type Topo struct {
+	kind TopoKind
+
+	mu      sync.Mutex
+	scratch string // base temp dir for reopen DataDirs, created lazily
+	nDir    int
+	closers []func()
+}
+
+// NewTopo creates a deployment context for the given topology.
+func NewTopo(kind TopoKind) *Topo { return &Topo{kind: kind} }
+
+// Kind returns the topology this context builds.
+func (tp *Topo) Kind() TopoKind { return tp.kind }
+
+// newDataDir allocates one fresh DataDir under the run's scratch directory.
+func (tp *Topo) newDataDir() string {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.scratch == "" {
+		dir, err := os.MkdirTemp("", "mintexp-")
+		if err != nil {
+			panic("experiments: scratch dir: " + err.Error())
+		}
+		tp.scratch = dir
+	}
+	tp.nDir++
+	dir := fmt.Sprintf("%s/c%04d", tp.scratch, tp.nDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic("experiments: scratch dir: " + err.Error())
+	}
+	return dir
+}
+
+// onClose registers cleanup to run at Topo.Close (frameworks also register
+// their own Close so leaked ones are still collected).
+func (tp *Topo) onClose(f func()) {
+	tp.mu.Lock()
+	tp.closers = append(tp.closers, f)
+	tp.mu.Unlock()
+}
+
+// Close releases every resource the topology's frameworks acquired: loopback
+// servers, their backing clusters, and the reopen scratch directories.
+func (tp *Topo) Close() {
+	tp.mu.Lock()
+	closers := tp.closers
+	tp.closers = nil
+	scratch := tp.scratch
+	tp.scratch = ""
+	tp.mu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
+	if scratch != "" {
+		os.RemoveAll(scratch)
+	}
+}
+
+// NewMintFramework builds a Mint framework over the topology: an in-process
+// sharded cluster, a DataDir-backed durable cluster (reopened at Seal), or a
+// cluster dialed into a fresh loopback RPC server. cfg carries the
+// experiment's agent-side knobs; backend placement is the topology's job.
+// Construction failures panic — experiments have no error plumbing, and a
+// topology that cannot assemble is a harness bug, not a measurement.
+func (tp *Topo) NewMintFramework(nodes []string, cfg mint.Config, flushEvery int) *MintFramework {
+	fw := &MintFramework{tp: tp, nodes: append([]string(nil), nodes...), flushEvery: flushEvery}
+	switch tp.kind {
+	case TopoInProc:
+		cfg.Shards = inprocShards
+		cluster, err := mint.Open(nodes, cfg)
+		if err != nil {
+			panic("experiments: open inproc cluster: " + err.Error())
+		}
+		fw.cluster = cluster
+	case TopoReopen:
+		cfg.Shards = reopenWriteShards
+		cfg.DataDir = tp.newDataDir()
+		cluster, err := mint.Open(nodes, cfg)
+		if err != nil {
+			panic("experiments: open durable cluster: " + err.Error())
+		}
+		fw.cluster = cluster
+		fw.cfg = cfg
+	case TopoRemote:
+		server, err := mint.Open(nil, mint.Config{Shards: remoteServerShards})
+		if err != nil {
+			panic("experiments: open server backend: " + err.Error())
+		}
+		srv := rpc.NewServer(server.Backend())
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			panic("experiments: loopback listen: " + err.Error())
+		}
+		cluster, err := mint.Dial(addr.String(), nodes, cfg)
+		if err != nil {
+			panic("experiments: dial loopback server: " + err.Error())
+		}
+		fw.cluster = cluster
+		fw.srv = srv
+		fw.srvCluster = server
+	default:
+		panic(fmt.Sprintf("experiments: unknown topology %v", tp.kind))
+	}
+	tp.onClose(fw.Close)
+	return fw
+}
+
+// RunOn runs one experiment under a fresh deployment context of the given
+// topology and releases the context's resources before returning.
+func RunOn(e Entry, kind TopoKind) *Result {
+	tp := NewTopo(kind)
+	defer tp.Close()
+	return e.Run(tp)
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 )
@@ -17,15 +19,78 @@ func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 // fmtI renders an int.
 func fmtI(v int) string { return fmt.Sprintf("%d", v) }
 
+// volatileMask replaces wall-clock cells in stable renders: timings vary
+// run to run and topology to topology, everything else must not.
+const volatileMask = "(timing)"
+
+// MarkVolatileCols marks whole columns as wall-clock measurements. Stable
+// renders mask them, so the deterministic remainder of the figure stays
+// byte-comparable across topologies and runs.
+func (r *Result) MarkVolatileCols(cols ...int) {
+	if r.volatileCols == nil {
+		r.volatileCols = map[int]bool{}
+	}
+	for _, c := range cols {
+		r.volatileCols[c] = true
+	}
+}
+
+// VolatileCols returns the marked wall-clock columns in ascending order.
+func (r *Result) VolatileCols() []int {
+	out := make([]int, 0, len(r.volatileCols))
+	for c := range r.volatileCols {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; the sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StableRows returns the rows with volatile cells masked.
+func (r *Result) StableRows() [][]string {
+	if len(r.volatileCols) == 0 {
+		return r.Rows
+	}
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		masked := append([]string(nil), row...)
+		for c := range r.volatileCols {
+			if c < len(masked) {
+				masked[c] = volatileMask
+			}
+		}
+		out[i] = masked
+	}
+	return out
+}
+
 // Render pretty-prints a Result as an aligned text table.
-func (r *Result) Render() string {
+func (r *Result) Render() string { return r.render(r.Rows) }
+
+// RenderStable pretty-prints the Result with volatile (wall-clock) cells
+// masked: two topologies — or two runs — regenerating the same figure must
+// produce byte-identical stable renders. This is the artifact the parity
+// tests and the CI cross-topology diff compare.
+func (r *Result) RenderStable() string { return r.render(r.StableRows()) }
+
+// StableHash returns the hex SHA-256 of RenderStable — the fingerprint
+// BENCH_experiments.json records per (experiment, topology).
+func (r *Result) StableHash() string {
+	sum := sha256.Sum256([]byte(r.RenderStable()))
+	return hex.EncodeToString(sum[:])
+}
+
+func (r *Result) render(rows [][]string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	widths := make([]int, len(r.Header))
 	for i, h := range r.Header {
 		widths[i] = len(h)
 	}
-	for _, row := range r.Rows {
+	for _, row := range rows {
 		for i, c := range row {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -49,7 +114,7 @@ func (r *Result) Render() string {
 		b.WriteString(strings.Repeat("-", w))
 	}
 	b.WriteByte('\n')
-	for _, row := range r.Rows {
+	for _, row := range rows {
 		writeRow(row)
 	}
 	for _, n := range r.Notes {

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/parser"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// fuzzSink consumes decoded envelope operations, checking every value the
+// walker hands the backend is structurally sound, and logs the op sequence
+// so two walks of the same payload can be compared.
+type fuzzSink struct {
+	t   *testing.T
+	ops []byte
+}
+
+func (s *fuzzSink) AcceptPatterns(r *PatternReport) {
+	if r == nil {
+		s.t.Fatal("walker delivered a nil pattern report")
+	}
+	for _, p := range r.SpanPatterns {
+		if p == nil {
+			s.t.Fatal("walker delivered a nil span pattern")
+		}
+	}
+	for _, p := range r.TopoPatterns {
+		if p == nil {
+			s.t.Fatal("walker delivered a nil topo pattern")
+		}
+	}
+	s.ops = append(s.ops, 'P')
+}
+
+func (s *fuzzSink) AcceptBloom(r *BloomReport, immutable bool) {
+	if r == nil || r.Filter == nil {
+		s.t.Fatal("walker delivered a bloom report without a filter")
+	}
+	if immutable != r.Full {
+		s.t.Fatal("immutable flag diverged from the report's Full bit")
+	}
+	s.ops = append(s.ops, 'B')
+}
+
+func (s *fuzzSink) AcceptParams(r *ParamsReport) {
+	if r == nil {
+		s.t.Fatal("walker delivered a nil params report")
+	}
+	for _, sp := range r.Spans {
+		if sp == nil {
+			s.t.Fatal("walker delivered a nil parsed span")
+		}
+	}
+	s.ops = append(s.ops, 'p')
+}
+
+func (s *fuzzSink) MarkSampled(traceID, reason string) {
+	_ = traceID
+	_ = reason
+	s.ops = append(s.ops, 'M')
+}
+
+// fuzzSeedEnvelope builds a valid envelope carrying every op kind — the
+// corpus entry mutation starts from.
+func fuzzSeedEnvelope() []byte {
+	sp := &parser.SpanPattern{
+		Service:   "cart",
+		Operation: "HTTP GET /cart",
+		Kind:      trace.KindServer,
+		Attrs: []parser.AttrPattern{
+			{Key: "user.id", Pattern: "<*>"},
+			{Key: "~duration", IsNum: true, Pattern: "(4, 9]", NumIndex: 2},
+		},
+	}
+	sp.SetID("span-pat-1")
+	tp := &topo.Pattern{
+		Node:  "node-1",
+		Entry: "span-pat-1",
+		Edges: []topo.Edge{{Parent: "span-pat-1", Children: []string{"span-pat-2"}}},
+		Exits: []string{"span-pat-2"},
+	}
+	tp.SetID("topo-pat-1")
+	f := bloom.New(64, 0.01)
+	f.Add("trace-1")
+
+	var env []byte
+	env = AppendMarkOp(env, "trace-1", "symptom")
+	env = AppendPatternOp(env, &PatternReport{Node: "node-1",
+		SpanPatterns: []*parser.SpanPattern{sp}, TopoPatterns: []*topo.Pattern{tp}})
+	env = AppendBloomOp(env, &BloomReport{Node: "node-1", PatternID: "topo-pat-1", Filter: f, Full: true})
+	env = AppendParamsOp(env, &ParamsReport{Node: "node-1", TraceID: "trace-1",
+		Spans: []*parser.ParsedSpan{{
+			PatternID:  "span-pat-1",
+			TraceID:    "trace-1",
+			SpanID:     "s1",
+			StartUnix:  12345,
+			RawSize:    200,
+			AttrParams: [][]string{{"u-77"}, {"7"}},
+		}}})
+	return env
+}
+
+// FuzzWireEnvelope drives arbitrary bytes through WalkEnvelope — the frame
+// payload the RPC transport's coalesced write lane hands straight to the
+// backend, so a remote peer controls every byte. The walker's contract under
+// fuzzing: never panic, never hand the sink a structurally unsound value,
+// apply ops strictly in encoding order, and decode deterministically (two
+// walks of one payload agree op-for-op and on the error). A round-trip
+// check on the seed side pins that Append*Op output always walks cleanly.
+func FuzzWireEnvelope(f *testing.F) {
+	seed := fuzzSeedEnvelope()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{tagMarkOp})                           // truncated mark
+	f.Add([]byte{0xEE})                                // unknown tag
+	f.Add(AppendMarkOp(nil, "t", "r")[:3])             // mark cut mid-string
+	f.Add(append(AppendMarkOp(nil, "t", "r"), 0xEE))   // valid prefix, bad tail
+	f.Add(seed[:len(seed)-5])                          // params report cut short
+	f.Add(append(seed, AppendMarkOp(nil, "x", "")...)) // empty reason string
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		sink := &fuzzSink{t: t}
+		err := WalkEnvelope(payload, sink)
+
+		// Determinism: a second walk agrees op-for-op and error-for-error.
+		again := &fuzzSink{t: t}
+		err2 := WalkEnvelope(payload, again)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("walks disagree on error: %v vs %v", err, err2)
+		}
+		if string(sink.ops) != string(again.ops) {
+			t.Fatalf("walks disagree on ops: %q vs %q", sink.ops, again.ops)
+		}
+
+		if err == nil && len(payload) > 0 && len(sink.ops) == 0 {
+			t.Fatal("non-empty payload decoded cleanly but applied no ops")
+		}
+	})
+}

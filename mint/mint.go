@@ -773,3 +773,45 @@ func (c *Cluster) AgentEvictions(node string) uint64 {
 	}
 	return col.Agent().Buffer().Evicted()
 }
+
+// Stats is a point-in-time snapshot of a cluster's byte accounting and
+// pattern state, taken in one pass so harnesses (cmd/mintexp, benchmarks)
+// report a consistent view instead of stitching racy single-field reads.
+// On a remote cluster the backend fields cost one stats round-trip.
+type Stats struct {
+	NetworkBytes int64 // agent↔backend bytes metered client-side
+	StorageBytes int64 // backend's persisted bytes (patterns+blooms+params)
+	PatternBytes int64
+	BloomBytes   int64
+	ParamBytes   int64
+	SpanPatterns int
+	TopoPatterns int
+	Shards       int
+	Nodes        int
+	Evictions    uint64 // Params Buffer evictions summed over this cluster's agents
+}
+
+// Stats snapshots the cluster. On a closed cluster the backend-derived
+// fields are zero (recording ErrClosed, see Err); the client-side meter and
+// eviction counters still answer.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		NetworkBytes: c.meter.Total(),
+		Nodes:        len(c.nodes),
+	}
+	for _, col := range c.collectors {
+		s.Evictions += col.Agent().Buffer().Evicted()
+	}
+	if err := c.checkOpen(); err != nil {
+		return s
+	}
+	total, patterns, blooms, params := c.store.StorageBytes()
+	s.StorageBytes = total
+	s.PatternBytes = patterns
+	s.BloomBytes = blooms
+	s.ParamBytes = params
+	s.SpanPatterns = c.store.SpanPatternCount()
+	s.TopoPatterns = c.store.TopoPatternCount()
+	s.Shards = c.store.ShardCount()
+	return s
+}

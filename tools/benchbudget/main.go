@@ -16,6 +16,12 @@
 // Every budgeted benchmark must appear in the input; a missing one fails
 // the gate (it usually means the bench was renamed and the budget silently
 // stopped gating anything).
+//
+// -json <path> additionally writes the verdicts as a machine-readable
+// "mint-bench-budget/v1" artifact (internal/benchfmt), which cmd/mintexp
+// folds into BENCH_experiments.json for the perf trajectory. The artifact is
+// written even when the gate fails — a failing run is exactly the one worth
+// archiving.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
 
 // budget is one benchmark's allocation ceiling.
@@ -89,6 +97,7 @@ func parseBenchLine(line string) (name string, allocs int64, ok bool) {
 
 func main() {
 	budgetPath := flag.String("budget", "tools/benchbudget/budget.txt", "budget file")
+	jsonOut := flag.String("json", "", "also write the verdicts as a mint-bench-budget/v1 JSON artifact")
 	flag.Parse()
 
 	budgets, err := readBudgets(*budgetPath)
@@ -112,6 +121,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	artifact := benchfmt.BudgetArtifact{Schema: benchfmt.BudgetSchema}
 	failed := false
 	for _, b := range budgets {
 		got, ok := measured[b.name]
@@ -119,11 +129,25 @@ func main() {
 		case !ok:
 			fmt.Fprintf(os.Stderr, "benchbudget: %s: not found in bench output (renamed? run it!)\n", b.name)
 			failed = true
+			got = -1 // recorded in the artifact as "not measured"
 		case got > b.max:
 			fmt.Fprintf(os.Stderr, "benchbudget: %s: %d allocs/op exceeds budget %d\n", b.name, got, b.max)
 			failed = true
 		default:
 			fmt.Printf("benchbudget: %s: %d allocs/op within budget %d\n", b.name, got, b.max)
+		}
+		artifact.Entries = append(artifact.Entries, benchfmt.BudgetEntry{
+			Name:         b.name,
+			AllocsPerOp:  got,
+			Budget:       b.max,
+			WithinBudget: ok && got <= b.max,
+		})
+	}
+	if *jsonOut != "" {
+		artifact.Sort()
+		if err := benchfmt.WriteFile(*jsonOut, &artifact); err != nil {
+			fmt.Fprintln(os.Stderr, "benchbudget:", err)
+			os.Exit(2)
 		}
 	}
 	if failed {
