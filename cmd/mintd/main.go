@@ -16,8 +16,12 @@
 //
 // With -data-dir the backend persists every shard to snapshot + WAL and a
 // restarted mintd answers queries byte-identically to the one that wrote
-// the directory. SIGINT/SIGTERM shut down cleanly: listeners stop, the WAL
-// flushes durable, and the process exits 0.
+// the directory. SIGINT/SIGTERM drain before stopping: /healthz flips to
+// 503 and HTTP ingest sheds with 429 (so load balancers and exporters move
+// on), in-flight RPC requests finish within the -drain budget and their
+// responses reach the clients, and only then does the WAL flush durable and
+// the process exit 0 — every envelope acknowledged over the wire is on disk
+// when it does.
 //
 // Usage:
 //
@@ -56,6 +60,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (snapshot + WAL per shard); empty = memory-only")
 	retention := flag.Duration("retention", 0, "drop stored trace data older than this TTL (requires -data-dir)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "rewrite a shard snapshot once its WAL exceeds this size (requires -data-dir)")
+	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight RPC requests before force-closing connections")
 	flag.Parse()
 
 	nodeList := strings.Split(*nodes, ",")
@@ -86,8 +91,9 @@ func main() {
 	fmt.Printf("mintd: rpc listening on %s\n", rpcAddr)
 
 	var httpSrv *http.Server
+	var handler *mint.HTTPHandler
 	if *httpAddr != "" {
-		handler := mint.NewHTTPHandler(cluster, nodeList[0])
+		handler = mint.NewHTTPHandler(cluster, nodeList[0])
 		handler.AttachRPCServer(srv) // /metricsz reports transport traffic
 		handler.SetMaxBody(*maxBody)
 		httpSrv = &http.Server{
@@ -112,8 +118,13 @@ func main() {
 	fmt.Println("mintd: ready")
 
 	// Block until asked to stop (or a listener dies), then shut down in
-	// dependency order: stop accepting, drop live connections, flush the
-	// WAL durable. Only a signal-triggered shutdown exits 0.
+	// dependency order: mark draining (health probes flip to 503, HTTP
+	// ingest sheds with 429), drain the RPC listener — in-flight requests
+	// finish and their responses reach the clients — then stop HTTP, then
+	// flush the WAL durable. The drain-before-flush order is the durability
+	// contract: every envelope acknowledged over the wire is in the WAL
+	// before cluster.Close seals it. Only a signal-triggered shutdown
+	// exits 0.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	exitCode := 0
@@ -124,6 +135,14 @@ func main() {
 		exitCode = 1
 		fmt.Println("mintd: listener failure: shutting down")
 	}
+	if handler != nil {
+		handler.SetDraining(true)
+	}
+	if err := srv.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "mintd: rpc drain: %v\n", err)
+	} else {
+		fmt.Println("mintd: rpc drained")
+	}
 	if httpSrv != nil {
 		// Shutdown (not Close) waits for in-flight OTLP handlers: a capture
 		// racing cluster.Close would violate the Cluster contract.
@@ -131,7 +150,6 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 		cancel()
 	}
-	_ = srv.Close()
 	if err := cluster.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "mintd: close: %v\n", err)
 		os.Exit(1)

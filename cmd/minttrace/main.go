@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/sim"
 	"repro/mint"
@@ -60,6 +61,7 @@ func main() {
 	findReason := flag.String("find-reason", "", "FindTraces: require this sampling reason")
 	findLimit := flag.Int("find-limit", 20, "FindTraces: cap on printed matches")
 	connect := flag.String("connect", "", "address of a mintd backend server; captures and queries run over the network transport")
+	midPause := flag.Duration("mid-pause", 0, "pause this long halfway through the capture loop, printing a marker line to stderr first (gives a harness a window to restart the backend mid-ingest)")
 	flag.Parse()
 
 	var sys *sim.System
@@ -121,6 +123,12 @@ func main() {
 	var rawBytes int64
 	var faulted []string
 	for i := 0; i < *nTraces; i++ {
+		if *midPause > 0 && i == *nTraces/2 {
+			// The marker goes to stderr so stdout stays byte-comparable with
+			// an unpaused run — the crash-recovery smoke test diffs it.
+			fmt.Fprintln(os.Stderr, "minttrace: mid-pause")
+			time.Sleep(*midPause)
+		}
 		opt := sim.GenOptions{}
 		if *inject != "" && i%97 == 96 {
 			opt.Fault = &sim.Fault{Type: sim.FaultException, Service: *inject, Magnitude: 120}

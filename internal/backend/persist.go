@@ -714,6 +714,42 @@ func (b *Backend) FlushPersistence() error {
 	return p.firstErr()
 }
 
+// SyncWAL seals every shard's pending WAL group and pushes the buffered
+// records to the operating system — no fsync. It is the acknowledgement
+// point of the remote ingest path: once SyncWAL returns, the acknowledged
+// records survive a crash of this process (the page cache outlives it),
+// though not a host power loss — that stronger point is FlushPersistence,
+// which the client's durable flush and the daemon's shutdown path call.
+// Returns the engine's first I/O error, if any; a no-op without persistence
+// attached.
+func (b *Backend) SyncWAL() error {
+	p := b.persist
+	if p == nil {
+		return nil
+	}
+	for _, w := range p.wals {
+		w.mu.Lock()
+		if err := p.sealGroupLocked(w); err != nil {
+			p.setErr(err)
+		} else if err := w.w.Flush(); err != nil {
+			p.setErr(err)
+		}
+		w.mu.Unlock()
+	}
+	return p.firstErr()
+}
+
+// PersistErr returns the durable storage engine's sticky first I/O error —
+// the readiness signal /healthz reports — or nil when none has occurred or
+// no persistence is attached.
+func (b *Backend) PersistErr() error {
+	p := b.persist
+	if p == nil {
+		return nil
+	}
+	return p.firstErr()
+}
+
 // Compact rewrites every shard's snapshot from live state and resets its
 // WAL — the explicit form of what the engine does per shard when a WAL
 // outgrows SnapshotEveryBytes. A no-op without persistence attached.

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// echoOnce dials addr, writes msg, and reads it back.
+func echoOnce(addr string, msg []byte) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestProxyForwardsFaithfullyWithoutFaults(t *testing.T) {
+	px, err := New(startEcho(t), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	msg := bytes.Repeat([]byte("mint-chaos-"), 1000)
+	got, err := echoOnce(px.Addr(), msg)
+	if err != nil {
+		t.Fatalf("echo through calm proxy: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("echo through calm proxy corrupted the stream")
+	}
+	if px.Resets() != 0 || px.Truncations() != 0 || px.Refused() != 0 {
+		t.Fatalf("fault counters nonzero with a zero schedule: resets=%d truncations=%d refused=%d",
+			px.Resets(), px.Truncations(), px.Refused())
+	}
+}
+
+func TestProxyInjectsAndCalms(t *testing.T) {
+	px, err := New(startEcho(t), Config{
+		Seed:         42,
+		ResetProb:    0.5,
+		TruncateProb: 0.2,
+		RefuseProb:   0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	msg := bytes.Repeat([]byte("x"), 64<<10) // many chunks, so faults land
+	var failures int
+	for i := 0; i < 40; i++ {
+		if got, err := echoOnce(px.Addr(), msg); err != nil || !bytes.Equal(got, msg) {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("aggressive schedule injected no observable fault in 40 echoes")
+	}
+	if px.Resets()+px.Refused() == 0 {
+		t.Fatal("fault counters stayed zero despite failed echoes")
+	}
+
+	// After Calm the proxy must forward faithfully again.
+	px.Calm()
+	for i := 0; i < 5; i++ {
+		got, err := echoOnce(px.Addr(), msg)
+		if err != nil {
+			t.Fatalf("echo after Calm: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("echo after Calm corrupted the stream")
+		}
+	}
+}
+
+func TestProxyPartitionWindowEndsAndTrafficResumes(t *testing.T) {
+	px, err := New(startEcho(t), Config{
+		Seed:           7,
+		PartitionEvery: 30 * time.Millisecond,
+		PartitionFor:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	msg := []byte("partition-probe")
+	var ok, failed int
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && (ok < 3 || failed < 1) {
+		if got, err := echoOnce(px.Addr(), msg); err == nil && bytes.Equal(got, msg) {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	if ok < 3 {
+		t.Fatalf("traffic never resumed between partition windows (ok=%d failed=%d)", ok, failed)
+	}
+	if failed < 1 {
+		t.Fatalf("no echo was ever caught by a partition window (ok=%d)", ok)
+	}
+}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,38 +31,67 @@ var ErrClientClosed = errors.New("rpc: client closed")
 // demultiplexing reader goroutine, so many requests pipeline in flight at
 // once; queries round-robin across healthy connections, and large batch
 // lookups fan out in chunks. Ingest writes (reports, sampling marks) are
-// fire-and-forget: they coalesce into a single envelope frame per flush
-// interval or size threshold on one designated write connection, preserving
-// their order, and every synchronous operation (queries, Flush, Close) first
-// flushes the coalescer and waits for the server to acknowledge the
-// outstanding writes — a query never runs ahead of the reports that precede
-// it.
+// fire-and-forget: they coalesce into sequenced envelope frames journaled
+// until the server acknowledges them, preserving their order, and every
+// synchronous operation (queries, Flush, Close) first flushes the coalescer
+// and waits for the journal to drain — a query never runs ahead of the
+// reports that precede it.
 //
-// The first transport error on a connection latches there: that connection
-// closes, its in-flight calls fail, and the pool quarantines it while
-// healthy siblings keep serving. Err surfaces the first such error (queries
-// answer zero values on failure) — check it when a remote cluster's answers
-// suddenly go empty. A cleanly closed client reports nil.
+// Failures are survivable by design. A connection-level I/O error closes
+// that connection and a background loop redials it with exponential backoff
+// and jitter; synchronous calls retry transparently on healthy or restored
+// connections within a per-call deadline; journaled ingest envelopes replay
+// on reconnect and the server's per-session dedup window keeps the replay
+// exactly-once. While every connection is down a circuit breaker makes
+// calls wait for recovery — or fail fast once a redial is refused outright.
+// Err distinguishes the failure classes: retryable outages surface as
+// ErrUnavailable-wrapped errors, while protocol violations and server
+// rejections are sticky. A cleanly closed client reports nil.
 type Client struct {
-	conns []*clientConn // immutable after dial
-	rr    atomic.Uint32 // round-robin cursor for query picks
+	addr    string      // redial target; empty for wrapped-connection clients
+	slots   []*connSlot // fixed length after dial
+	rr      atomic.Uint32
+	wlane   atomic.Uint32 // slot index carrying the ingest write lane
+	session uint64        // random nonzero ID stamped on ingest envelopes
 
 	// errMu guards the client-wide sticky errors; it is a leaf lock.
 	errMu sync.Mutex
-	err   error // first transport error on any connection
-	// serverErr is the first server rejection (error frame) of any request
-	// whose caller cannot return the error itself — a refused report is
-	// telemetry lost, a refused query is an answer silently gone empty.
-	// Rejections do not poison a connection, but Err must surface them,
-	// not swallow them.
+	err   error // first fatal (non-retryable) transport or protocol error
+	// serverErr is the first failure of any request whose caller cannot
+	// return the error itself — a dropped report is telemetry lost, a
+	// query that exhausted its retries is an answer silently gone empty.
+	// It must surface through Err, not be swallowed.
 	serverErr error
 
+	// Circuit breaker state, guarded by bmu (leaf lock). The breaker is
+	// open while every slot is down: recoverCh is non-nil and closes on
+	// the first restored connection; refused marks the fail-fast state (a
+	// redial was refused outright, so the server is gone, not partitioned);
+	// unavail is the stable error calls fail with while open.
+	bmu       sync.Mutex
+	down      int
+	refused   bool
+	unavail   error
+	recoverCh chan struct{}
+
 	// mu guards lifecycle and the ingest coalescer.
-	mu       sync.Mutex
-	closed   bool
-	coBuf    []byte      // pending coalesced ingest ops (wire envelope)
-	coTimer  *time.Timer // flush timer armed while coBuf is non-empty
-	writeIdx int         // connection carrying the ingest write lane
+	mu      sync.Mutex
+	closed  bool
+	coBuf   []byte      // pending coalesced ingest ops (envelope body)
+	coTimer *time.Timer // flush timer armed while coBuf is non-empty
+
+	// jmu guards the ingest journal; jcond wakes barrier waiters.
+	jmu     sync.Mutex
+	jcond   *sync.Cond
+	journal []*envEntry // unacknowledged envelopes in sequence order
+	jbytes  int
+	nextSeq uint64
+	pumping bool
+
+	redials atomic.Int64 // connections restored by the redial loop
+	retries atomic.Int64 // synchronous call retry attempts
+	replays atomic.Int64 // journaled envelopes re-sent after a failure
+	dropped atomic.Int64 // envelopes dropped to journal overflow
 
 	closing atomic.Bool // gates error latching during a clean Close
 	quit    chan struct{}
@@ -73,20 +103,18 @@ type Client struct {
 // goroutine that demultiplexes responses to their in-flight calls by
 // request ID.
 type clientConn struct {
-	cli *Client
-	nc  net.Conn
-	br  *bufio.Reader
+	cli  *Client
+	slot *connSlot
+	nc   net.Conn
+	br   *bufio.Reader
 
 	wmu sync.Mutex
 	enc []byte // reused frame encode buffer, guarded by wmu
 
-	mu          sync.Mutex
-	cond        *sync.Cond       // signals write acknowledgements and failure
-	pending     map[uint64]*call // in-flight requests by ID
-	nextID      uint64
-	err         error // sticky first transport error on this connection
-	writeIssued int64 // fire-and-forget writes sent
-	writeAcked  int64 // fire-and-forget writes acknowledged (or failed)
+	mu      sync.Mutex
+	pending map[uint64]*call // in-flight requests by ID
+	nextID  uint64
+	err     error // sticky first transport error on this connection
 }
 
 // call is one in-flight request. Background calls (fire-and-forget ingest,
@@ -99,7 +127,7 @@ type call struct {
 	buf        *payloadBuf // response payload (pooled copy)
 	err        error       // transport error, set by fail
 	background bool
-	isWrite    bool // counts toward the write barrier
+	seq        uint64 // journaled envelope sequence; 0 for everything else
 }
 
 // payloadBuf is a pooled byte buffer for response payloads.
@@ -111,7 +139,7 @@ var bufPool = sync.Pool{New: func() any { return new(payloadBuf) }}
 func getCall() *call { return callPool.Get().(*call) }
 
 func putCall(ca *call) {
-	ca.typ, ca.buf, ca.err, ca.background, ca.isWrite = 0, nil, nil, false, false
+	ca.typ, ca.buf, ca.err, ca.background, ca.seq = 0, nil, nil, false, 0
 	callPool.Put(ca)
 }
 
@@ -152,6 +180,33 @@ const ReportFlushInterval = 20 * time.Millisecond
 // flush regardless of the interval.
 const ReportFlushBytes = 64 << 10
 
+// RetryDeadline bounds one synchronous call end to end: the total time it
+// may spend across transparent retries, waiting out an open circuit breaker
+// included. It is also the write barrier's bound on waiting for journaled
+// ingest envelopes to drain. Generous by design — it must ride out a redial
+// backoff cycle during a transient partition.
+const RetryDeadline = 15 * time.Second
+
+// Redial policy for quarantined pool connections: exponential backoff with
+// ±50% jitter between RedialBackoffBase and RedialBackoffMax, each attempt
+// bounded by RedialDialTimeout.
+const (
+	// RedialBackoffBase is the first-retry backoff after a connection dies.
+	RedialBackoffBase = 50 * time.Millisecond
+	// RedialBackoffMax caps the exponential redial backoff.
+	RedialBackoffMax = 2 * time.Second
+	// RedialDialTimeout bounds each background reconnect attempt (TCP
+	// connect plus handshake): shorter than DialTimeout because a redial
+	// that stalls is better retried than waited out.
+	RedialDialTimeout = 2 * time.Second
+)
+
+// MaxJournalBytes bounds the client-side ingest journal. While the server is
+// unreachable, coalesced envelopes accumulate here for replay; past the
+// bound new envelopes are dropped (and the loss surfaces through Err) rather
+// than growing without limit.
+const MaxJournalBytes = 32 << 20
+
 // Tunable mirrors of the exported constants, overridden by tests that need
 // short timeouts or quiet keepalives.
 var (
@@ -159,7 +214,94 @@ var (
 	keepaliveInterval   = time.Duration(KeepaliveInterval)
 	reportFlushInterval = time.Duration(ReportFlushInterval)
 	reportFlushBytes    = ReportFlushBytes
+	retryDeadline       = time.Duration(RetryDeadline)
+	redialBackoffBase   = time.Duration(RedialBackoffBase)
+	redialBackoffMax    = time.Duration(RedialBackoffMax)
+	redialDialTimeout   = time.Duration(RedialDialTimeout)
+	redialTick          = 10 * time.Millisecond
+	retryPauseBase      = 10 * time.Millisecond
+	maxJournalBytes     = MaxJournalBytes
 )
+
+// TestTimers carries overrides for the client's timing and sizing tunables.
+// Zero fields keep the current value.
+type TestTimers struct {
+	// Call overrides CallTimeout.
+	Call time.Duration
+	// Keepalive overrides KeepaliveInterval.
+	Keepalive time.Duration
+	// Flush overrides ReportFlushInterval.
+	Flush time.Duration
+	// RetryDeadline overrides RetryDeadline.
+	RetryDeadline time.Duration
+	// RedialBase overrides RedialBackoffBase.
+	RedialBase time.Duration
+	// RedialMax overrides RedialBackoffMax.
+	RedialMax time.Duration
+	// RedialDial overrides RedialDialTimeout.
+	RedialDial time.Duration
+	// RedialTick overrides the maintenance loop's tick.
+	RedialTick time.Duration
+	// JournalBytes overrides MaxJournalBytes.
+	JournalBytes int
+}
+
+// SetTimersForTest overrides the client timing tunables and returns a
+// restore function. It exists for tests — in this package and in packages
+// that drive clients through failure injection — that cannot wait out
+// production deadlines. It must not be called while clients are live.
+func SetTimersForTest(tt TestTimers) (restore func()) {
+	prev := []time.Duration{callTimeout, keepaliveInterval, reportFlushInterval,
+		retryDeadline, redialBackoffBase, redialBackoffMax, redialDialTimeout, redialTick}
+	prevJournal := maxJournalBytes
+	set := func(dst *time.Duration, v time.Duration) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&callTimeout, tt.Call)
+	set(&keepaliveInterval, tt.Keepalive)
+	set(&reportFlushInterval, tt.Flush)
+	set(&retryDeadline, tt.RetryDeadline)
+	set(&redialBackoffBase, tt.RedialBase)
+	set(&redialBackoffMax, tt.RedialMax)
+	set(&redialDialTimeout, tt.RedialDial)
+	set(&redialTick, tt.RedialTick)
+	if tt.JournalBytes != 0 {
+		maxJournalBytes = tt.JournalBytes
+	}
+	return func() {
+		callTimeout, keepaliveInterval, reportFlushInterval = prev[0], prev[1], prev[2]
+		retryDeadline, redialBackoffBase, redialBackoffMax = prev[3], prev[4], prev[5]
+		redialDialTimeout, redialTick = prev[6], prev[7]
+		maxJournalBytes = prevJournal
+	}
+}
+
+// newClient builds the shared client state for a pool of conns slots.
+func newClient(addr string, conns int) *Client {
+	c := &Client{addr: addr, quit: make(chan struct{}), session: newSessionID()}
+	c.jcond = sync.NewCond(&c.jmu)
+	c.slots = make([]*connSlot, conns)
+	for i := range c.slots {
+		c.slots[i] = &connSlot{idx: i}
+	}
+	return c
+}
+
+// newSessionID draws the random nonzero client-session ID stamped on ingest
+// envelopes. Collisions across clients would merge their dedup windows, so
+// the ID comes from the system's CSPRNG; the clock fallback exists only for
+// an unreadable entropy source.
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
 
 // Dial connects to a mintd backend server over a single connection and
 // performs the protocol handshake. Use DialPool for a multi-connection
@@ -169,27 +311,31 @@ func Dial(addr string) (*Client, error) { return DialPool(addr, 1) }
 // DialPool connects a pool of conns connections (at least one) to a mintd
 // backend server, performing the protocol handshake on each. The pool
 // pipelines and fans out queries across connections; ingest writes ride one
-// designated connection so their order is preserved.
+// designated connection so their order is preserved. Connections that die
+// later are redialed in the background.
 func DialPool(addr string, conns int) (*Client, error) {
 	if conns < 1 {
 		conns = 1
 	}
-	c := &Client{quit: make(chan struct{})}
+	c := newClient(addr, conns)
 	for i := 0; i < conns; i++ {
 		nc, err := net.DialTimeout("tcp", addr, DialTimeout)
 		if err == nil {
 			var cc *clientConn
-			cc, err = newClientConn(c, nc)
+			cc, err = newClientConn(c, nc, DialTimeout)
 			if err == nil {
-				c.conns = append(c.conns, cc)
+				cc.slot = c.slots[i]
+				c.slots[i].cc = cc
 				continue
 			}
 			err = fmt.Errorf("rpc: handshake with %s: %w", addr, err)
 		} else {
 			err = fmt.Errorf("rpc: dial %s: %w", addr, err)
 		}
-		for _, cc := range c.conns {
-			cc.nc.Close()
+		for _, sl := range c.slots {
+			if sl.cc != nil {
+				sl.cc.nc.Close()
+			}
 		}
 		return nil, err
 	}
@@ -199,22 +345,24 @@ func DialPool(addr string, conns int) (*Client, error) {
 
 // NewClientConn wraps an established connection (TCP, or an in-memory pipe
 // in tests) into a single-connection client, performing the client side of
-// the handshake.
+// the handshake. With no address to redial, a wrapped connection that dies
+// stays dead: the breaker opens in its fail-fast state immediately.
 func NewClientConn(conn net.Conn) (*Client, error) {
-	c := &Client{quit: make(chan struct{})}
-	cc, err := newClientConn(c, conn)
+	c := newClient("", 1)
+	cc, err := newClientConn(c, conn, DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c.conns = []*clientConn{cc}
+	cc.slot = c.slots[0]
+	c.slots[0].cc = cc
 	c.start()
 	return c, nil
 }
 
 // newClientConn performs the client half of the handshake on conn.
-func newClientConn(c *Client, conn net.Conn) (*clientConn, error) {
+func newClientConn(c *Client, conn net.Conn, timeout time.Duration) (*clientConn, error) {
 	br := bufio.NewReader(conn)
-	_ = conn.SetDeadline(time.Now().Add(DialTimeout))
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	if _, err := conn.Write(handshakeBytes()); err != nil {
 		conn.Close()
 		return nil, err
@@ -243,20 +391,22 @@ func newClientConn(c *Client, conn net.Conn) (*clientConn, error) {
 		return nil, err
 	}
 	_ = conn.SetDeadline(time.Time{})
-	cc := &clientConn{cli: c, nc: conn, br: br, pending: map[uint64]*call{}}
-	cc.cond = sync.NewCond(&cc.mu)
-	return cc, nil
+	return &clientConn{cli: c, nc: conn, br: br, pending: map[uint64]*call{}}, nil
 }
 
-// start launches the per-connection reader goroutines and the keepalive
-// loop once every connection has completed its handshake.
+// start launches the per-connection reader goroutines, the keepalive loop
+// and the redial/journal maintenance loop once every connection has
+// completed its handshake.
 func (c *Client) start() {
-	for _, cc := range c.conns {
-		c.bg.Add(1)
-		go cc.readLoop()
+	for _, sl := range c.slots {
+		if sl.cc != nil {
+			c.bg.Add(1)
+			go sl.cc.readLoop()
+		}
 	}
-	c.bg.Add(1)
+	c.bg.Add(2)
 	go c.keepaliveLoop()
+	go c.maintenanceLoop()
 }
 
 // healthy reports whether the connection has not latched a transport error.
@@ -318,50 +468,56 @@ func (cc *clientConn) dispatch(typ byte, id uint64, payload []byte) bool {
 		ca.done <- struct{}{}
 		return true
 	}
-	// Background call: the reader is its only owner. Acknowledge, surface
-	// rejections, recycle.
-	var serverErr error
+	// Background call: the reader is its only owner. Settle the journal
+	// entry it carried (if any), surface rejections, recycle.
+	seq := ca.seq
 	switch typ {
 	case respOK:
-	case respErr:
+		putCall(ca)
+		if seq != 0 {
+			cc.cli.journalAck(seq)
+		}
+	case respBusy:
 		d := wire.NewDecoder(payload)
-		msg := d.Str()
+		millis := d.Uvarint()
 		if derr := d.Done(); derr != nil {
-			cc.ackWrite(ca)
 			putCall(ca)
 			cc.fail(derr)
 			return false
 		}
-		serverErr = fmt.Errorf("rpc: server: %s", msg)
+		putCall(ca)
+		if seq != 0 {
+			// Shed by the server: keep the envelope journaled, resend after
+			// the server's hint. The maintenance loop delivers it when due.
+			cc.cli.journalDelay(seq, time.Duration(millis)*time.Millisecond)
+		}
+	case respErr:
+		d := wire.NewDecoder(payload)
+		msg := d.Str()
+		if derr := d.Done(); derr != nil {
+			putCall(ca)
+			cc.fail(derr)
+			return false
+		}
+		putCall(ca)
+		if seq != 0 {
+			// The server consumed the sequence without applying it (a
+			// malformed envelope); replaying it would loop forever.
+			cc.cli.journalDrop(seq)
+		}
+		cc.cli.recordServerErr(fmt.Errorf("rpc: server: %s", msg))
 	default:
-		cc.ackWrite(ca)
 		putCall(ca)
 		cc.fail(fmt.Errorf("%w: response type 0x%02x for a write", ErrProtocol, typ))
 		return false
 	}
-	cc.ackWrite(ca)
-	putCall(ca)
-	if serverErr != nil {
-		cc.cli.recordServerErr(serverErr)
-	}
 	return true
-}
-
-// ackWrite credits a finished fire-and-forget write toward the barrier.
-func (cc *clientConn) ackWrite(ca *call) {
-	if !ca.isWrite {
-		return
-	}
-	cc.mu.Lock()
-	cc.writeAcked++
-	cc.cond.Broadcast()
-	cc.mu.Unlock()
 }
 
 // fail latches the connection's first transport error, closes it, and
 // drains every in-flight call: synchronous callers are woken with the
-// error, background writes are force-acknowledged so the write barrier
-// cannot hang on a dead connection.
+// error, journaled envelopes are un-marked so the pump replays them on the
+// next healthy connection, and the slot is handed to the redial loop.
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.err != nil {
@@ -372,26 +528,37 @@ func (cc *clientConn) fail(err error) {
 	cc.nc.Close()
 	pending := cc.pending
 	cc.pending = map[uint64]*call{}
+	cc.mu.Unlock()
 	for _, ca := range pending {
-		if ca.isWrite {
-			cc.writeAcked++
-		}
 		if ca.background {
+			if ca.seq != 0 {
+				cc.cli.journalUnsend(ca.seq)
+			}
 			putCall(ca)
 		} else {
 			ca.err = err
 			ca.done <- struct{}{}
 		}
 	}
-	cc.cond.Broadcast()
-	cc.mu.Unlock()
-	cc.cli.noteTransportErr(err)
+	cc.cli.noteConnDown(cc, err)
 }
 
-// noteTransportErr latches the first connection failure client-wide. A
-// clean Close tears connections down on purpose; the errors that teardown
+// noteConnDown classifies a dead connection's error (fatal errors latch
+// client-wide; transient ones are the redial loop's business) and opens the
+// breaker when the pool's last connection died.
+func (c *Client) noteConnDown(cc *clientConn, err error) {
+	if !isTransientErr(err) {
+		c.noteFatalErr(err)
+	}
+	if cc.slot != nil && cc.slot.noteDown(cc) {
+		c.noteSlotDown(err)
+	}
+}
+
+// noteFatalErr latches the first non-retryable failure client-wide. A clean
+// Close tears connections down on purpose; the errors that teardown
 // provokes are not failures and must not turn a healthy Close into Err.
-func (c *Client) noteTransportErr(err error) {
+func (c *Client) noteFatalErr(err error) {
 	if c.closing.Load() {
 		return
 	}
@@ -400,9 +567,17 @@ func (c *Client) noteTransportErr(err error) {
 		c.err = err
 	}
 	c.errMu.Unlock()
+	c.wakeJournalWaiters()
 }
 
-// recordServerErr latches the first server rejection for Err.
+// fatalErr returns the latched fatal error, if any.
+func (c *Client) fatalErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// recordServerErr latches the first lost-answer failure for Err.
 func (c *Client) recordServerErr(err error) {
 	if err == nil || errors.Is(err, ErrClientClosed) {
 		return
@@ -414,19 +589,46 @@ func (c *Client) recordServerErr(err error) {
 	c.errMu.Unlock()
 }
 
-// Err returns the client's sticky error, if any: the first transport
-// failure on any pooled connection, or the first server rejection of a
-// request whose result had to be answered with zero values (a dropped
-// report violates no-discard, an error-framed query would otherwise
-// masquerade as misses). A cleanly closed client reports nil.
+// Err returns the client's sticky error, if any — the signal to check when
+// a remote cluster's answers suddenly go empty. Precedence: the first fatal
+// transport or protocol error (sticky); then the first request failure
+// whose result had to be answered with zero values (a dropped report
+// violates no-discard, a query that exhausted its retries would otherwise
+// masquerade as misses); then, while every connection is down, the live
+// breaker state as an ErrUnavailable-wrapped error (retryable — it clears
+// when a redial lands). A cleanly closed client reports nil.
 func (c *Client) Err() error {
 	c.errMu.Lock()
-	defer c.errMu.Unlock()
 	if c.err != nil {
+		defer c.errMu.Unlock()
 		return c.err
 	}
-	return c.serverErr
+	if c.serverErr != nil {
+		defer c.errMu.Unlock()
+		return c.serverErr
+	}
+	c.errMu.Unlock()
+	if c.closing.Load() {
+		return nil
+	}
+	return c.breakerErr()
 }
+
+// Redials returns the number of connections the background redial loop has
+// restored.
+func (c *Client) Redials() int64 { return c.redials.Load() }
+
+// Retries returns the number of transparent retry attempts synchronous
+// calls have made.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// ReplayedEnvelopes returns the number of journaled ingest envelopes that
+// were re-sent after a connection failure or busy response.
+func (c *Client) ReplayedEnvelopes() int64 { return c.replays.Load() }
+
+// DroppedEnvelopes returns the number of ingest envelopes dropped because
+// the journal hit its byte bound while the server was unreachable.
+func (c *Client) DroppedEnvelopes() int64 { return c.dropped.Load() }
 
 // send registers ca as an in-flight request and writes its frame. On a nil
 // return the machinery owns the call (the reader or fail will finish it);
@@ -443,9 +645,6 @@ func (cc *clientConn) send(reqType byte, ca *call, encode func([]byte) []byte) e
 	cc.pending[id] = ca
 	if len(cc.pending) == 1 {
 		_ = cc.nc.SetReadDeadline(time.Now().Add(callTimeout))
-	}
-	if ca.isWrite {
-		cc.writeIssued++
 	}
 	cc.mu.Unlock()
 
@@ -487,13 +686,8 @@ func (cc *clientConn) unregister(id uint64) bool {
 	if !ok {
 		return false
 	}
+	_ = ca
 	delete(cc.pending, id)
-	if ca.isWrite {
-		// Credit rather than un-issue: a concurrent barrier may have
-		// snapshotted writeIssued already and would hang on a decrement.
-		cc.writeAcked++
-		cc.cond.Broadcast()
-	}
 	if len(cc.pending) == 0 {
 		_ = cc.nc.SetReadDeadline(time.Time{})
 	}
@@ -503,7 +697,8 @@ func (cc *clientConn) unregister(id uint64) bool {
 // exchange performs one synchronous request/response over this connection.
 // Many exchanges pipeline concurrently; the reader hands each its response
 // by request ID. A respErr response decodes into a returned error without
-// poisoning the connection; transport, framing and decode errors latch.
+// poisoning the connection, a respBusy answers errServerBusy (retryable);
+// transport, framing and decode errors latch.
 func (cc *clientConn) exchange(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
 	ca := getCall()
 	if err := cc.send(reqType, ca, encode); err != nil {
@@ -529,6 +724,14 @@ func (cc *clientConn) exchange(reqType, respType byte, encode func([]byte) []byt
 		} else {
 			err = fmt.Errorf("rpc: server: %s", msg)
 		}
+	case typ == respBusy:
+		d.Uvarint() // retry-after hint; the caller's retry pause covers it
+		if derr := d.Done(); derr != nil {
+			cc.fail(derr)
+			err = derr
+		} else {
+			err = errServerBusy
+		}
 	case typ != respType:
 		err = fmt.Errorf("%w: response type 0x%02x, want 0x%02x", ErrProtocol, typ, respType)
 		cc.fail(err)
@@ -548,30 +751,10 @@ func (cc *clientConn) exchange(reqType, respType byte, encode func([]byte) []byt
 	return err
 }
 
-// awaitWrites blocks until every fire-and-forget write issued on this
-// connection so far has been acknowledged (applied by the server) or the
-// connection has failed. It returns nil once the issued writes are
-// accounted for — the write barrier every synchronous operation runs before
-// touching server state.
-func (cc *clientConn) awaitWrites() error {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	target := cc.writeIssued
-	for cc.writeAcked < target && cc.err == nil {
-		cc.cond.Wait()
-	}
-	if cc.writeAcked >= target {
-		return nil
-	}
-	return cc.err
-}
-
 // keepaliveLoop pings idle connections so silent peer death is noticed
 // between requests. A ping is a background call: it arms the read deadline
 // for its own flight and clears it when answered, so an idle connection
-// never accumulates a stale deadline (the bug class this design retires:
-// the old transport left the per-call deadline logic to each caller and an
-// idle pooled connection could sit past it and fail spuriously).
+// never accumulates a stale deadline.
 func (c *Client) keepaliveLoop() {
 	defer c.bg.Done()
 	t := time.NewTicker(keepaliveInterval)
@@ -581,8 +764,10 @@ func (c *Client) keepaliveLoop() {
 		case <-c.quit:
 			return
 		case <-t.C:
-			for _, cc := range c.conns {
-				cc.pingIfIdle()
+			for _, sl := range c.slots {
+				if cc := sl.get(); cc != nil {
+					cc.pingIfIdle()
+				}
 			}
 		}
 	}
@@ -604,56 +789,128 @@ func (cc *clientConn) pingIfIdle() {
 	}
 }
 
-// pick selects a healthy connection round-robin for a query exchange.
-func (c *Client) pick() (*clientConn, error) {
-	n := uint32(len(c.conns))
+// pickConn selects a healthy connection round-robin; nil when every slot is
+// down (the caller consults the breaker and waits or fails fast).
+func (c *Client) pickConn() *clientConn {
+	n := uint32(len(c.slots))
 	start := c.rr.Add(1)
 	for i := uint32(0); i < n; i++ {
-		cc := c.conns[(start+i)%n]
-		if cc.healthy() {
-			return cc, nil
+		if cc := c.slots[(start+i)%n].get(); cc != nil {
+			return cc
 		}
 	}
-	c.errMu.Lock()
-	err := c.err
-	c.errMu.Unlock()
-	if err == nil {
-		err = ErrClientClosed
-	}
-	return nil, err
+	return nil
 }
 
-// call runs one synchronous exchange on a round-robin connection, without
-// the write barrier — fan-out chunks run it concurrently after their caller
-// ran the barrier once.
-func (c *Client) call(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
-	cc, err := c.pick()
-	if err != nil {
-		return err
+// writeLane returns the connection carrying the ingest write lane, sticky
+// until its connection dies, then migrated to the next healthy slot.
+func (c *Client) writeLane() *clientConn {
+	n := len(c.slots)
+	start := int(c.wlane.Load()) % n
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if cc := c.slots[idx].get(); cc != nil {
+			if i != 0 {
+				c.wlane.Store(uint32(idx))
+			}
+			return cc
+		}
 	}
-	return cc.exchange(reqType, respType, encode, decode)
+	return nil
 }
 
-// syncPrepare flushes the ingest coalescer and returns the write-lane
-// connection whose acknowledgements the caller must await.
-func (c *Client) syncPrepare() (*clientConn, error) {
+// isClosed reports whether Close has begun.
+func (c *Client) isClosed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClientClosed
+	return c.closed
+}
+
+// call runs one synchronous exchange, without the write barrier — fan-out
+// chunks run it concurrently after their caller ran the barrier once. It is
+// the transparent retry point: transient failures (connection I/O errors,
+// busy shedding, an empty pool) retry with jittered backoff on healthy or
+// redialed connections until the per-call retry deadline; fatal errors and
+// server rejections return immediately. While the breaker is open the wait
+// rides its recovery signal, and the refused state fails fast.
+func (c *Client) call(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	deadline := time.Now().Add(retryDeadline)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.isClosed() {
+			return ErrClientClosed
+		}
+		if err := c.fatalErr(); err != nil {
+			return err
+		}
+		if cc := c.pickConn(); cc != nil {
+			err := cc.exchange(reqType, respType, encode, decode)
+			if err == nil {
+				return nil
+			}
+			if !isTransientErr(err) {
+				return err
+			}
+			lastErr = err
+		}
+		wait, failFast := c.breakerWait()
+		if failFast != nil {
+			return failFast
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return c.unavailableErr(lastErr)
+		}
+		pause := retryPause(attempt)
+		if pause > remaining {
+			pause = remaining
+		}
+		c.retries.Add(1)
+		t := time.NewTimer(pause)
+		if wait != nil {
+			select {
+			case <-wait:
+			case <-t.C:
+			case <-c.quit:
+				t.Stop()
+				return ErrClientClosed
+			}
+		} else {
+			select {
+			case <-t.C:
+			case <-c.quit:
+				t.Stop()
+				return ErrClientClosed
+			}
+		}
+		t.Stop()
 	}
-	c.flushOpsLocked()
-	return c.conns[c.writeIdx], nil
+}
+
+// unavailableErr is the retry-deadline failure: the stable breaker error
+// when the pool is fully down, otherwise the last transient error wrapped
+// retryable.
+func (c *Client) unavailableErr(lastErr error) error {
+	if err := c.breakerErr(); err != nil {
+		return err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no connection available")
+	}
+	return fmt.Errorf("%w: retry deadline exceeded: %v", ErrUnavailable, lastErr)
 }
 
 // barrier flushes pending coalesced writes and waits until the server has
-// acknowledged them.
+// acknowledged every journaled envelope.
 func (c *Client) barrier() error {
-	wc, err := c.syncPrepare()
-	if err != nil {
-		return err
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
 	}
-	return wc.awaitWrites()
+	c.flushOpsLocked()
+	c.mu.Unlock()
+	return c.awaitJournal()
 }
 
 // roundTrip is the full synchronous path: write barrier, then one exchange
@@ -675,9 +932,11 @@ func (c *Client) Ping() error {
 	return c.roundTrip(reqPing, respOK, nil, nil)
 }
 
-// Close flushes and awaits outstanding coalesced writes best-effort, then
-// closes every pooled connection. Further calls fail fast with
-// ErrClientClosed. Safe to call more than once.
+// Close flushes the coalescer and waits (bounded by the retry deadline, or
+// until the breaker knows the server is gone) for journaled ingest
+// envelopes to be acknowledged, then closes every pooled connection.
+// Further calls fail fast with ErrClientClosed. Safe to call more than
+// once.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -686,13 +945,19 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.flushOpsLocked()
-	wc := c.conns[c.writeIdx]
 	c.mu.Unlock()
-	_ = wc.awaitWrites()
+	_ = c.awaitJournal()
 	c.closing.Store(true)
 	close(c.quit)
 	var err error
-	for _, cc := range c.conns {
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		cc := sl.cc
+		sl.cc = nil
+		sl.mu.Unlock()
+		if cc == nil {
+			continue
+		}
 		if cerr := cc.nc.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -720,15 +985,15 @@ func (c *Client) noteOpsLocked() {
 // synchronous flush already drained the buffer is a harmless no-op.
 func (c *Client) flushOpsTimer() {
 	c.mu.Lock()
-	c.coTimer = nil
 	c.flushOpsLocked()
 	c.mu.Unlock()
 }
 
-// flushOpsLocked ships the coalesced ingest ops as one envelope frame on
-// the write-lane connection, migrating the lane to a healthy sibling if it
-// has failed. With every connection dead the ops are dropped — the
-// transport error is already latched and Err reports it. Callers hold c.mu.
+// flushOpsLocked seals the coalesced ingest ops into one sequenced,
+// journaled envelope and pumps the journal toward the write lane. With
+// every connection down the envelope simply stays journaled — the redial
+// loop replays it when a connection comes back; only journal overflow drops
+// it (and the loss surfaces through Err). Callers hold c.mu.
 func (c *Client) flushOpsLocked() {
 	if c.coTimer != nil {
 		c.coTimer.Stop()
@@ -737,27 +1002,16 @@ func (c *Client) flushOpsLocked() {
 	if len(c.coBuf) == 0 {
 		return
 	}
-	buf := c.coBuf
-	for i := 0; i < len(c.conns); i++ {
-		cc := c.conns[c.writeIdx]
-		if !cc.healthy() {
-			c.writeIdx = (c.writeIdx + 1) % len(c.conns)
-			continue
-		}
-		ca := getCall()
-		ca.background, ca.isWrite = true, true
-		err := cc.send(reqEnvelope, ca, func(dst []byte) []byte { return append(dst, buf...) })
-		if err == nil {
-			break
-		}
-		putCall(ca)
-		c.recordServerErr(err) // oversize envelope: lost telemetry must surface
-		c.writeIdx = (c.writeIdx + 1) % len(c.conns)
+	if e := c.journalAppend(c.coBuf); e == nil {
+		c.dropped.Add(1)
+		c.recordServerErr(fmt.Errorf("rpc: ingest journal over %d bytes; %d bytes of telemetry dropped",
+			maxJournalBytes, len(c.coBuf)))
 	}
 	c.coBuf = c.coBuf[:0]
 	if cap(c.coBuf) > maxRetainedBuf {
 		c.coBuf = nil
 	}
+	c.pumpJournal()
 }
 
 // AcceptBatch coalesces one report batch into the ingest envelope — the
@@ -914,7 +1168,7 @@ func (c *Client) QueryMany(traceIDs []string) []backend.QueryResult {
 		}
 		return out
 	}
-	per := fanChunk(len(traceIDs), len(c.conns))
+	per := fanChunk(len(traceIDs), len(c.slots))
 	var (
 		wg   sync.WaitGroup
 		emu  sync.Mutex
@@ -1007,7 +1261,7 @@ func (c *Client) BatchQuery(traceIDs []string) (*backend.BatchStats, int) {
 		}
 		return st, miss
 	}
-	per := fanChunk(len(traceIDs), len(c.conns))
+	per := fanChunk(len(traceIDs), len(c.slots))
 	nChunks := (len(traceIDs) + per - 1) / per
 	stats := make([]*backend.BatchStats, nChunks)
 	misses := make([]int, nChunks)
@@ -1093,7 +1347,7 @@ func (c *Client) findTracesFanned(f backend.Filter) []backend.FoundTrace {
 	exact.Candidates = nil
 	exact.Limit = 0
 
-	per := fanChunk(len(cands), len(c.conns))
+	per := fanChunk(len(cands), len(c.slots))
 	nChunks := (len(cands) + per - 1) / per
 	pieces := make([][]backend.FoundTrace, nChunks+1)
 	var (

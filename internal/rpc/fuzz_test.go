@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+)
+
+// FuzzFrameHeader drives the server's handshake and framing path with
+// arbitrary byte streams — torn preambles, truncated 13-byte frame headers,
+// headers whose declared length never arrives, hostile lengths past
+// MaxFrameBytes. The server must neither panic nor hang: once the peer
+// stops sending and closes, ServeConn must return. The same input also runs
+// through readFrame directly, which must return an error (or a complete
+// frame) without unbounded allocation.
+func FuzzFrameHeader(f *testing.F) {
+	valid := append([]byte(Magic), ProtoVersion)
+	pingFrame := appendFrame(nil, reqPing, 1, nil)
+	f.Add([]byte{})
+	f.Add([]byte("MI"))                                         // torn preamble
+	f.Add([]byte("MINT"))                                       // preamble missing its version byte
+	f.Add([]byte("HTTP/1.1 GET /"))                             // wrong protocol entirely
+	f.Add(append(append([]byte{}, valid...), pingFrame...))     // well-formed exchange
+	f.Add(append(append([]byte{}, valid...), pingFrame[:7]...)) // torn frame header
+	f.Add(append(append([]byte{}, valid...),                    // header promising a payload that never comes
+		reqEnvelope, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 1, 0))
+	f.Add(append(append([]byte{}, valid...), // length beyond MaxFrameBytes
+		reqQuery, 0, 0, 0, 0, 0, 0, 0, 3, 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// readFrame directly: must not panic, and a hostile declared length
+		// must not allocate past the geometric-growth chunk bound before the
+		// bytes actually arrive.
+		if len(data) > frameHeaderBytes {
+			readFrame(bytes.NewReader(data), nil)
+		}
+
+		s := NewServer(backend.NewSharded(0, 1))
+		cliSide, srvSide := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			s.ServeConn(srvSide)
+			close(done)
+		}()
+		// Drain whatever the server answers so its writes never block, and
+		// feed it the fuzzed stream, then close — a real torn connection.
+		go io.Copy(io.Discard, cliSide)
+		go func() {
+			cliSide.Write(data)
+			cliSide.Close()
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("ServeConn hung on a torn or hostile stream")
+		}
+		cliSide.Close()
+	})
+}

@@ -33,11 +33,19 @@
 //
 // A malformed frame or handshake terminates the connection: a server that
 // rejects a handshake answers with its own preamble (so a version-mismatched
-// peer can say which versions disagreed) and closes. Client-side I/O errors
-// are sticky per connection — the first one latches, that connection closes
-// and its in-flight calls fail, while pooled siblings keep serving (surfaced
-// through Client.Err). Server-side application errors (a durable-flush I/O
-// failure) travel back as error frames and do not poison the connection.
+// peer can say which versions disagreed) and closes. Connection-level I/O
+// errors are transient: the failed connection closes, its in-flight
+// synchronous calls retry on a pooled sibling, and a background redial loop
+// restores the slot with exponential backoff and jitter. Coalesced ingest
+// envelopes carry a client-session and sequence ID and are journaled in the
+// client until acknowledged; on reconnect the journal replays in order
+// against the server's per-session dedup window, so a retried envelope is
+// applied exactly once. Protocol violations and decode desyncs are fatal and
+// latch client-wide (a broken peer cannot be retried into correctness), and
+// server-side application errors (a durable-flush I/O failure) travel back
+// as error frames without poisoning the connection. An overloaded server
+// answers ingest with a busy frame instead of queueing without bound; the
+// client backs off and replays.
 package rpc
 
 import (
@@ -56,8 +64,11 @@ const (
 	// ProtoVersion is the protocol generation this package speaks.
 	// Version 2 added the 8-byte request ID to the frame header
 	// (multiplexing), the coalesced ingest envelope and the candidate-only
-	// search request; version-1 peers are rejected at the handshake.
-	ProtoVersion = 2
+	// search request. Version 3 prefixed the ingest envelope payload with a
+	// client-session and sequence ID (exactly-once replay after reconnect)
+	// and added the busy response frame (overload shedding). Older peers are
+	// rejected at the handshake.
+	ProtoVersion = 3
 )
 
 // MaxFrameBytes bounds a frame payload (256 MB). A length beyond it is
@@ -77,7 +88,7 @@ const (
 	reqFindAnalyze    = 0x08 // filter; respFindAnalyze
 	reqStats          = 0x09 // empty payload; respStats
 	reqFlush          = 0x0A // empty payload; respOK (durable flush)
-	reqEnvelope       = 0x0B // wire envelope of coalesced ingest ops; respOK
+	reqEnvelope       = 0x0B // sequenced wire envelope of coalesced ingest ops; respOK/respBusy
 	reqFindCandidates = 0x0C // filter; respFound (approximate side only)
 )
 
@@ -91,7 +102,21 @@ const (
 	respFound       = 0x86
 	respFindAnalyze = 0x87
 	respStats       = 0x88
+	// respBusy answers an ingest frame the server shed instead of queueing
+	// (bounded per-connection ingest queue full, or an envelope that arrived
+	// ahead of an unacknowledged predecessor). Its payload is a uvarint
+	// retry-after hint in milliseconds; the client keeps the envelope
+	// journaled and replays it after the delay.
+	respBusy = 0x89
 )
+
+// envelopeHeaderBytes is the fixed prefix of every reqEnvelope payload since
+// protocol version 3: an 8-byte big-endian client-session ID followed by an
+// 8-byte big-endian sequence number, both assigned by the client. Sequence
+// numbers start at 1 and increment per envelope; the server applies a
+// session's envelopes in sequence order exactly once (duplicates acknowledge
+// without re-applying, gaps answer busy so the client replays in order).
+const envelopeHeaderBytes = 16
 
 // ErrProtocol reports a violation of the framing or handshake rules (bad
 // magic, version mismatch, unknown frame type, oversized frame). Errors wrap
@@ -102,9 +127,18 @@ var ErrProtocol = errors.New("rpc: protocol error")
 // request ID, 32-bit payload length.
 const frameHeaderBytes = 13
 
+// readChunkBytes is the largest single payload-buffer growth step readFrame
+// takes before the corresponding bytes have actually arrived. A hostile
+// 13-byte header declaring a near-MaxFrameBytes length can therefore cost at
+// most one spare megabyte up front; large allocations only happen after the
+// peer has really sent the bytes that justify them.
+const readChunkBytes = 1 << 20
+
 // readFrame reads one frame from r, enforcing MaxFrameBytes. buf is an
 // optional reusable payload buffer; the returned payload aliases it when it
-// is large enough.
+// is large enough. Payloads larger than the buffer are read in bounded
+// chunks with geometric buffer growth, so the allocation tracks the bytes
+// received instead of the length the header claims.
 func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, payload, newBuf []byte, err error) {
 	var hdr [frameHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -115,14 +149,40 @@ func readFrame(r io.Reader, buf []byte) (typ byte, id uint64, payload, newBuf []
 	if n > MaxFrameBytes {
 		return 0, 0, nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
 	}
-	if uint32(cap(buf)) < n {
-		buf = make([]byte, n)
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, buf, fmt.Errorf("rpc: truncated frame: %w", err)
+		}
+		return hdr[0], id, payload, buf, nil
 	}
-	payload = buf[:n]
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, buf, fmt.Errorf("rpc: truncated frame: %w", err)
+	payload = buf[:0]
+	remaining := int(n)
+	for remaining > 0 {
+		if cap(payload) == len(payload) {
+			newCap := 2 * cap(payload)
+			if newCap < readChunkBytes {
+				newCap = readChunkBytes
+			}
+			if newCap > int(n) {
+				newCap = int(n)
+			}
+			grown := make([]byte, len(payload), newCap)
+			copy(grown, payload)
+			payload = grown
+		}
+		step := cap(payload) - len(payload)
+		if step > remaining {
+			step = remaining
+		}
+		chunk := payload[len(payload) : len(payload)+step]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return 0, 0, nil, payload, fmt.Errorf("rpc: truncated frame: %w", err)
+		}
+		payload = payload[:len(payload)+step]
+		remaining -= step
 	}
-	return hdr[0], id, payload, buf, nil
+	return hdr[0], id, payload, payload, nil
 }
 
 // appendFrame appends one frame to dst with the body encoded in place:

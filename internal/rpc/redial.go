@@ -1,0 +1,274 @@
+package rpc
+
+// Connection recovery: pooled connections live in slots; a slot whose
+// connection dies is redialed in the background with exponential backoff and
+// jitter instead of staying quarantined forever. A circuit breaker tracks
+// whether any slot is up — while all are down, synchronous calls wait for
+// recovery up to their deadline, except when the last redial attempt was
+// refused outright (the server is gone, not partitioned), which fails fast.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrUnavailable reports that every pooled connection was down and the
+// retry/redial machinery could not complete the call in time. It is the
+// retryable failure class: the client keeps redialing in the background, and
+// a later call may succeed. Protocol violations and server rejections do not
+// wrap it — those are sticky.
+var ErrUnavailable = errors.New("rpc: server unavailable")
+
+// connSlot holds one pool position: the live connection, or the backoff
+// state of the redial loop trying to restore it.
+type connSlot struct {
+	idx int
+
+	mu      sync.Mutex
+	cc      *clientConn // nil while down
+	backoff time.Duration
+	nextTry time.Time
+}
+
+// get returns the slot's connection if it is up and healthy.
+func (sl *connSlot) get() *clientConn {
+	sl.mu.Lock()
+	cc := sl.cc
+	sl.mu.Unlock()
+	if cc == nil || !cc.healthy() {
+		return nil
+	}
+	return cc
+}
+
+// noteDown clears the slot if cc is still its current occupant and reports
+// whether it was.
+func (sl *connSlot) noteDown(cc *clientConn) bool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.cc != cc {
+		return false
+	}
+	sl.cc = nil
+	sl.backoff = 0
+	sl.nextTry = time.Time{} // first redial attempt is immediate
+	return true
+}
+
+// dueForRedial reports whether the slot is down and past its backoff.
+func (sl *connSlot) dueForRedial(now time.Time) bool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.cc == nil && !now.Before(sl.nextTry)
+}
+
+// redialFailed advances the slot's backoff: exponential with ±50% jitter,
+// capped at redialBackoffMax.
+func (sl *connSlot) redialFailed() {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.backoff == 0 {
+		sl.backoff = redialBackoffBase
+	} else {
+		sl.backoff *= 2
+		if sl.backoff > redialBackoffMax {
+			sl.backoff = redialBackoffMax
+		}
+	}
+	wait := sl.backoff/2 + time.Duration(rand.Int63n(int64(sl.backoff)/2+1))
+	sl.nextTry = time.Now().Add(wait)
+}
+
+// maintenanceLoop is the background recovery driver: on every tick it
+// redials down slots that are past their backoff and re-pumps the ingest
+// journal (delivering busy-delayed entries that have come due, and anything
+// a fresh connection can now carry).
+func (c *Client) maintenanceLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(redialTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+		}
+		if c.addr != "" {
+			now := time.Now()
+			for _, sl := range c.slots {
+				if sl.dueForRedial(now) {
+					c.redialSlot(sl)
+				}
+			}
+		}
+		c.pumpJournal()
+	}
+}
+
+// redialSlot attempts one reconnect for a down slot.
+func (c *Client) redialSlot(sl *connSlot) {
+	nc, err := net.DialTimeout("tcp", c.addr, redialDialTimeout)
+	var cc *clientConn
+	if err == nil {
+		cc, err = newClientConn(c, nc, redialDialTimeout)
+	}
+	if err != nil {
+		sl.redialFailed()
+		c.noteRedialFailed(err)
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return
+	}
+	cc.slot = sl
+	sl.mu.Lock()
+	sl.cc = cc
+	sl.backoff = 0
+	sl.mu.Unlock()
+	c.bg.Add(1)
+	c.mu.Unlock()
+	go cc.readLoop()
+	c.redials.Add(1)
+	c.noteSlotUp()
+	c.pumpJournal()
+}
+
+// --- circuit breaker ---
+
+// noteSlotDown opens the breaker when the last healthy slot dies. For a
+// wrapped-connection client (no redial address) a down pool can never
+// recover, so the breaker opens in its refused, fail-fast state immediately.
+func (c *Client) noteSlotDown(cause error) {
+	c.bmu.Lock()
+	c.down++
+	opened := false
+	if c.down >= len(c.slots) && c.recoverCh == nil {
+		c.recoverCh = make(chan struct{})
+		c.unavail = fmt.Errorf("%w: all %d connections down: %v", ErrUnavailable, len(c.slots), cause)
+		c.refused = c.addr == ""
+		opened = true
+	}
+	c.bmu.Unlock()
+	if opened {
+		c.wakeJournalWaiters()
+	}
+}
+
+// noteSlotUp closes the breaker on the first restored connection.
+func (c *Client) noteSlotUp() {
+	c.bmu.Lock()
+	c.down--
+	if ch := c.recoverCh; ch != nil {
+		close(ch)
+		c.recoverCh = nil
+		c.refused = false
+		c.unavail = nil
+	}
+	c.bmu.Unlock()
+	c.wakeJournalWaiters()
+}
+
+// noteRedialFailed records a failed reconnect attempt. A refused connection
+// means the server is definitively absent (nothing is listening), so calls
+// waiting on the open breaker fail fast instead of burning their deadline.
+func (c *Client) noteRedialFailed(err error) {
+	refused := errors.Is(err, syscall.ECONNREFUSED)
+	c.bmu.Lock()
+	if c.recoverCh != nil && refused && !c.refused {
+		c.refused = true
+	} else {
+		refused = false
+	}
+	c.bmu.Unlock()
+	if refused {
+		c.wakeJournalWaiters()
+	}
+}
+
+// breakerWait returns the channel to wait on while the breaker is open (nil
+// when at least one slot is up) and the stable unavailable error to fail
+// fast with (non-nil only in the refused state).
+func (c *Client) breakerWait() (wait <-chan struct{}, failFast error) {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	if c.recoverCh == nil {
+		return nil, nil
+	}
+	if c.refused {
+		return nil, c.unavail
+	}
+	return c.recoverCh, nil
+}
+
+// refusedErr returns the stable unavailable error when the breaker is open
+// in its fail-fast state.
+func (c *Client) refusedErr() error {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	if c.recoverCh != nil && c.refused {
+		return c.unavail
+	}
+	return nil
+}
+
+// breakerErr returns the stable unavailable error while the breaker is open.
+func (c *Client) breakerErr() error {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	if c.recoverCh != nil {
+		return c.unavail
+	}
+	return nil
+}
+
+// isTransientErr classifies an exchange or send failure: connection-level
+// I/O errors (resets, timeouts, closed sockets, truncated streams) and busy
+// shedding are retryable on another or a redialed connection; protocol
+// violations, decode desyncs and server rejections are not — retrying a
+// broken peer cannot make it correct.
+func isTransientErr(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, errServerBusy):
+		return true
+	case errors.Is(err, ErrProtocol) || errors.Is(err, ErrClientClosed):
+		return false
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ECONNREFUSED), errors.Is(err, os.ErrDeadlineExceeded):
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// errServerBusy is the client-side form of a busy response to a synchronous
+// call: transient, retried with backoff, never latched.
+var errServerBusy = errors.New("rpc: server busy")
+
+// retryPause is the synchronous-call retry backoff: exponential from
+// retryPauseBase with ±50% jitter, capped well below the redial backoff so a
+// retrying call probes a recovering pool promptly.
+func retryPause(attempt int) time.Duration {
+	if attempt > 5 {
+		attempt = 5
+	}
+	p := retryPauseBase << attempt
+	return p/2 + time.Duration(rand.Int63n(int64(p)/2+1))
+}

@@ -27,6 +27,52 @@ const (
 	frameBodyTimeout = 2 * time.Minute
 )
 
+// Overload shedding. Each connection's ingest frames queue on a bounded
+// per-connection queue applied by one worker (preserving arrival order);
+// when the queue is full the reader answers a busy frame instead of
+// blocking or buffering without bound, and the client replays after the
+// hint. A sequence gap (an envelope arriving ahead of an unacknowledged
+// predecessor) earns a shorter hint — its predecessor is usually already in
+// flight.
+const (
+	// IngestQueueDepth is the per-connection bound on ingest frames queued
+	// behind the apply worker.
+	IngestQueueDepth = 32
+	shedRetryAfter   = 25 * time.Millisecond
+	gapRetryAfter    = 10 * time.Millisecond
+)
+
+// ingestQueueDepth is the tunable mirror of IngestQueueDepth for tests that
+// need a tiny queue to provoke shedding deterministically.
+var ingestQueueDepth = IngestQueueDepth
+
+// SetIngestQueueDepthForTest overrides the per-connection ingest queue
+// depth, returning a restore function. Test-only; must not be called while
+// servers are serving.
+func SetIngestQueueDepthForTest(n int) (restore func()) {
+	prev := ingestQueueDepth
+	ingestQueueDepth = n
+	return func() { ingestQueueDepth = prev }
+}
+
+// maxIngestSessions bounds the per-session dedup window map. Sessions are
+// per-client-lifetime, so thousands of live entries mean thousands of live
+// clients; past the bound the least-recently-used session is evicted (its
+// client, if still alive, restarts its window on the next envelope — the
+// first-envelope rule accepts any starting sequence).
+const maxIngestSessions = 4096
+
+// ingestSession is one client session's exactly-once window: the highest
+// sequence applied. Envelopes at or below it acknowledge without
+// re-applying; the next sequence applies; anything further ahead answers
+// busy until the gap fills. mu serializes the check-and-apply, so a replayed
+// duplicate racing its original cannot double-apply.
+type ingestSession struct {
+	mu       sync.Mutex
+	last     uint64
+	lastUsed atomic.Int64 // unix nanos, for LRU eviction
+}
+
 // testHookQueryDispatch, when set, observes every request frame dispatched
 // to the concurrent query pool (as opposed to handled inline on the reader).
 // Tests use it to pin the concurrency structure deterministically.
@@ -59,11 +105,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	smu      sync.Mutex
+	sessions map[uint64]*ingestSession
+
 	bytesIn     atomic.Int64
 	bytesOut    atomic.Int64
 	requests    atomic.Int64
 	inflight    atomic.Int64
 	maxInflight atomic.Int64
+	shed        atomic.Int64
+	dedupHits   atomic.Int64
+	panics      atomic.Int64
 }
 
 // NewServer creates a server over a backend. Call Listen (or ServeConn) to
@@ -74,10 +126,36 @@ func NewServer(b *backend.Backend) *Server {
 		workers = 4
 	}
 	return &Server{
-		backend: b,
-		sem:     make(chan struct{}, workers),
-		conns:   map[net.Conn]struct{}{},
+		backend:  b,
+		sem:      make(chan struct{}, workers),
+		conns:    map[net.Conn]struct{}{},
+		sessions: map[uint64]*ingestSession{},
 	}
+}
+
+// session returns (creating if needed) the dedup window for one client
+// session, evicting the least-recently-used entry past the bound.
+func (s *Server) session(id uint64) *ingestSession {
+	now := time.Now().UnixNano()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	se, ok := s.sessions[id]
+	if !ok {
+		if len(s.sessions) >= maxIngestSessions {
+			var oldID uint64
+			oldAt := int64(1<<63 - 1)
+			for sid, cand := range s.sessions {
+				if at := cand.lastUsed.Load(); at < oldAt {
+					oldID, oldAt = sid, at
+				}
+			}
+			delete(s.sessions, oldID)
+		}
+		se = &ingestSession{}
+		s.sessions[id] = se
+	}
+	se.lastUsed.Store(now)
+	return se
 }
 
 // Listen starts a TCP listener on addr and serves it on a background
@@ -176,6 +254,88 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server gracefully: it stops accepting connections,
+// lets in-flight requests finish and their responses go out, then closes
+// the remaining connections. Readers blocked waiting for a next frame are
+// nudged off their blocking read so idle connections do not hold the drain
+// open. Past the timeout, still-live connections are closed forcibly and an
+// error is returned. The backend is left untouched, exactly as with Close —
+// the caller flushes the WAL after the drain, so acknowledged ingest that
+// raced the shutdown is on disk before the process exits.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	nudge := time.NewTicker(20 * time.Millisecond)
+	defer nudge.Stop()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-deadline.C:
+			s.mu.Lock()
+			n := len(s.conns)
+			for conn := range s.conns {
+				conn.Close()
+			}
+			s.mu.Unlock()
+			// Give the closed connections a moment to unwind, but never hang
+			// on a handler that is truly stuck — the caller is shutting down
+			// either way.
+			select {
+			case <-done:
+			case <-time.After(time.Second):
+			}
+			return fmt.Errorf("rpc: drain timed out after %v; closed %d connections forcibly", timeout, n)
+		case <-nudge.C:
+			// Expire the blocking header read on idle connections; a reader
+			// mid-frame fails its read, which ends that connection's loop
+			// after its in-flight work drains.
+			s.mu.Lock()
+			for conn := range s.conns {
+				_ = conn.SetReadDeadline(time.Now())
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Shed returns the number of ingest frames answered busy because a
+// connection's ingest queue was full.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// DedupHits returns the number of replayed ingest envelopes acknowledged
+// without re-applying — each one a duplicate the exactly-once window
+// absorbed.
+func (s *Server) DedupHits() int64 { return s.dedupHits.Load() }
+
+// Panics returns the number of request handlers that panicked and were
+// answered with an error frame instead of taking the process down.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// IngestSessions returns the number of live client dedup windows.
+func (s *Server) IngestSessions() int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return len(s.sessions)
+}
+
 // BytesIn returns the total payload bytes received across all connections.
 func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
 
@@ -191,14 +351,41 @@ func (s *Server) Requests() int64 { return s.requests.Load() }
 func (s *Server) MaxInFlight() int64 { return s.maxInflight.Load() }
 
 // serverConn is the per-connection server state: the write lock that keeps
-// concurrently produced response frames atomic on the wire, and the wait
-// group that keeps ServeConn from returning while dispatched queries still
+// concurrently produced response frames atomic on the wire, the bounded
+// ingest queue feeding the apply worker, and the wait group that keeps
+// ServeConn from returning while the worker or dispatched queries still
 // hold the connection.
 type serverConn struct {
-	srv *Server
-	nc  net.Conn
-	wmu sync.Mutex
-	wg  sync.WaitGroup
+	srv     *Server
+	nc      net.Conn
+	ingestQ chan ingestItem
+	wmu     sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// ingestItem is one queued ingest frame awaiting the apply worker.
+type ingestItem struct {
+	typ byte
+	id  uint64
+	pb  *payloadBuf
+}
+
+// ingestWorker applies queued ingest frames in arrival order and answers
+// each after the apply — the acknowledgement the client's write barrier
+// waits for still means applied (and, for envelopes, WAL-buffered), not
+// just received. The worker exits when the reader closes the queue,
+// draining what remains first.
+func (sc *serverConn) ingestWorker() {
+	defer sc.wg.Done()
+	var resp []byte
+	for it := range sc.ingestQ {
+		resp = sc.srv.safeHandle(resp[:0], it.typ, it.id, it.pb.b)
+		putBuf(it.pb)
+		sc.respond(resp)
+		if cap(resp) > maxRetainedBuf {
+			resp = nil
+		}
+	}
 }
 
 // ServeConn handles one connection's handshake and request loop, returning
@@ -207,6 +394,14 @@ type serverConn struct {
 // pipes.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	// A panic anywhere in this connection's framing path must cost the
+	// server this one connection, never the process hosting every other
+	// client's data.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+		}
+	}()
 	br := bufio.NewReader(conn)
 
 	// Handshake: expect the magic+version preamble promptly, answer with our
@@ -226,8 +421,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 	_ = conn.SetReadDeadline(time.Time{})
 	_ = conn.SetWriteDeadline(time.Time{})
 
-	sc := &serverConn{srv: s, nc: conn}
+	sc := &serverConn{srv: s, nc: conn, ingestQ: make(chan ingestItem, ingestQueueDepth)}
+	sc.wg.Add(1)
+	go sc.ingestWorker()
+	// LIFO: close the queue so the worker drains and exits, then wait for it
+	// (and any dispatched queries), then the outer defer closes the conn.
 	defer sc.wg.Wait()
+	defer close(sc.ingestQ)
 
 	var rbuf, resp []byte
 	for {
@@ -259,12 +459,31 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.bytesIn.Add(int64(n) + frameHeaderBytes)
 
 		switch typ {
-		case reqPing, reqBatch, reqMark, reqEnvelope:
-			// Ingest lane: apply inline on the reader, zero-copy, in arrival
-			// order. The respOK goes out after the apply, which is what makes
-			// the client's write barrier mean "the server has these reports".
-			resp = s.handle(resp[:0], typ, id, payload)
+		case reqPing:
+			// Pings answer inline: they carry no state, and a ping that
+			// queued behind a full ingest queue would turn the keepalive
+			// into a liveness false-negative exactly when the server is
+			// busiest.
+			resp = frame(resp[:0], respOK, id, nil)
 			sc.respond(resp)
+		case reqBatch, reqMark, reqEnvelope:
+			// Ingest lane: copy onto the bounded per-connection queue; one
+			// worker applies in arrival order and answers after the apply,
+			// which is what makes the client's write barrier mean "the
+			// server has these reports". A full queue sheds: the frame is
+			// answered busy and the client's journal replays it after the
+			// hint, instead of the reader blocking (head-of-line for the
+			// whole connection) or buffering without bound.
+			pb := getBuf()
+			pb.b = append(pb.b[:0], payload...)
+			select {
+			case sc.ingestQ <- ingestItem{typ: typ, id: id, pb: pb}:
+			default:
+				putBuf(pb)
+				s.shed.Add(1)
+				resp = busyFrame(resp[:0], id, shedRetryAfter)
+				sc.respond(resp)
+			}
 			if cap(resp) > maxRetainedBuf {
 				resp = nil
 			}
@@ -289,11 +508,23 @@ func (s *Server) ServeConn(conn net.Conn) {
 					s.inflight.Add(-1)
 					<-s.sem
 				}()
+				// Goroutine-level fence: a panic here (including one injected
+				// by the dispatch test hook) must answer this request's error
+				// frame, not unwind the process.
+				defer func() {
+					if r := recover(); r != nil {
+						s.panics.Add(1)
+						rb := getBuf()
+						rb.b = errFrame(rb.b[:0], id, fmt.Sprintf("internal error: %v", r))
+						sc.respond(rb.b)
+						putBuf(rb)
+					}
+				}()
 				if testHookQueryDispatch != nil {
 					testHookQueryDispatch(typ)
 				}
 				rb := getBuf()
-				rb.b = s.handle(rb.b[:0], typ, id, pb.b)
+				rb.b = s.safeHandle(rb.b[:0], typ, id, pb.b)
 				putBuf(pb)
 				sc.respond(rb.b)
 				putBuf(rb)
@@ -342,6 +573,67 @@ func errFrame(dst []byte, id uint64, msg string) []byte {
 	return frame(dst, respErr, id, func(b []byte) []byte { return wire.AppendString(b, msg) })
 }
 
+// busyFrame appends a busy response for request id with a retry-after hint.
+func busyFrame(dst []byte, id uint64, retryAfter time.Duration) []byte {
+	return frame(dst, respBusy, id, func(b []byte) []byte {
+		return binary.AppendUvarint(b, uint64(retryAfter/time.Millisecond))
+	})
+}
+
+// safeHandle is handle behind a panic fence: a handler that panics (a
+// malformed payload tripping an unguarded index, a backend bug) answers an
+// error frame for its own request instead of unwinding the process out from
+// under every other connection.
+func (s *Server) safeHandle(dst []byte, typ byte, id uint64, payload []byte) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp = errFrame(dst[:0], id, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	return s.handle(dst, typ, id, payload)
+}
+
+// applyEnvelope applies one sequenced ingest envelope under its session's
+// exactly-once window: duplicates acknowledge without re-applying, the next
+// sequence applies (then advances the window only after the WAL buffer has
+// the records — an acknowledged envelope survives a crash of this process),
+// and a sequence past the window answers busy until the client fills the
+// gap. Holding the session lock across the check-and-apply is what makes a
+// replayed duplicate racing its original single-apply.
+func (s *Server) applyEnvelope(dst []byte, id uint64, payload []byte) []byte {
+	if len(payload) < envelopeHeaderBytes {
+		return errFrame(dst, id, fmt.Sprintf("envelope of %d bytes is shorter than its %d-byte header",
+			len(payload), envelopeHeaderBytes))
+	}
+	session := binary.BigEndian.Uint64(payload[:8])
+	seq := binary.BigEndian.Uint64(payload[8:16])
+	if session == 0 || seq == 0 {
+		return errFrame(dst, id, "zero envelope session or sequence")
+	}
+	se := s.session(session)
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	switch {
+	case seq <= se.last:
+		s.dedupHits.Add(1)
+		return frame(dst, respOK, id, nil)
+	case se.last != 0 && seq > se.last+1:
+		return busyFrame(dst, id, gapRetryAfter)
+	}
+	err := wire.WalkEnvelope(payload[envelopeHeaderBytes:], s.backend)
+	// Applied (or rejected as malformed — replaying it cannot fix it):
+	// either way the window consumes the sequence.
+	se.last = seq
+	if err == nil {
+		err = s.backend.SyncWAL()
+	}
+	if err != nil {
+		return errFrame(dst, id, err.Error())
+	}
+	return frame(dst, respOK, id, nil)
+}
+
 // handle dispatches one request frame and appends the response frame to
 // dst.
 func (s *Server) handle(dst []byte, typ byte, id uint64, payload []byte) []byte {
@@ -376,10 +668,7 @@ func (s *Server) handle(dst []byte, typ byte, id uint64, payload []byte) []byte 
 		return frame(dst, respOK, id, nil)
 
 	case reqEnvelope:
-		if err := wire.WalkEnvelope(payload, s.backend); err != nil {
-			return errFrame(dst, id, err.Error())
-		}
-		return frame(dst, respOK, id, nil)
+		return s.applyEnvelope(dst, id, payload)
 
 	case reqQuery:
 		d := wire.NewDecoder(payload)

@@ -56,9 +56,12 @@ type HTTPHandler struct {
 	bodyBufs sync.Pool
 	gzips    sync.Pool
 
+	draining atomic.Bool
+
 	otlpRequests atomic.Int64
 	otlpSpans    atomic.Int64
 	otlpErrors   atomic.Int64
+	otlpShed     atomic.Int64
 }
 
 // AttachRPCServer wires a transport server's counters into /metricsz, so a
@@ -66,6 +69,26 @@ type HTTPHandler struct {
 // ingest/query traffic there — the cluster's own byte meter only sees this
 // process's collectors.
 func (h *HTTPHandler) AttachRPCServer(s *rpc.Server) { h.rpcSrv = s }
+
+// SetDraining flips the handler into (or out of) drain mode: /healthz
+// answers 503 so load balancers stop routing here, and ingest answers 429
+// with a Retry-After so exporters back off and resend elsewhere — or to
+// this process's successor. Queries keep answering; a drain is not an
+// outage for reads.
+func (h *HTTPHandler) SetDraining(v bool) { h.draining.Store(v) }
+
+// shedIngest answers an OTLP ingest request during a drain: 429 plus a
+// Retry-After hint, the standard signal an OTLP exporter retries on.
+// Reports whether the request was shed.
+func (h *HTTPHandler) shedIngest(w http.ResponseWriter) bool {
+	if !h.draining.Load() {
+		return false
+	}
+	h.otlpShed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "draining", http.StatusTooManyRequests)
+	return true
+}
 
 // SetMaxBody bounds one ingest payload (after decompression, and per gRPC
 // message) to n bytes; n <= 0 restores the default. Configure before
@@ -186,6 +209,9 @@ func (h *HTTPHandler) handleOTLP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if h.shedIngest(w) {
+		return
+	}
 	h.otlpRequests.Add(1)
 	proto := false
 	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
@@ -262,6 +288,15 @@ func (h *HTTPHandler) handleGRPCExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Trailer", "Grpc-Status, Grpc-Message")
 	w.Header().Set("Content-Type", "application/grpc")
 
+	if h.draining.Load() {
+		// UNAVAILABLE is the status gRPC exporters retry on.
+		h.otlpShed.Add(1)
+		w.WriteHeader(http.StatusOK)
+		w.Header().Set("Grpc-Status", strconv.Itoa(grpcUnavailable))
+		w.Header().Set("Grpc-Message", "draining")
+		return
+	}
+
 	buf, status, msg := h.readGRPCMessage(r)
 	var n int
 	if status == grpcOK {
@@ -335,10 +370,21 @@ func grpcEncodeMessage(s string) string {
 
 // handleHealth answers liveness probes. A probe is not misuse, so it reads
 // the closed flag directly instead of recording ErrClosed through
-// checkOpen.
+// checkOpen. Unhealthy states beyond closed: draining (this process is on
+// its way out — stop routing new work here) and a sticky WAL I/O error
+// (the cluster still answers, but its acknowledgements are no longer
+// durable, which a health check must not paper over).
 func (h *HTTPHandler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if h.cluster.closed.Load() {
 		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if err := h.cluster.PersistErr(); err != nil {
+		http.Error(w, "persistence: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -367,9 +413,26 @@ func (h *HTTPHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "mint_otlp_requests_total %d\n", h.otlpRequests.Load())
 	fmt.Fprintf(w, "mint_otlp_spans_total %d\n", h.otlpSpans.Load())
 	fmt.Fprintf(w, "mint_otlp_errors_total %d\n", h.otlpErrors.Load())
+	fmt.Fprintf(w, "mint_otlp_shed_total %d\n", h.otlpShed.Load())
+	draining := 0
+	if h.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "mint_draining %d\n", draining)
 	if h.rpcSrv != nil {
 		fmt.Fprintf(w, "mint_rpc_requests_total %d\n", h.rpcSrv.Requests())
 		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"in\"} %d\n", h.rpcSrv.BytesIn())
 		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"out\"} %d\n", h.rpcSrv.BytesOut())
+		fmt.Fprintf(w, "mint_rpc_ingest_shed_total %d\n", h.rpcSrv.Shed())
+		fmt.Fprintf(w, "mint_rpc_dedup_hits_total %d\n", h.rpcSrv.DedupHits())
+		fmt.Fprintf(w, "mint_rpc_ingest_sessions %d\n", h.rpcSrv.IngestSessions())
+		fmt.Fprintf(w, "mint_rpc_panics_total %d\n", h.rpcSrv.Panics())
+	}
+	if c.remote != nil {
+		ts := c.TransportStats()
+		fmt.Fprintf(w, "mint_rpc_client_redials_total %d\n", ts.Redials)
+		fmt.Fprintf(w, "mint_rpc_client_retries_total %d\n", ts.Retries)
+		fmt.Fprintf(w, "mint_rpc_client_replayed_envelopes_total %d\n", ts.ReplayedEnvelopes)
+		fmt.Fprintf(w, "mint_rpc_client_dropped_envelopes_total %d\n", ts.DroppedEnvelopes)
 	}
 }

@@ -249,6 +249,37 @@ func TestOTLPEndpointErrors(t *testing.T) {
 		}
 	}
 
+	// Draining: healthz → 503 (stop routing here), ingest → 429 with a
+	// Retry-After (exporters back off and resend), queries keep answering.
+	handler.SetDraining(true)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz while draining: %d %q, want 503 draining", code, body)
+	}
+	resp, err = http.Post(srv.URL+"/v1/traces", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST while draining: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("ingest while draining: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain shed carried no Retry-After hint")
+	}
+	code, metrics = get("/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz while draining: status %d (a drain is not an outage for reads)", code)
+	}
+	for _, want := range []string{"mint_draining 1", "mint_otlp_shed_total 1"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metricsz missing %q while draining:\n%s", want, metrics)
+		}
+	}
+	handler.SetDraining(false)
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after drain cleared: status %d, want 200", code)
+	}
+
 	// Closed cluster: ingest → 503, healthz → 503.
 	cluster.Close()
 	resp, err = http.Post(srv.URL+"/v1/traces", "application/json", bytes.NewReader(payload))

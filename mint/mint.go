@@ -673,6 +673,46 @@ func (c *Cluster) Err() error {
 	return nil
 }
 
+// PersistErr reports the durable storage engine's first sticky I/O error —
+// the signal a health probe needs: a cluster whose WAL writes are failing
+// is still answering queries, but nothing new it acknowledges is durable.
+// Memory-only and remote clusters report nil (a remote server's persistence
+// health belongs to its own probes).
+func (c *Cluster) PersistErr() error {
+	if c.local == nil {
+		return nil
+	}
+	return c.local.PersistErr()
+}
+
+// TransportStats are a remote cluster's fault-tolerance counters: how much
+// work the transport did to hide failures. All zero for a local cluster.
+type TransportStats struct {
+	// Redials counts background reconnects after a connection died.
+	Redials int64
+	// Retries counts synchronous calls that retried transparently.
+	Retries int64
+	// ReplayedEnvelopes counts journaled ingest envelopes retransmitted.
+	ReplayedEnvelopes int64
+	// DroppedEnvelopes counts envelopes dropped at the journal bound —
+	// each one is ingest lost to sustained backpressure.
+	DroppedEnvelopes int64
+}
+
+// TransportStats reports the remote transport's retry/redial/replay
+// counters (all zero on a local cluster).
+func (c *Cluster) TransportStats() TransportStats {
+	if c.remote == nil {
+		return TransportStats{}
+	}
+	return TransportStats{
+		Redials:           c.remote.Redials(),
+		Retries:           c.remote.Retries(),
+		ReplayedEnvelopes: c.remote.ReplayedEnvelopes(),
+		DroppedEnvelopes:  c.remote.DroppedEnvelopes(),
+	}
+}
+
 // Query looks a trace ID up in the backend. Sampled traces answer exactly
 // (QueryResult.Reason carries the sampling reason), everything else answers
 // approximately. Repeated lookups of unchanged traces are served from the
