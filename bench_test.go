@@ -14,10 +14,12 @@ package repro
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/rpc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/mint"
 )
 
@@ -281,4 +283,24 @@ func BenchmarkRemoteMark(b *testing.B) {
 	// last iteration lands on — keeps allocs/op stable for the CI budget.
 	_ = cluster.Flush()
 	b.StopTimer()
+}
+
+// BenchmarkTelemetryObserve is the self-observability hot-path guard: one
+// latency-histogram observation plus the slow-op ledger gate — exactly the
+// overhead every instrumented pipeline stage pays per operation. Budget-
+// gated at 0 allocs/op in CI: the instrumentation must never allocate on
+// the fast path (slow-path detail strings are built only past the gate).
+func BenchmarkTelemetryObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_observe_seconds", "", "benchmark scratch family")
+	ledger := telemetry.NewLedger(0, 250*time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := time.Duration(i%1000) * time.Microsecond
+		h.Observe(d)
+		if ledger.Exceeds(d) {
+			ledger.Record("bench", "", d, 0, -1)
+		}
+	}
 }

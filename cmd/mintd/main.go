@@ -11,8 +11,22 @@
 //     JSON and protobuf encodings (point an unmodified OpenTelemetry SDK
 //     exporter at it; gzip request bodies accepted, -max-body bounds
 //     payload size), the OTLP/gRPC TraceService/Export method over
-//     cleartext HTTP/2, GET /healthz liveness and GET /metricsz
-//     Prometheus-style counters.
+//     cleartext HTTP/2, GET /healthz liveness, GET /metricsz annotated
+//     Prometheus metrics (counters plus per-stage latency histograms)
+//     and GET /debug/slowz, the slow-op ledger as JSON (-slow-threshold
+//     tunes what counts as slow).
+//
+//   - optionally, a loopback-only debug port (-debug-addr) serving the
+//     net/http/pprof surface and expvar at /debug/vars. mintd refuses to
+//     start when the address is not loopback or cannot be bound — a debug
+//     surface that silently failed to come up would be missed exactly when
+//     it is needed.
+//
+// With -self-trace the daemon feeds its own pipeline stages — OTLP ingest
+// (decode, shard apply), served RPC frames (queue wait, serve) and WAL
+// flushes — back into its own capture path as traces on the reserved
+// mint-self node, queryable through the ordinary surface (filter on
+// service "mint-self"). Self data never changes answers about real traces.
 //
 // With -data-dir the backend persists every shard to snapshot + WAL and a
 // restarted mintd answers queries byte-identically to the one that wrote
@@ -36,9 +50,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +78,9 @@ func main() {
 	retention := flag.Duration("retention", 0, "drop stored trace data older than this TTL (requires -data-dir)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "rewrite a shard snapshot once its WAL exceeds this size (requires -data-dir)")
 	drain := flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight RPC requests before force-closing connections")
+	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address serving net/http/pprof and expvar (/debug/vars); loopback-only, empty disables")
+	selfTrace := flag.Bool("self-trace", false, "feed the daemon's own pipeline stages (ingest, RPC serve, WAL flush) back into its capture path as mint-self traces")
+	slowThreshold := flag.Duration("slow-threshold", 0, "latency above which an operation is recorded in the slow-op ledger (/debug/slowz); 0 = 250ms default, negative disables")
 	flag.Parse()
 
 	nodeList := strings.Split(*nodes, ",")
@@ -75,6 +95,8 @@ func main() {
 		DataDir:            *dataDir,
 		RetentionTTL:       *retention,
 		SnapshotEveryBytes: *snapshotBytes,
+		SlowOpThreshold:    *slowThreshold,
+		SelfTrace:          *selfTrace,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mintd: %v\n", err)
@@ -83,6 +105,14 @@ func main() {
 
 	fatal := make(chan error, 1)
 	srv := rpc.NewServer(cluster.Backend())
+	if fn := cluster.SelfTraceRPC(); fn != nil {
+		// Served RPC frames become rpc-request self traces; wired before
+		// Listen per the SetOpObserver contract.
+		srv.SetOpObserver(fn)
+	}
+	if *slowThreshold != 0 {
+		srv.SlowOps().SetThreshold(*slowThreshold)
+	}
 	rpcAddr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mintd: %v\n", err)
@@ -111,6 +141,29 @@ func main() {
 			}
 		}()
 		fmt.Printf("mintd: http listening on %s (POST /v1/traces json+protobuf, gRPC Export h2c=%v, /healthz, /metricsz)\n", *httpAddr, h2c)
+	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// Fail fast: a debug surface that silently failed to bind would be
+		// discovered exactly when it is needed most. Bind errors and
+		// non-loopback addresses abort startup; a later serve failure routes
+		// through the fatal channel like the other listeners.
+		ln, err := debugListener(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mintd: %v\n", err)
+			os.Exit(1)
+		}
+		debugSrv = &http.Server{Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mintd: debug: %v\n", err)
+				fatal <- err
+			}
+		}()
+		fmt.Printf("mintd: debug listening on %s (/debug/pprof/, /debug/vars)\n", ln.Addr())
+	}
+	if *selfTrace {
+		fmt.Println("mintd: self-tracing enabled (service mint-self)")
 	}
 	if *dataDir != "" {
 		fmt.Printf("mintd: durable store at %s (retention %v)\n", *dataDir, *retention)
@@ -150,6 +203,9 @@ func main() {
 		_ = httpSrv.Shutdown(ctx)
 		cancel()
 	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
 	if err := cluster.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "mintd: close: %v\n", err)
 		os.Exit(1)
@@ -158,4 +214,34 @@ func main() {
 		fmt.Println("mintd: clean shutdown")
 	}
 	os.Exit(exitCode)
+}
+
+// debugListener validates that addr names a loopback interface and binds
+// it. The debug surface (pprof heap/goroutine dumps, expvar) exposes
+// process internals, so mintd refuses to serve it on a routable address —
+// a deliberate fail-fast at startup rather than a warning.
+func debugListener(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-debug-addr %q: %v", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("-debug-addr %q: debug surface is loopback-only (bind 127.0.0.1, ::1 or localhost)", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// debugHandler builds the debug mux: the full net/http/pprof surface plus
+// expvar at /debug/vars. A dedicated mux — never the default one — so the
+// profiling endpoints exist only on the loopback debug listener, not on the
+// public -http port.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

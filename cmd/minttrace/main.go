@@ -31,6 +31,12 @@
 // A -connect run prints the same statistics as a local run over the same
 // workload seed — the deployments are parity-exact by construction, which
 // the CI smoke job asserts by diffing the two outputs.
+//
+// Self-observability: -slow prints the cluster's slow-op ledger after the
+// queries (tune what counts as slow with -slow-threshold), and -self-trace
+// feeds the pipeline's own stages back into the capture path as traces on
+// the reserved mint-self node — query answers for the workload's real
+// traces are identical with the knob on or off.
 package main
 
 import (
@@ -62,6 +68,9 @@ func main() {
 	findLimit := flag.Int("find-limit", 20, "FindTraces: cap on printed matches")
 	connect := flag.String("connect", "", "address of a mintd backend server; captures and queries run over the network transport")
 	midPause := flag.Duration("mid-pause", 0, "pause this long halfway through the capture loop, printing a marker line to stderr first (gives a harness a window to restart the backend mid-ingest)")
+	slow := flag.Bool("slow", false, "print the slow-op ledger after the queries")
+	slowThreshold := flag.Duration("slow-threshold", 0, "latency above which an operation is recorded in the slow-op ledger (0 = 250ms default, negative disables)")
+	selfTrace := flag.Bool("self-trace", false, "feed the cluster's own pipeline stages back into its capture path as mint-self traces (local runs only)")
 	flag.Parse()
 
 	var sys *sim.System
@@ -87,7 +96,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minttrace: -connect is incompatible with -data-dir/-reopen (durability lives on the mintd server)")
 		os.Exit(1)
 	}
+	if *connect != "" && *selfTrace {
+		fmt.Fprintln(os.Stderr, "minttrace: -self-trace is incompatible with -connect (the mintd server owns its own self-tracing; use mintd -self-trace)")
+		os.Exit(1)
+	}
 	cfg := mint.Defaults()
+	cfg.SlowOpThreshold = *slowThreshold
 	var cluster *mint.Cluster
 	var err error
 	if *connect != "" {
@@ -99,6 +113,7 @@ func main() {
 	} else {
 		cfg.DataDir = *dataDir
 		cfg.RetentionTTL = *retention
+		cfg.SelfTrace = *selfTrace
 		cluster, err = mint.Open(sys.Nodes, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "minttrace: opening durable store: %v\n", err)
@@ -207,6 +222,20 @@ func main() {
 		if *query != "none" {
 			fmt.Printf("\nqueried %d captured traces: %d exact, %d partial, %d miss\n",
 				len(ids), liveExact, livePartial, liveMiss)
+		}
+	}
+
+	if *slow {
+		// Default off, so the byte-diffed parity outputs stay unchanged.
+		ops := cluster.SlowOps()
+		fmt.Printf("\nslow ops (threshold %v): %d recorded, %d retained\n",
+			cluster.SlowOpThreshold(), cluster.SlowOpsTotal(), len(ops))
+		for _, op := range ops {
+			detail := op.Detail
+			if detail != "" {
+				detail = " " + detail
+			}
+			fmt.Printf("  #%d %-14s %10.3fms%s\n", op.Seq, op.Op, float64(op.DurationUS)/1e3, detail)
 		}
 	}
 

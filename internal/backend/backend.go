@@ -30,6 +30,7 @@ package backend
 import (
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/intern"
 	"repro/internal/parser"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -167,6 +169,21 @@ type Backend struct {
 	retentionTTL int64
 	// now stamps mutations for retention; injectable for tests.
 	now func() int64
+
+	// tel/slow are the backend's self-observability surfaces: per-stage
+	// latency histograms and the slow-op ledger. Always present — observing
+	// into them is a few atomic adds, so there is no "instrumentation off"
+	// mode to diverge from.
+	tel  *telemetry.Registry
+	slow *telemetry.Ledger
+	// Per-stage histograms (registered in tel; cached here so the hot path
+	// skips the registry lookup).
+	histApplyPatterns, histApplyBloom, histApplyParams, histApplyMark *telemetry.Histogram
+	histQueryCold, histQueryWarm                                      *telemetry.Histogram
+	// selfSym is the interned reserved self-trace node: probeAll skips its
+	// Bloom segments for ordinary trace IDs, so self-tracing can never turn
+	// a real query's answer through a false-positive self segment.
+	selfSym intern.Sym
 }
 
 // New creates a single-shard backend (the serial-equivalent configuration).
@@ -189,12 +206,35 @@ func NewSharded(alpha float64, n int) *Backend {
 		mapper: bucket.NewMapper(alpha),
 		syms:   intern.NewDict(),
 		now:    func() int64 { return time.Now().UnixNano() },
+		tel:    telemetry.NewRegistry(),
+		slow:   telemetry.NewLedger(0, DefaultSlowOpThreshold),
 	}
+	const applyHelp = "Shard apply latency per accepted report kind."
+	b.histApplyPatterns = b.tel.Histogram("mint_shard_apply_seconds", `op="patterns"`, applyHelp)
+	b.histApplyBloom = b.tel.Histogram("mint_shard_apply_seconds", `op="bloom"`, applyHelp)
+	b.histApplyParams = b.tel.Histogram("mint_shard_apply_seconds", `op="params"`, applyHelp)
+	b.histApplyMark = b.tel.Histogram("mint_shard_apply_seconds", `op="mark"`, applyHelp)
+	const queryHelp = "Query latency: warm answers from the epoch-validated cache, cold reconstructs."
+	b.histQueryCold = b.tel.Histogram("mint_query_seconds", `tier="cold"`, queryHelp)
+	b.histQueryWarm = b.tel.Histogram("mint_query_seconds", `tier="warm"`, queryHelp)
+	b.selfSym = b.syms.Intern(telemetry.SelfNode)
 	for i := range b.shards {
 		b.shards[i] = newShard()
 	}
 	return b
 }
+
+// DefaultSlowOpThreshold is the slow-op ledger threshold applied when the
+// owner does not configure one.
+const DefaultSlowOpThreshold = 250 * time.Millisecond
+
+// Telemetry returns the backend's histogram registry. The WAL engine and
+// the owning cluster register their stage histograms here too, so one
+// registry renders the whole local pipeline.
+func (b *Backend) Telemetry() *telemetry.Registry { return b.tel }
+
+// SlowOps returns the backend's slow-op ledger.
+func (b *Backend) SlowOps() *telemetry.Ledger { return b.slow }
 
 // SetTimeSource replaces the clock that stamps mutations for TTL retention
 // (UnixNano). Configure before serving traffic — it is not synchronized with
@@ -259,12 +299,18 @@ func (b *Backend) traceShard(traceID string) *shard {
 // AcceptPatterns stores a pattern report. Duplicate patterns (same content
 // hash from different nodes) are stored once — the commonality win.
 func (b *Backend) AcceptPatterns(r *wire.PatternReport) {
+	start := time.Now()
 	at := b.now()
 	for _, p := range r.SpanPatterns {
 		b.applySpanPattern(p, at, true)
 	}
 	for _, p := range r.TopoPatterns {
 		b.applyTopoPattern(p, at, true)
+	}
+	d := time.Since(start)
+	b.histApplyPatterns.Observe(d)
+	if b.slow.Exceeds(d) {
+		b.slow.Record("apply-patterns", r.Node, d, 0, -1)
 	}
 }
 
@@ -306,7 +352,13 @@ func (b *Backend) applyTopoPattern(p *topo.Pattern, at int64, log bool) {
 // (immutable=true) append; periodic snapshots replace the previous snapshot
 // for the same (node, pattern).
 func (b *Backend) AcceptBloom(r *wire.BloomReport, immutable bool) {
+	start := time.Now()
 	b.applyBloom(r.Node, r.PatternID, r.Filter, immutable, b.now(), true)
+	d := time.Since(start)
+	b.histApplyBloom.Observe(d)
+	if b.slow.Exceeds(d) {
+		b.slow.Record("apply-bloom", r.PatternID, d, int64(r.Filter.SizeBytes()), -1)
+	}
 }
 
 func (b *Backend) applyBloom(node, patternID string, f *bloom.Filter, immutable bool, at int64, log bool) {
@@ -343,7 +395,13 @@ func (b *Backend) applyBloom(node, patternID string, f *bloom.Filter, immutable 
 
 // AcceptParams stores the sampled parameters of one trace from one node.
 func (b *Backend) AcceptParams(r *wire.ParamsReport) {
+	start := time.Now()
 	b.applyParams(r, b.now(), true)
+	d := time.Since(start)
+	b.histApplyParams.Observe(d)
+	if b.slow.Exceeds(d) {
+		b.slow.Record("apply-params", r.TraceID, d, int64(r.Size()), -1)
+	}
 }
 
 func (b *Backend) applyParams(r *wire.ParamsReport, at int64, log bool) {
@@ -368,7 +426,13 @@ func (b *Backend) applyParams(r *wire.ParamsReport, at int64, log bool) {
 
 // MarkSampled records that a trace was marked sampled (and why).
 func (b *Backend) MarkSampled(traceID, reason string) {
+	start := time.Now()
 	b.applyMark(traceID, reason, b.now(), true)
+	d := time.Since(start)
+	b.histApplyMark.Observe(d)
+	if b.slow.Exceeds(d) {
+		b.slow.Record("apply-mark", traceID, d, 0, -1)
+	}
 }
 
 func (b *Backend) applyMark(traceID, reason string, at int64, log bool) {
@@ -475,20 +539,44 @@ func (b *Backend) topoPatternSym(sym intern.Sym) (*topo.Pattern, bool) {
 // from the epoch-validated LRU without reconstruction; the returned Trace
 // is then shared and must be treated as read-only.
 func (b *Backend) Query(traceID string) QueryResult {
+	start := time.Now()
 	c := b.cache
 	if c == nil {
-		return b.queryUncached(traceID)
+		res := b.queryUncached(traceID)
+		b.observeQuery(traceID, start, false)
+		return res
 	}
 	// Snapshot the epoch vector before reading any store state: if a write
 	// lands anywhere during reconstruction, the entry we record is already
 	// stale under the current vector and will be discarded, never served.
 	ev := b.epochVector()
 	if res, ok := c.get(traceID, ev); ok {
+		b.observeQuery(traceID, start, true)
 		return res
 	}
 	res := b.queryUncached(traceID)
 	c.put(traceID, res, ev)
+	b.observeQuery(traceID, start, false)
 	return res
+}
+
+// observeQuery records one query's latency into the warm (cache hit) or
+// cold (reconstruction) histogram and the slow-op ledger.
+func (b *Backend) observeQuery(traceID string, start time.Time, warm bool) {
+	d := time.Since(start)
+	if warm {
+		b.histQueryWarm.Observe(d)
+	} else {
+		b.histQueryCold.Observe(d)
+	}
+	if b.slow.Exceeds(d) {
+		op := "query-cold"
+		if warm {
+			op = "query-warm"
+		}
+		_, idx := b.traceShardIdx(traceID)
+		b.slow.Record(op, traceID, d, 0, idx)
+	}
 }
 
 func (b *Backend) queryUncached(traceID string) QueryResult {
@@ -518,10 +606,17 @@ func (b *Backend) queryUncached(traceID string) QueryResult {
 	// Approximate path: probe each shard's segment index for the patterns
 	// whose filters contain the ID. The index yields each (node, pattern)
 	// candidate at most once, so no cross-shard dedup pass is needed.
+	// Ordinary trace IDs never probe the reserved self-trace node's
+	// segments — a Bloom false positive there would let the self-tracing
+	// pipeline perturb real answers.
+	skipSym := intern.None
+	if !strings.HasPrefix(traceID, telemetry.SelfTracePrefix) {
+		skipSym = b.selfSym
+	}
 	var hits []hit
 	for _, s := range b.shards {
 		s.mu.Lock()
-		hits = s.probeAll(traceID, hits)
+		hits = s.probeAll(traceID, hits, skipSym)
 		s.mu.Unlock()
 	}
 	if len(hits) == 0 {

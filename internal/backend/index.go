@@ -40,9 +40,15 @@ func (s *shard) addSegment(seg bloomSegment) {
 
 // probeAll checks every indexed (node, pattern) candidate of the shard for
 // the trace ID, short-circuiting each candidate at its first containing
-// segment. Caller holds s.mu. Results are unordered (the querier sorts).
-func (s *shard) probeAll(traceID string, hits []hit) []hit {
+// segment. Candidates whose node symbol equals skipSym (the reserved
+// self-trace node, for ordinary trace IDs) are not probed at all, so their
+// filters cannot contribute false positives. Caller holds s.mu. Results are
+// unordered (the querier sorts).
+func (s *shard) probeAll(traceID string, hits []hit, skipSym intern.Sym) []hit {
 	for _, idxs := range s.segIndex {
+		if skipSym != intern.None && s.segments[idxs[0]].nodeSym == skipSym {
+			continue
+		}
 		for _, i := range idxs {
 			if s.segments[i].filter.Contains(traceID) {
 				seg := s.segments[i]

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/intern"
+	"repro/internal/telemetry"
 )
 
 // DefaultSnapshotEveryBytes is the WAL size that triggers a shard's
@@ -131,6 +132,12 @@ type persister struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	// Telemetry surfaces, shared with the owning backend: append/flush
+	// latency histograms and the slow-op ledger.
+	walAppend *telemetry.Histogram
+	walFlush  *telemetry.Histogram
+	slow      *telemetry.Ledger
 }
 
 func snapPath(dir string, layout, i int) string {
@@ -422,6 +429,11 @@ func (b *Backend) OpenPersistence(cfg PersistConfig) error {
 		gens:      make([]uint64, len(b.shards)),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		walAppend: b.tel.Histogram("mint_wal_append_seconds", "",
+			"WAL record append latency (group buffering; includes the triggered compaction when the append trips it)."),
+		walFlush: b.tel.Histogram("mint_wal_flush_seconds", "",
+			"WAL group-commit flush latency: seal + buffered write + fsync across shards."),
+		slow: b.slow,
 	}
 	for i := range b.shards {
 		f, err := os.OpenFile(walPath(cfg.Dir, targetLayout, i), os.O_RDWR|os.O_CREATE, 0o644)
@@ -534,6 +546,16 @@ func (p *persister) firstErr() error {
 // guarantees the WAL's record order matches the order mutations were
 // applied to the shard.
 func (p *persister) logLocked(idx int, s *shard, typ byte, at int64, enc func(dst []byte) []byte) {
+	start := time.Now()
+	p.logLockedTimed(idx, s, typ, at, enc)
+	d := time.Since(start)
+	p.walAppend.Observe(d)
+	if p.slow.Exceeds(d) {
+		p.slow.Record("wal-append", "", d, 0, idx)
+	}
+}
+
+func (p *persister) logLockedTimed(idx int, s *shard, typ byte, at int64, enc func(dst []byte) []byte) {
 	w := p.wals[idx]
 	w.mu.Lock()
 	if w.needsReset {
@@ -670,6 +692,7 @@ func writeFileSync(path string, data []byte) error {
 // flush seals every WAL's pending group, pushes the buffers to disk and
 // fsyncs — the durability point group commit preserves.
 func (p *persister) flush() {
+	start := time.Now()
 	for _, w := range p.wals {
 		w.mu.Lock()
 		if err := p.sealGroupLocked(w); err != nil {
@@ -680,6 +703,11 @@ func (p *persister) flush() {
 			p.setErr(err)
 		}
 		w.mu.Unlock()
+	}
+	d := time.Since(start)
+	p.walFlush.Observe(d)
+	if p.slow.Exceeds(d) {
+		p.slow.Record("wal-flush", "fsync", d, 0, -1)
 	}
 }
 
@@ -727,6 +755,7 @@ func (b *Backend) SyncWAL() error {
 	if p == nil {
 		return nil
 	}
+	start := time.Now()
 	for _, w := range p.wals {
 		w.mu.Lock()
 		if err := p.sealGroupLocked(w); err != nil {
@@ -735,6 +764,11 @@ func (b *Backend) SyncWAL() error {
 			p.setErr(err)
 		}
 		w.mu.Unlock()
+	}
+	d := time.Since(start)
+	p.walFlush.Observe(d)
+	if p.slow.Exceeds(d) {
+		p.slow.Record("wal-flush", "sync", d, 0, -1)
 	}
 	return p.firstErr()
 }

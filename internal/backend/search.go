@@ -2,9 +2,11 @@ package backend
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/intern"
 	"repro/internal/parser"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -185,8 +187,15 @@ func foundFrom(id string, res QueryResult) foundMatch {
 
 // appendExactMatches appends every sampled trace satisfying the filter,
 // recording each visited ID in seen so the candidate pass skips it.
+// Self-trace IDs only surface when the filter explicitly asks for the
+// reserved self node's service — otherwise enabling self-tracing would
+// change the answers of service-agnostic searches (a duration-only filter,
+// say) that happened to match mint's own pipeline spans.
 func (b *Backend) appendExactMatches(out []foundMatch, f *Filter, seen map[string]bool) []foundMatch {
 	for _, id := range b.sampledTraceIDs(f.Reason) {
+		if f.Service != telemetry.SelfNode && strings.HasPrefix(id, telemetry.SelfTracePrefix) {
+			continue
+		}
 		res := b.Query(id)
 		if res.Kind == Miss || !f.matchTrace(res.Trace) {
 			continue
@@ -273,6 +282,9 @@ func (b *Backend) matchingSpanPatterns(f *Filter) (map[string]bool, bool) {
 	for _, s := range b.shards {
 		s.mu.Lock()
 		for _, p := range s.spanPatterns {
+			if p.Service == telemetry.SelfNode && f.Service != telemetry.SelfNode {
+				continue // self-trace patterns answer only explicit self searches
+			}
 			if f.Service != "" && p.Service != f.Service {
 				continue
 			}

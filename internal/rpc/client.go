@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -96,6 +97,23 @@ type Client struct {
 	closing atomic.Bool // gates error latching during a clean Close
 	quit    chan struct{}
 	bg      sync.WaitGroup
+
+	// Self-observability, installed by Instrument. Atomic pointers because
+	// background goroutines may be mid-call when the owner instruments the
+	// freshly dialed client.
+	callSeconds atomic.Pointer[telemetry.Histogram]
+	slowOps     atomic.Pointer[telemetry.Ledger]
+}
+
+// Instrument registers the client's call-latency histogram in reg and
+// routes slow calls into ledger. Call once, right after dialing; a nil
+// ledger leaves the slow-op path off.
+func (c *Client) Instrument(reg *telemetry.Registry, ledger *telemetry.Ledger) {
+	c.callSeconds.Store(reg.Histogram("mint_rpc_client_call_seconds", "",
+		"Client-observed synchronous RPC call latency, including transparent retries and backoff."))
+	if ledger != nil {
+		c.slowOps.Store(ledger)
+	}
 }
 
 // clientConn is one pooled connection: a writer half serialized by wmu
@@ -834,6 +852,22 @@ func (c *Client) isClosed() bool {
 // server rejections return immediately. While the breaker is open the wait
 // rides its recovery signal, and the refused state fails fast.
 func (c *Client) call(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
+	h := c.callSeconds.Load()
+	if h == nil {
+		return c.callRetry(reqType, respType, encode, decode)
+	}
+	start := time.Now()
+	err := c.callRetry(reqType, respType, encode, decode)
+	d := time.Since(start)
+	h.Observe(d)
+	if slow := c.slowOps.Load(); slow != nil && slow.Exceeds(d) {
+		slow.Record("rpc-client-call", opName(reqType), d, 0, -1)
+	}
+	return err
+}
+
+// callRetry is call's uninstrumented body.
+func (c *Client) callRetry(reqType, respType byte, encode func([]byte) []byte, decode func(*wire.Decoder)) error {
 	deadline := time.Now().Add(retryDeadline)
 	var lastErr error
 	for attempt := 0; ; attempt++ {

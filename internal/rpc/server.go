@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -116,6 +117,94 @@ type Server struct {
 	shed        atomic.Int64
 	dedupHits   atomic.Int64
 	panics      atomic.Int64
+
+	// Self-observability: per-op service-time histograms (indexed by request
+	// type byte), queue-wait histograms per lane, and the slow-op ledger.
+	tel        *telemetry.Registry
+	slow       *telemetry.Ledger
+	opHists    [reqTypeLimit]*telemetry.Histogram
+	opOther    *telemetry.Histogram
+	ingestWait *telemetry.Histogram
+	queryWait  *telemetry.Histogram
+	opObserver func(OpObservation)
+}
+
+// reqTypeLimit bounds the request-type byte space the per-op histogram
+// table covers.
+const reqTypeLimit = 0x10
+
+// OpObservation describes one served request frame for an external
+// observer: the operation name, how long the frame waited behind its lane's
+// queue, its service (handler) time, and the request payload size.
+type OpObservation struct {
+	Op        string
+	QueueWait time.Duration
+	Service   time.Duration
+	Bytes     int
+}
+
+// SetOpObserver installs a callback invoked after every queued request is
+// served (mintd's -self-trace hook). Must be called before Listen/ServeConn;
+// it is not synchronized with serving.
+func (s *Server) SetOpObserver(fn func(OpObservation)) { s.opObserver = fn }
+
+// Telemetry returns the server's histogram registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// SlowOps returns the server's slow-op ledger.
+func (s *Server) SlowOps() *telemetry.Ledger { return s.slow }
+
+// opName names a request type for metrics and self-trace spans.
+func opName(typ byte) string {
+	switch typ {
+	case reqPing:
+		return "ping"
+	case reqBatch:
+		return "batch"
+	case reqMark:
+		return "mark"
+	case reqEnvelope:
+		return "envelope"
+	case reqQuery:
+		return "query"
+	case reqQueryMany:
+		return "query_many"
+	case reqBatchAnalyze:
+		return "batch_analyze"
+	case reqFindTraces:
+		return "find_traces"
+	case reqFindCandidates:
+		return "find_candidates"
+	case reqFindAnalyze:
+		return "find_analyze"
+	case reqStats:
+		return "stats"
+	case reqFlush:
+		return "flush"
+	default:
+		return "other"
+	}
+}
+
+// opHist returns the service-time histogram for a request type.
+func (s *Server) opHist(typ byte) *telemetry.Histogram {
+	if int(typ) < len(s.opHists) && s.opHists[typ] != nil {
+		return s.opHists[typ]
+	}
+	return s.opOther
+}
+
+// observeOp records one served frame into the histograms, the slow-op
+// ledger and the optional observer.
+func (s *Server) observeOp(typ byte, wait *telemetry.Histogram, queueWait, service time.Duration, bytes int) {
+	wait.Observe(queueWait)
+	s.opHist(typ).Observe(service)
+	if s.slow.Exceeds(service) {
+		s.slow.Record("rpc-"+opName(typ), "", service, int64(bytes), -1)
+	}
+	if s.opObserver != nil {
+		s.opObserver(OpObservation{Op: opName(typ), QueueWait: queueWait, Service: service, Bytes: bytes})
+	}
 }
 
 // NewServer creates a server over a backend. Call Listen (or ServeConn) to
@@ -125,12 +214,27 @@ func NewServer(b *backend.Backend) *Server {
 	if workers < 4 {
 		workers = 4
 	}
-	return &Server{
+	s := &Server{
 		backend:  b,
 		sem:      make(chan struct{}, workers),
 		conns:    map[net.Conn]struct{}{},
 		sessions: map[uint64]*ingestSession{},
+		tel:      telemetry.NewRegistry(),
+		slow:     telemetry.NewLedger(0, backend.DefaultSlowOpThreshold),
 	}
+	const opHelp = "RPC per-op service time (handler execution, excluding queue wait)."
+	for _, typ := range []byte{
+		reqPing, reqBatch, reqMark, reqEnvelope, reqQuery, reqQueryMany,
+		reqBatchAnalyze, reqFindTraces, reqFindCandidates, reqFindAnalyze,
+		reqStats, reqFlush,
+	} {
+		s.opHists[typ] = s.tel.Histogram("mint_rpc_op_seconds", `op="`+opName(typ)+`"`, opHelp)
+	}
+	s.opOther = s.tel.Histogram("mint_rpc_op_seconds", `op="other"`, opHelp)
+	const waitHelp = "Time a request frame waited behind its lane's queue before its handler ran."
+	s.ingestWait = s.tel.Histogram("mint_rpc_queue_wait_seconds", `lane="ingest"`, waitHelp)
+	s.queryWait = s.tel.Histogram("mint_rpc_queue_wait_seconds", `lane="query"`, waitHelp)
+	return s
 }
 
 // session returns (creating if needed) the dedup window for one client
@@ -368,6 +472,7 @@ type ingestItem struct {
 	typ byte
 	id  uint64
 	pb  *payloadBuf
+	at  time.Time // enqueue time, for the queue-wait histogram
 }
 
 // ingestWorker applies queued ingest frames in arrival order and answers
@@ -379,8 +484,12 @@ func (sc *serverConn) ingestWorker() {
 	defer sc.wg.Done()
 	var resp []byte
 	for it := range sc.ingestQ {
+		start := time.Now()
+		wait := start.Sub(it.at)
+		n := len(it.pb.b)
 		resp = sc.srv.safeHandle(resp[:0], it.typ, it.id, it.pb.b)
 		putBuf(it.pb)
+		sc.srv.observeOp(it.typ, sc.srv.ingestWait, wait, time.Since(start), n)
 		sc.respond(resp)
 		if cap(resp) > maxRetainedBuf {
 			resp = nil
@@ -463,8 +572,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 			// Pings answer inline: they carry no state, and a ping that
 			// queued behind a full ingest queue would turn the keepalive
 			// into a liveness false-negative exactly when the server is
-			// busiest.
+			// busiest. Histogram only — no queue, no observer span.
+			start := time.Now()
 			resp = frame(resp[:0], respOK, id, nil)
+			s.opHist(reqPing).Observe(time.Since(start))
 			sc.respond(resp)
 		case reqBatch, reqMark, reqEnvelope:
 			// Ingest lane: copy onto the bounded per-connection queue; one
@@ -477,7 +588,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			pb := getBuf()
 			pb.b = append(pb.b[:0], payload...)
 			select {
-			case sc.ingestQ <- ingestItem{typ: typ, id: id, pb: pb}:
+			case sc.ingestQ <- ingestItem{typ: typ, id: id, pb: pb, at: time.Now()}:
 			default:
 				putBuf(pb)
 				s.shed.Add(1)
@@ -490,7 +601,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 		default:
 			// Query lane: copy the payload (the reader buffer is about to be
 			// reused) and execute on the bounded pool; the response may
-			// overtake slower queries dispatched earlier.
+			// overtake slower queries dispatched earlier. Queue wait spans
+			// from here — including any block on the pool semaphore — until
+			// the handler starts.
+			enq := time.Now()
 			s.sem <- struct{}{}
 			cur := s.inflight.Add(1)
 			for {
@@ -502,7 +616,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			pb := getBuf()
 			pb.b = append(pb.b[:0], payload...)
 			sc.wg.Add(1)
-			go func(typ byte, id uint64, pb *payloadBuf) {
+			go func(typ byte, id uint64, pb *payloadBuf, enq time.Time) {
 				defer sc.wg.Done()
 				defer func() {
 					s.inflight.Add(-1)
@@ -523,12 +637,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 				if testHookQueryDispatch != nil {
 					testHookQueryDispatch(typ)
 				}
+				start := time.Now()
+				n := len(pb.b)
 				rb := getBuf()
 				rb.b = s.safeHandle(rb.b[:0], typ, id, pb.b)
 				putBuf(pb)
+				s.observeOp(typ, s.queryWait, start.Sub(enq), time.Since(start), n)
 				sc.respond(rb.b)
 				putBuf(rb)
-			}(typ, id, pb)
+			}(typ, id, pb, enq)
 		}
 		// Shed high-water buffers: steady-state frames are small, and one
 		// huge exchange must not pin its peak allocation per connection.

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Self-trace identity: the reserved node name mint's own pipeline spans are
+// captured under, and the trace-ID prefix that marks a self trace. The
+// backend uses the node name to keep self segments out of other traces'
+// Bloom probes, so enabling self-tracing can never perturb a real query's
+// answer.
+const (
+	// SelfNode is the reserved node self-trace spans belong to.
+	SelfNode = "mint-self"
+	// SelfTracePrefix prefixes every self-trace ID.
+	SelfTracePrefix = "mint-self-"
+)
+
+// DefaultLedgerCap is the slow-op ring capacity used when an owner passes
+// zero.
+const DefaultLedgerCap = 256
+
+// SlowOp is one operation that exceeded the ledger's threshold.
+type SlowOp struct {
+	// Seq is the op's position in the total recorded sequence (monotone,
+	// starting at 1); with the bounded ring it shows how many were evicted.
+	Seq uint64 `json:"seq"`
+	// Op is the operation kind ("capture", "query-cold", "wal-flush", ...).
+	Op string `json:"op"`
+	// Detail identifies the operand when one exists (a trace ID, an RPC op).
+	Detail string `json:"detail,omitempty"`
+	// DurationUS is the op's duration in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Bytes is the op's payload size when known.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Shard is the backend shard involved, or -1 when not shard-local.
+	Shard int `json:"shard"`
+	// UnixMicro is the op's completion time.
+	UnixMicro int64 `json:"unix_micro"`
+}
+
+// Ledger is a bounded ring of slow operations. The hot-path contract is
+// Exceeds: one atomic load and a compare, so instrumented code pays nothing
+// (and computes no detail strings or byte sizes) for fast ops. Record is
+// mutex-guarded — by construction it only runs for ops that already took
+// longer than the threshold.
+type Ledger struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 means disabled
+
+	mu    sync.Mutex
+	ring  []SlowOp
+	start int // index of the oldest entry
+	n     int
+	total uint64
+}
+
+// NewLedger creates a ledger holding up to capacity ops (0 takes
+// DefaultLedgerCap) recording ops at or above threshold (<= 0 disables
+// recording until SetThreshold raises it).
+func NewLedger(capacity int, threshold time.Duration) *Ledger {
+	if capacity <= 0 {
+		capacity = DefaultLedgerCap
+	}
+	l := &Ledger{ring: make([]SlowOp, capacity)}
+	l.SetThreshold(threshold)
+	return l
+}
+
+// Threshold returns the current recording threshold (0 when disabled).
+func (l *Ledger) Threshold() time.Duration {
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold replaces the recording threshold; <= 0 disables recording.
+func (l *Ledger) SetThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Exceeds reports whether a duration is at or above the threshold — the
+// allocation-free fast-path check callers gate Record (and any detail
+// computation) behind.
+func (l *Ledger) Exceeds(d time.Duration) bool {
+	t := l.threshold.Load()
+	return t > 0 && int64(d) >= t
+}
+
+// Record appends one slow op, evicting the oldest past capacity. Callers
+// should gate it behind Exceeds; Record re-checks so a racing SetThreshold
+// cannot record below-threshold ops.
+func (l *Ledger) Record(op, detail string, d time.Duration, bytes int64, shard int) {
+	if !l.Exceeds(d) {
+		return
+	}
+	now := time.Now().UnixMicro()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	entry := SlowOp{
+		Seq: l.total, Op: op, Detail: detail,
+		DurationUS: int64(d / time.Microsecond), Bytes: bytes, Shard: shard,
+		UnixMicro: now,
+	}
+	if l.n < len(l.ring) {
+		l.ring[(l.start+l.n)%len(l.ring)] = entry
+		l.n++
+		return
+	}
+	l.ring[l.start] = entry
+	l.start = (l.start + 1) % len(l.ring)
+}
+
+// Snapshot returns the retained ops oldest-first.
+func (l *Ledger) Snapshot() []SlowOp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowOp, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns how many ops have been recorded over the ledger's lifetime
+// (including ones the ring has since evicted).
+func (l *Ledger) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,273 @@
+// Package telemetry is the self-observability core: zero-allocation,
+// sharded atomic latency histograms with a snapshot/quantile API, a
+// registry that renders annotated Prometheus text, and a bounded slow-op
+// ledger (ledger.go).
+//
+// The histogram is built for hot paths that already run at tens of
+// nanoseconds per operation: Observe is a handful of atomic adds into one
+// of a small fixed set of shards (per-CPU-style counting — writers update
+// disjoint cache lines and nobody takes a lock, the McKenney recipe for
+// contention-free counting), and all merging cost is deferred to Snapshot,
+// which readers pay. Buckets are log₂-spaced over nanoseconds, so the whole
+// distribution is a fixed 40-slot array: no allocation on observe, no
+// rebinning, and quantile estimates with bounded relative error (a value is
+// at most 2× its bucket's lower bound).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// NumBuckets is the fixed bucket count. Bucket 0 holds sub-nanosecond
+// observations; bucket k holds durations in [2^(k-1), 2^k) ns; the last
+// bucket absorbs everything from ~4.6 minutes up.
+const NumBuckets = 40
+
+// numShards spreads concurrent writers across cache lines. Must be a power
+// of two.
+const numShards = 8
+
+// histShard is one writer partition of a histogram. Fields are only ever
+// touched atomically.
+type histShard struct {
+	counts [NumBuckets]uint64
+	count  uint64
+	sum    uint64 // nanoseconds
+	max    uint64 // nanoseconds
+	_      [64]byte
+}
+
+// Histogram is a log₂-bucketed latency histogram. Observe is safe for
+// concurrent use and never allocates; Snapshot merges the shards into a
+// consistent-enough view (each counter is read atomically; the set of
+// counters is not read as one transaction, which is fine for monitoring).
+type Histogram struct {
+	name   string // Prometheus family name, e.g. "mint_capture_seconds"
+	labels string // rendered label pairs without braces, e.g. `op="bloom"`; may be empty
+	help   string
+	shards [numShards]histShard
+}
+
+// shardIdx picks a writer shard from the goroutine's stack address — a
+// free, allocation-free discriminator that spreads concurrent goroutines
+// across shards (stacks are spaced far apart) without runtime hooks.
+func shardIdx() int {
+	var probe byte
+	return int((uintptr(unsafe.Pointer(&probe)) >> 10) & (numShards - 1))
+}
+
+// bucketIdx maps a duration to its bucket: bits.Len64 of the nanosecond
+// count, clamped into range. Negative durations (clock steps) count as 0.
+func bucketIdx(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	k := bits.Len64(uint64(d))
+	if k >= NumBuckets {
+		k = NumBuckets - 1
+	}
+	return k
+}
+
+// Observe records one duration: four atomic adds (bucket, count, sum) plus
+// a CAS loop for the max. No locks, no allocation.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	sh := &h.shards[shardIdx()]
+	atomic.AddUint64(&sh.counts[bucketIdx(d)], 1)
+	atomic.AddUint64(&sh.count, 1)
+	atomic.AddUint64(&sh.sum, ns)
+	for {
+		cur := atomic.LoadUint64(&sh.max)
+		if ns <= cur || atomic.CompareAndSwapUint64(&sh.max, cur, ns) {
+			return
+		}
+	}
+}
+
+// Name returns the histogram's Prometheus family name.
+func (h *Histogram) Name() string { return h.name }
+
+// Labels returns the histogram's rendered label pairs (may be empty).
+func (h *Histogram) Labels() string { return h.labels }
+
+// Snapshot is a merged, point-in-time view of a histogram.
+type Snapshot struct {
+	Name   string
+	Labels string
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+	Counts [NumBuckets]uint64
+}
+
+// Snapshot merges the writer shards. Reads are atomic per counter, so a
+// snapshot taken under concurrent observation is a valid histogram of some
+// interleaving (never torn counters).
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Name: h.name, Labels: h.labels}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for k := range sh.counts {
+			s.Counts[k] += atomic.LoadUint64(&sh.counts[k])
+		}
+		s.Count += atomic.LoadUint64(&sh.count)
+		s.Sum += time.Duration(atomic.LoadUint64(&sh.sum))
+		if m := time.Duration(atomic.LoadUint64(&sh.max)); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// bucketUpper is the exclusive upper bound of bucket k in nanoseconds.
+func bucketUpper(k int) uint64 { return uint64(1) << uint(k) }
+
+// bucketLower is the inclusive lower bound of bucket k in nanoseconds.
+func bucketLower(k int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	return uint64(1) << uint(k-1)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the target log₂ bucket, capped at the exact observed maximum. The
+// estimate's relative error is bounded by the bucket width (≤ 2×).
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for k, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := float64(bucketLower(k))
+			hi := float64(bucketUpper(k))
+			if k == NumBuckets-1 && s.Max > time.Duration(hi) {
+				hi = float64(s.Max)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			d := time.Duration(lo + frac*(hi-lo))
+			if s.Max > 0 && d > s.Max {
+				d = s.Max
+			}
+			return d
+		}
+		cum += n
+	}
+	return s.Max
+}
+
+// Registry holds histograms in registration order and renders them as
+// annotated Prometheus text. Histogram is idempotent per (name, labels), so
+// concurrent components can share one registry safely.
+type Registry struct {
+	mu    sync.Mutex
+	hists []*Histogram
+	index map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*Histogram{}}
+}
+
+// Histogram returns the histogram registered under (name, labels), creating
+// it if needed. name must be a Prometheus family name ending in the unit
+// suffix (by convention "_seconds" here); labels is the rendered label body
+// without braces (`op="bloom"`) or empty.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	key := name + "{" + labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.index[key]; ok {
+		return h
+	}
+	h := &Histogram{name: name, labels: labels, help: help}
+	r.index[key] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Snapshots returns a merged snapshot of every registered histogram, in
+// registration order.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.Lock()
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+	out := make([]Snapshot, len(hists))
+	for i, h := range hists {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// WritePrometheus renders every registered histogram as a Prometheus
+// histogram family: # HELP and # TYPE once per family, then cumulative
+// _bucket series (le in seconds, +Inf last), _sum (seconds) and _count per
+// label set. Families render grouped even if registration interleaved.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+
+	byName := map[string][]*Histogram{}
+	var order []string
+	for _, h := range hists {
+		if _, ok := byName[h.name]; !ok {
+			order = append(order, h.name)
+		}
+		byName[h.name] = append(byName[h.name], h)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		family := byName[name]
+		fmt.Fprintf(w, "# HELP %s %s\n", name, family[0].help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, h := range family {
+			writeHistogramSeries(w, h.Snapshot())
+		}
+	}
+}
+
+// writeHistogramSeries renders one label set's _bucket/_sum/_count series.
+func writeHistogramSeries(w io.Writer, s Snapshot) {
+	sep := ""
+	if s.Labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for k := 0; k < NumBuckets-1; k++ {
+		cum += s.Counts[k]
+		le := strconv.FormatFloat(float64(bucketUpper(k))/1e9, 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", s.Name, s.Labels, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", s.Name, s.Labels, sep, s.Count)
+	if s.Labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", s.Name, s.Labels, formatSeconds(s.Sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", s.Name, s.Labels, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", s.Name, formatSeconds(s.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", s.Name, s.Count)
+	}
+}
+
+// formatSeconds renders a duration as a Prometheus float in seconds.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentObserve hammers one histogram from many goroutines (run
+// under -race in CI) and checks the merged snapshot accounts for every
+// observation exactly: count, sum and max are all exact regardless of which
+// shard each write landed in.
+func TestConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mint_test_seconds", "", "test histogram")
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i+1) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	const total = goroutines * perG
+	if s.Count != total {
+		t.Fatalf("count = %d, want %d", s.Count, total)
+	}
+	wantSum := time.Duration(total) * time.Duration(total+1) / 2
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Max != time.Duration(total)*time.Nanosecond {
+		t.Fatalf("max = %v, want %v", s.Max, time.Duration(total))
+	}
+	var bucketTotal uint64
+	for _, n := range s.Counts {
+		bucketTotal += n
+	}
+	if bucketTotal != total {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, total)
+	}
+}
+
+// TestQuantileGolden feeds a known distribution — the integers 1..1000 in
+// microseconds, uniform — and pins the estimator's exact outputs (the
+// interpolation is deterministic) plus the log₂-bucket error bound against
+// the true quantiles.
+func TestQuantileGolden(t *testing.T) {
+	h := &Histogram{name: "mint_test_seconds"}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		true time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{1.00, 1000 * time.Microsecond},
+	} {
+		got := s.Quantile(tc.q)
+		// Log₂ buckets bound the estimate within a factor of two of truth.
+		if got < tc.true/2 || got > tc.true*2 {
+			t.Errorf("p%v = %v, outside [%v, %v]", tc.q*100, got, tc.true/2, tc.true*2)
+		}
+	}
+	// Golden pins: the estimator is deterministic for a fixed input set, so
+	// any change to bucketing or interpolation must update these on purpose.
+	if got, want := s.Quantile(0.50), 500274*time.Nanosecond; got != want {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	if got, want := s.Quantile(0.90), 938431*time.Nanosecond; got != want {
+		t.Errorf("p90 = %v, want %v", got, want)
+	}
+	// p99 interpolates past the true tail inside the last occupied bucket
+	// and is capped at the exact observed max.
+	if got, want := s.Quantile(0.99), 1000*time.Microsecond; got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := s.Quantile(1.0); got != s.Max {
+		t.Errorf("p100 = %v, want max %v", got, s.Max)
+	}
+	if s.Max != 1000*time.Microsecond {
+		t.Errorf("max = %v, want 1ms", s.Max)
+	}
+}
+
+// TestSnapshotVsLiveMerge checks snapshots are value copies merged from the
+// live shards: a snapshot taken mid-stream never changes afterwards, and a
+// later snapshot reflects exactly the additional observations.
+func TestSnapshotVsLiveMerge(t *testing.T) {
+	h := &Histogram{name: "mint_test_seconds"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	first := h.Snapshot()
+	if first.Count != 8000 {
+		t.Fatalf("first count = %d, want 8000", first.Count)
+	}
+	frozen := first // value copy: later observes must not reach it
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if first.Count != frozen.Count || first.Counts != frozen.Counts || first.Sum != frozen.Sum {
+		t.Fatal("snapshot mutated by later observations")
+	}
+	second := h.Snapshot()
+	if second.Count != 12000 {
+		t.Fatalf("second count = %d, want 12000", second.Count)
+	}
+	if got, want := second.Sum-first.Sum, 4000*2*time.Millisecond; got != want {
+		t.Fatalf("sum delta = %v, want %v", got, want)
+	}
+	k := bucketIdx(2 * time.Millisecond)
+	if got, want := second.Counts[k]-first.Counts[k], uint64(4000); got != want {
+		t.Fatalf("bucket %d delta = %d, want %d", k, got, want)
+	}
+}
+
+// TestLedgerOverflowOrdering fills a small ring past capacity and checks
+// eviction order, sequence numbering and the threshold gate.
+func TestLedgerOverflowOrdering(t *testing.T) {
+	l := NewLedger(4, time.Millisecond)
+	if l.Exceeds(999 * time.Microsecond) {
+		t.Fatal("sub-threshold duration reported as exceeding")
+	}
+	l.Record("fast", "", 10*time.Microsecond, 0, -1) // below threshold: dropped
+	for i := 1; i <= 10; i++ {
+		l.Record("op", "", time.Duration(i)*time.Millisecond, int64(i), i%3)
+	}
+	if got := l.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	ops := l.Snapshot()
+	if len(ops) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(ops))
+	}
+	for i, op := range ops {
+		wantSeq := uint64(7 + i) // 10 recorded, ring of 4: seqs 7..10 survive
+		if op.Seq != wantSeq {
+			t.Errorf("ops[%d].Seq = %d, want %d", i, op.Seq, wantSeq)
+		}
+		if op.DurationUS != int64(7+i)*1000 {
+			t.Errorf("ops[%d].DurationUS = %d, want %d", i, op.DurationUS, (7+i)*1000)
+		}
+	}
+	l.SetThreshold(0)
+	l.Record("op", "", time.Hour, 0, -1)
+	if got := l.Total(); got != 10 {
+		t.Fatalf("disabled ledger recorded; total = %d, want 10", got)
+	}
+}
+
+// TestWritePrometheus spot-checks the rendered exposition: HELP/TYPE once
+// per family, cumulative buckets ending at +Inf equal to _count, label sets
+// grouped under their family.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("mint_test_seconds", `op="a"`, "test family")
+	b := reg.Histogram("mint_test_seconds", `op="b"`, "test family")
+	a.Observe(3 * time.Microsecond)
+	a.Observe(5 * time.Millisecond)
+	b.Observe(time.Second)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if got := strings.Count(out, "# HELP mint_test_seconds "); got != 1 {
+		t.Errorf("HELP lines = %d, want 1\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE mint_test_seconds histogram"); got != 1 {
+		t.Errorf("TYPE lines = %d, want 1\n%s", got, out)
+	}
+	for _, want := range []string{
+		`mint_test_seconds_bucket{op="a",le="+Inf"} 2`,
+		`mint_test_seconds_count{op="a"} 2`,
+		`mint_test_seconds_bucket{op="b",le="+Inf"} 1`,
+		`mint_test_seconds_count{op="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

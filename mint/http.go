@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -40,9 +41,15 @@ import (
 //	                  HTTP/1.1 chunked trailers otherwise.
 //	GET  /healthz   — liveness: "ok" while the cluster is open, 503 after
 //	                  Close.
-//	GET  /metricsz  — operational counters in Prometheus text format:
-//	                  storage and pattern accounting, metered network
-//	                  bytes, OTLP request/span totals.
+//	GET  /metricsz  — operational metrics in annotated Prometheus text
+//	                  format: storage and pattern accounting, metered
+//	                  network bytes, OTLP request/span totals, and the
+//	                  per-stage latency histograms of the telemetry
+//	                  registry (decode, capture, shard apply, WAL, query,
+//	                  RPC per-op). Every family carries # HELP and # TYPE.
+//	GET  /debug/slowz — the slow-op ledger as JSON: operations that
+//	                  exceeded Config.SlowOpThreshold, with what they were
+//	                  working on (see also minttrace -slow).
 type HTTPHandler struct {
 	cluster     *Cluster
 	defaultNode string
@@ -116,6 +123,7 @@ func NewHTTPHandler(c *Cluster, defaultNode string) *HTTPHandler {
 	h.mux.HandleFunc(grpcExportPath, h.handleGRPCExport)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/metricsz", h.handleMetrics)
+	h.mux.HandleFunc("/debug/slowz", h.handleSlowOps)
 	return h
 }
 
@@ -391,9 +399,18 @@ func (h *HTTPHandler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, "ok\n")
 }
 
-// handleMetrics renders operational counters in Prometheus text format.
-// Like handleHealth, a scrape is not misuse: on a closed cluster it answers
-// 503 instead of recording ErrClosed through the read paths.
+// family writes the # HELP / # TYPE preamble for one metric family. Every
+// series /metricsz serves sits under exactly one such preamble — the strict
+// exposition contract TestMetricsExpositionLint pins.
+func family(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// handleMetrics renders operational counters and latency histograms in
+// Prometheus text exposition format (0.0.4), with HELP/TYPE annotations on
+// every family and counters under `_total` names. Like handleHealth, a
+// scrape is not misuse: on a closed cluster it answers 503 instead of
+// recording ErrClosed through the read paths.
 func (h *HTTPHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c := h.cluster
 	if c.closed.Load() {
@@ -402,37 +419,106 @@ func (h *HTTPHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	patterns, blooms, params := c.StorageBreakdown()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	family(w, "mint_storage_bytes", "gauge", "Stored bytes by component; kind=\"total\" is the sum of the other kinds.")
 	fmt.Fprintf(w, "mint_storage_bytes{kind=\"patterns\"} %d\n", patterns)
 	fmt.Fprintf(w, "mint_storage_bytes{kind=\"bloom\"} %d\n", blooms)
 	fmt.Fprintf(w, "mint_storage_bytes{kind=\"params\"} %d\n", params)
-	fmt.Fprintf(w, "mint_storage_bytes_total %d\n", patterns+blooms+params)
+	fmt.Fprintf(w, "mint_storage_bytes{kind=\"total\"} %d\n", patterns+blooms+params)
+	family(w, "mint_span_patterns", "gauge", "Distinct span patterns in the store.")
 	fmt.Fprintf(w, "mint_span_patterns %d\n", c.SpanPatternCount())
+	family(w, "mint_topo_patterns", "gauge", "Distinct topology patterns in the store.")
 	fmt.Fprintf(w, "mint_topo_patterns %d\n", c.TopoPatternCount())
+	family(w, "mint_backend_shards", "gauge", "Backend store shard count.")
 	fmt.Fprintf(w, "mint_backend_shards %d\n", c.Shards())
+	family(w, "mint_network_bytes_total", "counter", "Metered report bytes from this process's collectors to the backend.")
 	fmt.Fprintf(w, "mint_network_bytes_total %d\n", c.NetworkBytes())
+	family(w, "mint_otlp_requests_total", "counter", "OTLP export requests received (all encodings).")
 	fmt.Fprintf(w, "mint_otlp_requests_total %d\n", h.otlpRequests.Load())
+	family(w, "mint_otlp_spans_total", "counter", "Spans ingested from OTLP export requests.")
 	fmt.Fprintf(w, "mint_otlp_spans_total %d\n", h.otlpSpans.Load())
+	family(w, "mint_otlp_errors_total", "counter", "OTLP export requests rejected or failed.")
 	fmt.Fprintf(w, "mint_otlp_errors_total %d\n", h.otlpErrors.Load())
+	family(w, "mint_otlp_shed_total", "counter", "OTLP export requests shed while draining.")
 	fmt.Fprintf(w, "mint_otlp_shed_total %d\n", h.otlpShed.Load())
+	family(w, "mint_draining", "gauge", "1 while the handler sheds ingest for shutdown, else 0.")
 	draining := 0
 	if h.draining.Load() {
 		draining = 1
 	}
 	fmt.Fprintf(w, "mint_draining %d\n", draining)
+	family(w, "mint_selftrace_spans_total", "counter", "Pipeline self-trace spans fed back into the capture path (0 unless -self-trace).")
+	fmt.Fprintf(w, "mint_selftrace_spans_total %d\n", c.SelfTraceSpans())
+	family(w, "mint_slow_ops_total", "counter", "Operations recorded by the slow-op ledger since start (see /debug/slowz).")
+	fmt.Fprintf(w, "mint_slow_ops_total %d\n", c.SlowOpsTotal())
 	if h.rpcSrv != nil {
+		family(w, "mint_rpc_requests_total", "counter", "RPC request frames served.")
 		fmt.Fprintf(w, "mint_rpc_requests_total %d\n", h.rpcSrv.Requests())
+		family(w, "mint_rpc_bytes_total", "counter", "RPC transport bytes by direction.")
 		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"in\"} %d\n", h.rpcSrv.BytesIn())
 		fmt.Fprintf(w, "mint_rpc_bytes_total{direction=\"out\"} %d\n", h.rpcSrv.BytesOut())
+		family(w, "mint_rpc_ingest_shed_total", "counter", "Ingest frames shed by overload control.")
 		fmt.Fprintf(w, "mint_rpc_ingest_shed_total %d\n", h.rpcSrv.Shed())
+		family(w, "mint_rpc_dedup_hits_total", "counter", "Replayed envelopes suppressed by exactly-once ingest dedup.")
 		fmt.Fprintf(w, "mint_rpc_dedup_hits_total %d\n", h.rpcSrv.DedupHits())
+		family(w, "mint_rpc_ingest_sessions", "gauge", "Live exactly-once ingest sessions.")
 		fmt.Fprintf(w, "mint_rpc_ingest_sessions %d\n", h.rpcSrv.IngestSessions())
+		family(w, "mint_rpc_panics_total", "counter", "Handler panics recovered by the RPC server.")
 		fmt.Fprintf(w, "mint_rpc_panics_total %d\n", h.rpcSrv.Panics())
 	}
 	if c.remote != nil {
 		ts := c.TransportStats()
+		family(w, "mint_rpc_client_redials_total", "counter", "Transport reconnects performed by the RPC client.")
 		fmt.Fprintf(w, "mint_rpc_client_redials_total %d\n", ts.Redials)
+		family(w, "mint_rpc_client_retries_total", "counter", "RPC calls transparently retried after a transport failure.")
 		fmt.Fprintf(w, "mint_rpc_client_retries_total %d\n", ts.Retries)
+		family(w, "mint_rpc_client_replayed_envelopes_total", "counter", "Unacknowledged ingest envelopes replayed after redial.")
 		fmt.Fprintf(w, "mint_rpc_client_replayed_envelopes_total %d\n", ts.ReplayedEnvelopes)
+		family(w, "mint_rpc_client_dropped_envelopes_total", "counter", "Ingest envelopes dropped after exhausting replay.")
 		fmt.Fprintf(w, "mint_rpc_client_dropped_envelopes_total %d\n", ts.DroppedEnvelopes)
 	}
+	// Latency histograms: the cluster's registry (decode, capture, and — on
+	// a local deployment — shard apply, WAL, query; on a remote one the
+	// client call family), then the RPC server's per-op registry.
+	c.Telemetry().WritePrometheus(w)
+	if h.rpcSrv != nil {
+		h.rpcSrv.Telemetry().WritePrometheus(w)
+	}
+}
+
+// handleSlowOps serves the slow-op ledger as JSON: the active threshold,
+// lifetime totals, and the retained entries (oldest first) for the cluster
+// pipeline and — when an RPC server is attached — the transport.
+func (h *HTTPHandler) handleSlowOps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	c := h.cluster
+	if c.closed.Load() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	type payload struct {
+		ThresholdUS int64    `json:"threshold_us"`
+		Total       uint64   `json:"total"`
+		Ops         []SlowOp `json:"ops"`
+		RPCTotal    uint64   `json:"rpc_total,omitempty"`
+		RPCOps      []SlowOp `json:"rpc_ops,omitempty"`
+	}
+	p := payload{
+		ThresholdUS: c.SlowOpThreshold().Microseconds(),
+		Total:       c.SlowOpsTotal(),
+		Ops:         c.SlowOps(),
+	}
+	if p.Ops == nil {
+		p.Ops = []SlowOp{}
+	}
+	if h.rpcSrv != nil {
+		p.RPCTotal = h.rpcSrv.SlowOps().Total()
+		p.RPCOps = h.rpcSrv.SlowOps().Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
 }

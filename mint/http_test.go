@@ -241,7 +241,7 @@ func TestOTLPEndpointErrors(t *testing.T) {
 		"mint_otlp_errors_total 2",
 		"mint_otlp_spans_total 2",
 		"mint_span_patterns",
-		"mint_storage_bytes_total",
+		`mint_storage_bytes{kind="total"}`,
 		"mint_backend_shards 1",
 	} {
 		if !strings.Contains(metrics, want) {

@@ -137,6 +137,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/rpc"
 	"repro/internal/sampler"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -255,6 +256,23 @@ type Config struct {
 	// preserve order. 0 takes DefaultRemoteConns; negative values are
 	// rejected. A client-transport knob: Open and NewCluster ignore it.
 	RemoteConns int
+	// SlowOpThreshold is the latency above which an operation (capture,
+	// shard apply, WAL flush, query, RPC call) is recorded in the slow-op
+	// ledger (SlowOps, GET /debug/slowz). 0 takes the default
+	// (backend.DefaultSlowOpThreshold, 250ms); negative disables the
+	// ledger. The gate is one atomic load on the hot path.
+	SlowOpThreshold time.Duration
+	// SelfTrace feeds the deployment's own pipeline stages (ingest-request
+	// → decode → shard-apply, RPC serve, WAL flush) back into its own
+	// capture path as spans under the reserved "mint-self" node, so mintd's
+	// internals can be queried with the same FindTraces/Query surface it
+	// serves — mint traces mint. Self data is isolated: trace IDs carry the
+	// "mint-self-" prefix, Bloom probes skip self segments for ordinary
+	// IDs, and predicate searches only see self spans when the filter asks
+	// for Service "mint-self", so query results for real traces are
+	// byte-identical with the knob on or off. Local clusters only; Dial
+	// rejects it (the server owns its own self-tracing).
+	SelfTrace bool
 }
 
 // DefaultRemoteConns is the connection pool size Dial uses when
@@ -316,6 +334,17 @@ type Cluster struct {
 	// CaptureOTLPProto calls reuse decode scratch instead of allocating.
 	otlpDict     *intern.Dict
 	otlpDecoders sync.Pool
+
+	// Self-observability: tel is the histogram registry (the local
+	// backend's own registry, or a fresh one for a remote cluster) and
+	// slow the slow-op ledger behind SlowOps and /debug/slowz. selfTr is
+	// non-nil only with Config.SelfTrace.
+	tel             *telemetry.Registry
+	slow            *telemetry.Ledger
+	selfTr          *selfTracer
+	histDecodeJSON  *telemetry.Histogram
+	histDecodeProto *telemetry.Histogram
+	histCapture     *telemetry.Histogram
 }
 
 // captureScratch is one goroutine's reusable capture state. The byNode
@@ -391,8 +420,9 @@ func Dial(addr string, nodes []string, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if cfg.Shards != 0 || cfg.QueryWorkers != 0 || cfg.QueryCacheSize != 0 ||
-		cfg.DataDir != "" || cfg.RetentionTTL != 0 || cfg.SnapshotEveryBytes != 0 {
-		return nil, fmt.Errorf("mint: invalid config: backend-side fields (Shards, QueryWorkers, QueryCacheSize, DataDir, RetentionTTL, SnapshotEveryBytes) are owned by the server; configure them on mintd")
+		cfg.DataDir != "" || cfg.RetentionTTL != 0 || cfg.SnapshotEveryBytes != 0 ||
+		cfg.SelfTrace {
+		return nil, fmt.Errorf("mint: invalid config: backend-side fields (Shards, QueryWorkers, QueryCacheSize, DataDir, RetentionTTL, SnapshotEveryBytes, SelfTrace) are owned by the server; configure them on mintd")
 	}
 	conns := cfg.RemoteConns
 	if conns == 0 {
@@ -427,6 +457,30 @@ func assemble(nodes []string, cfg Config, b *backend.Backend, cli *rpc.Client) *
 		collectors: map[string]*collector.Collector{},
 		otlpDict:   intern.NewDict(),
 	}
+	threshold := cfg.SlowOpThreshold
+	if threshold == 0 {
+		threshold = backend.DefaultSlowOpThreshold
+	} else if threshold < 0 {
+		threshold = 0 // Ledger semantics: <= 0 disables.
+	}
+	if b != nil {
+		// A local cluster shares the backend's registry and ledger, so
+		// shard-apply/WAL/query timings and the cluster-level decode/capture
+		// timings land in one scrape.
+		c.tel = b.Telemetry()
+		c.slow = b.SlowOps()
+		c.slow.SetThreshold(threshold)
+	} else {
+		c.tel = telemetry.NewRegistry()
+		c.slow = telemetry.NewLedger(0, threshold)
+		cli.Instrument(c.tel, c.slow)
+	}
+	c.histDecodeJSON = c.tel.Histogram("mint_ingest_decode_seconds", `encoding="json"`,
+		"OTLP payload decode latency by wire encoding, before the capture path runs.")
+	c.histDecodeProto = c.tel.Histogram("mint_ingest_decode_seconds", `encoding="proto"`,
+		"OTLP payload decode latency by wire encoding, before the capture path runs.")
+	c.histCapture = c.tel.Histogram("mint_capture_seconds", "",
+		"Full trace capture latency: per-node partition, agent parse, collector report, sampling fan-out.")
 	async := cfg.IngestWorkers > 0
 	for _, n := range nodes {
 		a := agent.New(n, cfg.agentConfig())
@@ -435,6 +489,13 @@ func assemble(nodes []string, cfg Config, b *backend.Backend, cli *rpc.Client) *
 		} else {
 			c.collectors[n] = collector.New(a, st, m)
 		}
+	}
+	if cfg.SelfTrace && b != nil {
+		// The self node is hidden: not in c.nodes (captureOne never routes
+		// user spans to it) and always synchronous (self traces must not
+		// depend on the worker pool they observe).
+		sa := agent.New(telemetry.SelfNode, cfg.agentConfig())
+		c.selfTr = newSelfTracer(collector.New(sa, st, m))
 	}
 	if async {
 		c.ingestCh = make(chan *Trace, 2*cfg.IngestWorkers)
@@ -501,6 +562,7 @@ func (c *Cluster) CaptureAsync(t *Trace) error {
 }
 
 func (c *Cluster) captureOne(t *Trace) {
+	start := time.Now()
 	s, _ := c.capScratch.Get().(*captureScratch)
 	if s == nil {
 		s = &captureScratch{byNode: map[string][]*Span{}}
@@ -553,6 +615,11 @@ func (c *Cluster) captureOne(t *Trace) {
 		// fan-out.
 		c.notifySampled(t.TraceID, sampledReason)
 	}
+	d := time.Since(start)
+	c.histCapture.Observe(d)
+	if c.slow.Exceeds(d) {
+		c.slow.Record("capture", t.TraceID, d, int64(t.Size()), -1)
+	}
 }
 
 // MarkSampled externally marks a trace as sampled (the head/tail adapter
@@ -602,7 +669,17 @@ func (c *Cluster) Flush() error {
 	for _, node := range c.nodes {
 		c.collectors[node].SyncReports()
 	}
-	return c.store.FlushPersistence()
+	if c.selfTr == nil {
+		return c.store.FlushPersistence()
+	}
+	start := time.Now()
+	err := c.store.FlushPersistence()
+	c.selfTr.observeWALFlush(start, time.Since(start))
+	// Drain after the flush: the pending self traces (including the
+	// wal-flush span just recorded) become queryable now and durable on the
+	// next flush.
+	c.selfTr.drain()
+	return err
 }
 
 // drainIngest waits until every trace enqueued by CaptureAsync so far has
@@ -635,6 +712,9 @@ func (c *Cluster) Close() error {
 		if c.ingestCh != nil {
 			close(c.ingestCh)
 			c.ingestWG.Wait()
+		}
+		if c.selfTr != nil {
+			c.selfTr.drain()
 		}
 		for _, node := range c.nodes {
 			c.collectors[node].FlushPatterns()
@@ -854,4 +934,47 @@ func (c *Cluster) Stats() Stats {
 	s.TopoPatterns = c.store.TopoPatternCount()
 	s.Shards = c.store.ShardCount()
 	return s
+}
+
+// Telemetry returns the cluster's latency-histogram registry. A local
+// cluster shares its backend's registry, so decode/capture families sit
+// next to shard-apply, WAL and query timings in one scrape; a remote
+// cluster's registry holds decode/capture plus the transport client's
+// call-latency family. Served by /metricsz in Prometheus text format.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
+
+// SlowOp is one entry of the slow-op ledger: an operation whose latency
+// exceeded the configured threshold, with what it was working on.
+type SlowOp = telemetry.SlowOp
+
+// SlowOps returns the slow-op ledger's retained entries, oldest first.
+// Served as JSON by GET /debug/slowz and printed by minttrace -slow.
+func (c *Cluster) SlowOps() []SlowOp { return c.slow.Snapshot() }
+
+// SlowOpsTotal reports how many slow operations have been recorded since
+// start, including entries the bounded ledger has since evicted.
+func (c *Cluster) SlowOpsTotal() uint64 { return c.slow.Total() }
+
+// SlowOpThreshold reports the resolved slow-op latency threshold; zero
+// means the ledger is disabled.
+func (c *Cluster) SlowOpThreshold() time.Duration { return c.slow.Threshold() }
+
+// SelfTraceRPC returns the rpc.Server op observer that renders served RPC
+// frames as self-trace spans, or nil when Config.SelfTrace is off — mintd
+// wires it with Server.SetOpObserver before serving.
+func (c *Cluster) SelfTraceRPC() func(rpc.OpObservation) {
+	if c.selfTr == nil {
+		return nil
+	}
+	return c.selfTr.observeRPC
+}
+
+// SelfTraceSpans reports how many of the cluster's own pipeline spans have
+// been fed back through its capture path (zero with SelfTrace off) — the
+// mint_selftrace_spans_total counter.
+func (c *Cluster) SelfTraceSpans() int64 {
+	if c.selfTr == nil {
+		return 0
+	}
+	return c.selfTr.SpansFed()
 }

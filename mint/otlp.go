@@ -1,6 +1,8 @@
 package mint
 
 import (
+	"time"
+
 	"repro/internal/otlp"
 	"repro/internal/otlp/pb"
 	"repro/internal/trace"
@@ -26,11 +28,16 @@ func (c *Cluster) captureOTLPCounted(node string, payload []byte) (int, error) {
 	if err := c.checkOpen(); err != nil {
 		return 0, err
 	}
+	reqStart := time.Now()
 	spans, err := otlp.Decode(payload, node)
+	decodeDone := time.Now()
+	c.histDecodeJSON.Observe(decodeDone.Sub(reqStart))
 	if err != nil {
 		return 0, err
 	}
-	return c.captureSpans(node, spans)
+	n, err := c.captureSpans(node, spans)
+	c.observeOTLP("json", len(payload), reqStart, decodeDone, n)
+	return n, err
 }
 
 // CaptureOTLPProto ingests an OTLP/protobuf export payload
@@ -54,11 +61,14 @@ func (c *Cluster) captureOTLPProtoCounted(node string, payload []byte) (int, err
 	if err := c.checkOpen(); err != nil {
 		return 0, err
 	}
+	reqStart := time.Now()
 	dec, _ := c.otlpDecoders.Get().(*pb.Decoder)
 	if dec == nil {
 		dec = pb.NewDecoder(c.otlpDict)
 	}
 	spans, err := dec.Decode(payload, node)
+	decodeDone := time.Now()
+	c.histDecodeProto.Observe(decodeDone.Sub(reqStart))
 	if err != nil {
 		c.otlpDecoders.Put(dec)
 		return 0, err
@@ -68,6 +78,7 @@ func (c *Cluster) captureOTLPProtoCounted(node string, payload []byte) (int, err
 	// strings, never the span structs or attribute maps), so the decoder's
 	// scratch can recycle immediately.
 	c.otlpDecoders.Put(dec)
+	c.observeOTLP("proto", len(payload), reqStart, decodeDone, n)
 	return n, err
 }
 
@@ -88,6 +99,23 @@ func (c *Cluster) captureSpans(node string, spans []*trace.Span) (int, error) {
 		}
 	}
 	return len(spans), nil
+}
+
+// observeOTLP records one OTLP ingest's capture-tail latency (the decode
+// half was observed at its call site, where the error path still needs the
+// histogram fed), gates the slow-op ledger, and — under Config.SelfTrace —
+// renders the request as an ingest-request → decode → shard-apply self
+// trace.
+func (c *Cluster) observeOTLP(encoding string, payloadBytes int, reqStart, decodeDone time.Time, spans int) {
+	capDone := time.Now()
+	d := capDone.Sub(decodeDone)
+	c.histCapture.Observe(d)
+	if c.slow.Exceeds(d) {
+		c.slow.Record("otlp-"+encoding, "", d, int64(payloadBytes), -1)
+	}
+	if c.selfTr != nil {
+		c.selfTr.observeIngest(encoding, reqStart, decodeDone, capDone, spans)
+	}
 }
 
 // EncodeOTLP renders spans as an OTLP/JSON export payload, for shipping
